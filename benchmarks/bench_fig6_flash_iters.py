@@ -1,0 +1,83 @@
+"""Fig 6 (d–f) — FLASH trace size vs iteration count at fixed processes.
+
+Paper-scale: 4096 procs, 100–1000 iterations.  Repo-scale: 16 procs,
+20–160 iterations.  Asserted shapes:
+
+* StirTurb (f): constant size for Pilgrim regardless of iterations;
+* Sedov (d): slow growth (the drifting min-dt source adds a new
+  signature pair every ``drift_every`` iterations);
+* Cellular (e): clear growth with the number of AMR refinements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once, save_results
+from repro.analysis import fmt_kb, print_table, run_experiment
+
+ITERS = (20, 40, 80, 120, 160)
+NPROCS = 16
+
+
+@pytest.mark.parametrize("code", ["flash_sedov", "flash_cellular",
+                                  "flash_stirturb"])
+def test_fig6_trace_size_vs_iterations(code, benchmark):
+    st_kw = {"record_waitall": code == "flash_stirturb"}
+
+    def run():
+        return [run_experiment(code, NPROCS, iters=i, baseline=False,
+                               scalatrace_kwargs=st_kw)
+                for i in ITERS]
+
+    rows = once(benchmark, run)
+    print_table(
+        f"Fig 6: {code} — trace size vs iterations ({NPROCS} procs)",
+        ["iters", "MPI calls", "ScalaTrace", "Pilgrim"],
+        [(r.params["iters"], r.mpi_calls, fmt_kb(r.scalatrace_size),
+          fmt_kb(r.pilgrim_size)) for r in rows])
+    save_results(f"fig6_iters_{code}", [vars(r) for r in rows])
+
+    sizes = [r.pilgrim_size for r in rows]
+    calls = [r.mpi_calls for r in rows]
+    assert calls[-1] > calls[0] * 6  # the input grew linearly
+
+    if code == "flash_stirturb":
+        # Fig 6f: flat for Pilgrim (call-count varints only)
+        assert max(sizes) - min(sizes) < 256
+    elif code == "flash_sedov":
+        # Fig 6d: grows, but far slower than the call count
+        assert sizes[-1] > sizes[0]
+        assert sizes[-1] / sizes[0] < 0.5 * calls[-1] / calls[0]
+    else:
+        # Fig 6e: refinements keep adding new communication patterns
+        assert sizes[-1] > sizes[0] * 1.5
+    # Pilgrim smaller than the baseline everywhere
+    for r in rows:
+        assert r.pilgrim_size < r.scalatrace_size
+
+
+def test_fig6_sedov_growth_is_due_to_drift(benchmark):
+    """Ablate the paper's explanation: with a non-drifting min-dt owner
+    the Sedov trace stops growing."""
+    def run():
+        drifting = [run_experiment("flash_sedov", NPROCS, iters=i,
+                                   scalatrace=False, baseline=False,
+                                   drift_every=20).pilgrim_size
+                    for i in (40, 160)]
+        frozen = [run_experiment("flash_sedov", NPROCS, iters=i,
+                                 scalatrace=False, baseline=False,
+                                 drift_every=10**9).pilgrim_size
+                  for i in (40, 160)]
+        return drifting, frozen
+
+    drifting, frozen = once(benchmark, run)
+    print_table(
+        "Sedov growth attribution",
+        ["variant", "size @40 iters", "size @160 iters"],
+        [("drifting min-dt owner", fmt_kb(drifting[0]), fmt_kb(drifting[1])),
+         ("fixed owner", fmt_kb(frozen[0]), fmt_kb(frozen[1]))],
+        note="paper: growth caused by new Send/Recv sources every few "
+             "hundred iterations")
+    assert drifting[1] > drifting[0]
+    assert frozen[1] - frozen[0] < 128

@@ -1,0 +1,92 @@
+"""Fig 6 (a–c) — FLASH trace size vs process count, plus total MPI calls.
+
+Paper-scale: 64–4096 procs.  Repo-scale: 8–64.  Asserted shapes: Pilgrim
+plateaus (StirTurb earliest), ScalaTrace keeps growing and is larger;
+the MPI call count grows linearly with P (plotted on the paper's
+secondary axis) while Pilgrim's size does not follow it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once, save_results
+from repro.analysis import classify_growth, fmt_kb, print_table, run_experiment
+
+PROCS = (8, 16, 27, 48, 64, 125)
+
+CONFIG = {
+    "flash_sedov": dict(iters=60),
+    "flash_cellular": dict(iters=40),
+    "flash_stirturb": dict(iters=50),
+}
+
+
+@pytest.mark.parametrize("code", list(CONFIG))
+def test_fig6_trace_size_vs_procs(code, benchmark):
+    kw = CONFIG[code]
+    # mirror the paper's setup: ScalaTrace could not trace MPI_Waitall in
+    # Sedov/Cellular (it crashed; the wrapper was commented out)
+    st_kw = {"record_waitall": code == "flash_stirturb"}
+
+    def run():
+        return [run_experiment(code, P, baseline=False,
+                               scalatrace_kwargs=st_kw, **kw)
+                for P in PROCS]
+
+    rows = once(benchmark, run)
+    print_table(
+        f"Fig 6: {code} — trace size vs processes",
+        ["procs", "MPI calls", "ScalaTrace", "Pilgrim", "uniq grammars"],
+        [(r.nprocs, r.mpi_calls, fmt_kb(r.scalatrace_size),
+          fmt_kb(r.pilgrim_size), r.n_unique_grammars) for r in rows],
+        note="paper Fig 6a-c: Pilgrim plateaus; ScalaTrace tracks call "
+             "count growth")
+    save_results(f"fig6_procs_{code}", [vars(r) for r in rows])
+
+    xs = [r.nprocs for r in rows]
+    pilgrim = [r.pilgrim_size for r in rows]
+    calls = [r.mpi_calls for r in rows]
+
+    # calls grow ~linearly in P (weak-scaling style skeletons)
+    assert calls[-1] > calls[0] * 4
+    # Pilgrim wins at every P
+    for r in rows:
+        assert r.pilgrim_size < r.scalatrace_size, (code, r.nprocs)
+    # Pilgrim's growth is decoupled from the call count.  Cellular is the
+    # exception the paper shows too: below its plateau point (1024 procs
+    # at paper scale) its pattern population is still being discovered,
+    # so we only require slower-than-calls growth there.
+    factor = 1.0 if code == "flash_cellular" else 0.4
+    assert pilgrim[-1] / pilgrim[0] < factor * calls[-1] / calls[0]
+    if code == "flash_stirturb":
+        # plateaus at the 27 boundary classes: flat from 27 on
+        by_p = {r.nprocs: r for r in rows}
+        assert abs(by_p[125].pilgrim_size - by_p[27].pilgrim_size) < 256
+        assert by_p[125].n_unique_grammars == 27
+
+
+def test_fig6_plateau_points(benchmark):
+    """The paper reports where each code's size stops growing (64 / 128 /
+    1024 procs at their scale).  Measure the ordering at ours: StirTurb
+    plateaus earliest, Cellular latest."""
+    def run():
+        out = {}
+        for code in CONFIG:
+            sizes = [run_experiment(code, P, scalatrace=False,
+                                    baseline=False,
+                                    **CONFIG[code]).pilgrim_size
+                     for P in (16, 27, 48, 64)]  # plateau probe grid
+            growth_tail = sizes[-1] / sizes[1]
+            out[code] = growth_tail
+        return out
+
+    tails = once(benchmark, run)
+    print_table(
+        "Fig 6: late-stage growth factor (27 -> 64 procs)",
+        ["code", "size(64)/size(27)"],
+        [(k, f"{v:.2f}") for k, v in tails.items()],
+        note="StirTurb flattest, Cellular still growing — the paper's "
+             "plateau ordering")
+    assert tails["flash_stirturb"] <= tails["flash_sedov"] + 0.05
+    assert tails["flash_cellular"] >= tails["flash_stirturb"]

@@ -1,0 +1,113 @@
+"""Fig 7 — execution time without tracing vs with Pilgrim vs ScalaTrace.
+
+The paper measures wall-clock of FLASH runs on real clusters; here the
+"application" is the simulator run and the tracers add real CPU work on
+top.  Absolute overhead percentages do NOT transfer to this substrate —
+the simulated app does no real computation, so any tracer looks
+expensive relative to it (see EXPERIMENTS.md) — but the *relative*
+patterns the paper explains causally do, and are asserted:
+
+* ScalaTrace degrades far more on the AMR code (Cellular) than on the
+  regular one (StirTurb): the refinement bursts feed its RSD tail
+  matcher long irregular sequences (Fig 7e's mechanism);
+* Pilgrim's per-call cost is uniform across codes (its work per call
+  does not depend on pattern regularity), so its *relative* overhead
+  ordering across codes stays within a small band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once, save_results
+from repro.analysis import fmt_time, print_table, run_experiment
+
+CODES = {
+    "flash_sedov": dict(iters=40),
+    "flash_cellular": dict(iters=40),
+    "flash_stirturb": dict(iters=40),
+}
+PROCS = (8, 27)
+
+
+def test_fig7_execution_time(benchmark):
+    def run():
+        rows = []
+        for code, kw in CODES.items():
+            for P in PROCS:
+                st_kw = {"record_waitall": code == "flash_stirturb"}
+                rows.append(run_experiment(code, P,
+                                           scalatrace_kwargs=st_kw, **kw))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "Fig 7: execution time (wall-clock of the simulated run)",
+        ["code", "procs", "no tracing", "w/ Pilgrim", "w/ ScalaTrace",
+         "Pilgrim ovh", "ScalaTrace ovh"],
+        [(r.workload, r.nprocs, fmt_time(r.app_seconds),
+          fmt_time(r.pilgrim_seconds), fmt_time(r.scalatrace_seconds),
+          f"{100 * r.pilgrim_overhead:.0f}%",
+          f"{100 * r.scalatrace_overhead:.0f}%") for r in rows],
+        note="paper: Pilgrim max 21%/29%/4% on Sedov/Cellular/StirTurb; "
+             "ScalaTrace several-x slower on the AMR codes")
+    save_results("fig7_overhead", [vars(r) for r in rows])
+
+    by = {(r.workload, r.nprocs): r for r in rows}
+    for key, r in by.items():
+        assert r.pilgrim_seconds >= r.app_seconds * 0.9  # sanity
+
+    # The AMR-burst effect, measured where it is stable (CPU time inside
+    # the tracer per event, not noisy end-to-end wall clock): ScalaTrace's
+    # RSD matcher pays ~2x more per event on the irregular codes, whose
+    # compressed traces stay two orders of magnitude longer per rank.
+    # (With MPI_Waitall unrecorded — the paper had to comment the wrapper
+    # out — the baseline also never observes request completions, so its
+    # single id pool grows and loop folding degrades further.)
+    from repro.scalatrace import ScalaTraceTracer
+    from repro.workloads import make as _make
+    costs = {}
+    entries = {}
+    for code in ("flash_cellular", "flash_stirturb"):
+        st = ScalaTraceTracer(record_waitall=(code == "flash_stirturb"))
+        _make(code, 27, iters=40).run(seed=1, tracer=st)
+        costs[code] = st.result.time_intra / max(st.result.recorded_calls, 1)
+        entries[code] = sum(st.result.per_rank_entries) / 27
+    print_table(
+        "ScalaTrace RSD cost per recorded event (27 procs)",
+        ["code", "us/event", "compressed entries/rank"],
+        [(c, f"{1e6 * costs[c]:.1f}", f"{entries[c]:.0f}")
+         for c in costs])
+    assert costs["flash_cellular"] > 1.4 * costs["flash_stirturb"]
+    assert entries["flash_cellular"] > 10 * entries["flash_stirturb"]
+
+    # Pilgrim's per-call cost is code-independent: its tracing time per
+    # MPI call varies by < 3x between the AMR and regular codes
+    cell = by[("flash_cellular", 27)]
+    stir = by[("flash_stirturb", 27)]
+    cell_per_call = cell.time_intra / cell.mpi_calls
+    stir_per_call = stir.time_intra / stir.mpi_calls
+    assert max(cell_per_call, stir_per_call) < \
+        3 * min(cell_per_call, stir_per_call)
+
+
+def test_fig7_pilgrim_overhead_scales(benchmark):
+    """Pilgrim's per-call cost is flat in P (intra-process compression is
+    embarrassingly parallel in the paper; here: proportional work)."""
+    def run():
+        out = []
+        for P in (8, 27, 64):
+            r = run_experiment("flash_stirturb", P, iters=30,
+                               scalatrace=False)
+            out.append((P, r))
+        return out
+
+    rows = once(benchmark, run)
+    print_table(
+        "Pilgrim tracing cost per MPI call vs processes (StirTurb)",
+        ["procs", "calls", "intra s", "us/call"],
+        [(P, r.mpi_calls, f"{r.time_intra:.3f}",
+          f"{1e6 * r.time_intra / r.mpi_calls:.1f}") for P, r in rows])
+    per_call = [1e6 * r.time_intra / r.mpi_calls for _, r in rows]
+    # per-call cost roughly constant (within 3x across 8x procs)
+    assert max(per_call) < 3 * min(per_call)

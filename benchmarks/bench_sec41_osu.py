@@ -1,0 +1,59 @@
+"""§4.1 — OSU micro-benchmarks: every program's trace compresses to a few
+kilobytes, across processes and iterations."""
+
+from __future__ import annotations
+
+from conftest import once, save_results
+from repro.analysis import fmt_kb, print_table, run_experiment
+
+P2P = ("osu_latency", "osu_bw", "osu_bibw", "osu_multi_lat",
+       "osu_put_latency", "osu_get_latency")
+COLL = ("osu_allreduce", "osu_bcast", "osu_alltoall", "osu_allgather",
+        "osu_reduce", "osu_barrier")
+
+
+def test_osu_all_programs_few_kb(benchmark):
+    def run():
+        rows = []
+        for name in P2P:
+            rows.append(run_experiment(name, 4 if name == "osu_multi_lat"
+                                       else 2, scalatrace=False,
+                                       baseline=False))
+        for name in COLL:
+            rows.append(run_experiment(name, 16, scalatrace=False,
+                                       baseline=False))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "OSU micro-benchmarks (full size sweep per program)",
+        ["program", "procs", "MPI calls", "signatures", "size"],
+        [(r.workload, r.nprocs, r.mpi_calls, r.n_signatures,
+          fmt_kb(r.pilgrim_size)) for r in rows],
+        note="paper: most programs compress to a few KB")
+    save_results("sec41_osu", [vars(r) for r in rows])
+
+    for r in rows:
+        assert r.pilgrim_size < 64 * 1024, (r.workload, r.pilgrim_size)
+    # collectives with symmetric arguments are the extreme case: sub-KB
+    for r in rows:
+        if r.workload in ("osu_barrier", "osu_alltoall", "osu_allgather",
+                          "osu_allreduce"):
+            assert r.pilgrim_size < 1024, r.workload
+
+
+def test_osu_collectives_constant_in_procs(benchmark):
+    def run():
+        return {P: run_experiment("osu_allreduce", P, scalatrace=False,
+                                  baseline=False)
+                for P in (8, 32, 128)}
+
+    rows = once(benchmark, run)
+    print_table(
+        "osu_allreduce: size vs processes (symmetric collective)",
+        ["procs", "size"],
+        [(P, fmt_kb(r.pilgrim_size)) for P, r in rows.items()],
+        note="symmetric arguments -> one signature per size, any P")
+    sizes = [r.pilgrim_size for r in rows.values()]
+    assert max(sizes) - min(sizes) < 64
+    assert all(r.n_unique_grammars == 1 for r in rows.values())

@@ -1,0 +1,74 @@
+"""§4.1 — stencil benchmarks: constant trace size beyond 9 (2D) / 27 (3D)
+processes and independence from the iteration count."""
+
+from __future__ import annotations
+
+from conftest import once, save_results
+from repro.analysis import fmt_kb, print_table, run_experiment
+
+PROCS_2D = (4, 9, 16, 36, 64, 100, 256)
+PROCS_3D = (8, 27, 64, 125, 216)
+ITER_SWEEP = (10, 25, 50, 100, 200)
+
+
+def test_stencil2d_constant_beyond_9_procs(benchmark):
+    def run():
+        return [run_experiment("stencil2d", P, iters=25, scalatrace=False,
+                               baseline=False) for P in PROCS_2D]
+
+    rows = once(benchmark, run)
+    print_table(
+        "2D 5-point stencil (non-periodic): trace size vs processes",
+        ["procs", "MPI calls", "signatures", "unique grammars", "size"],
+        [(r.nprocs, r.mpi_calls, r.n_signatures, r.n_unique_grammars,
+          fmt_kb(r.pilgrim_size)) for r in rows],
+        note="paper: all 9 patterns present from 3x3; size flat beyond 9")
+    save_results("sec41_stencil2d", [vars(r) | {} for r in rows])
+
+    by_p = {r.nprocs: r for r in rows}
+    assert by_p[4].n_unique_grammars < 9
+    for P in (9, 16, 36, 64, 100, 256):
+        assert by_p[P].n_unique_grammars == 9
+    # flat beyond 9 procs (varint jitter only)
+    sizes = [by_p[P].pilgrim_size for P in (9, 16, 36, 64, 100, 256)]
+    assert max(sizes) - min(sizes) < 64
+
+
+def test_stencil3d_constant_beyond_27_procs(benchmark):
+    def run():
+        return [run_experiment("stencil3d", P, iters=15, scalatrace=False,
+                               baseline=False) for P in PROCS_3D]
+
+    rows = once(benchmark, run)
+    print_table(
+        "3D 7-point stencil (periodic): trace size vs processes",
+        ["procs", "MPI calls", "signatures", "unique grammars", "size"],
+        [(r.nprocs, r.mpi_calls, r.n_signatures, r.n_unique_grammars,
+          fmt_kb(r.pilgrim_size)) for r in rows],
+        note="paper: at most 27 patterns; size flat beyond 27")
+    save_results("sec41_stencil3d", [vars(r) for r in rows])
+
+    by_p = {r.nprocs: r for r in rows}
+    for P in (27, 64, 125, 216):
+        assert by_p[P].n_unique_grammars == 27
+    sizes = [by_p[P].pilgrim_size for P in (27, 64, 125, 216)]
+    assert max(sizes) - min(sizes) < 64
+
+
+def test_stencil2d_independent_of_iterations(benchmark):
+    def run():
+        return [run_experiment("stencil2d", 16, iters=i, scalatrace=False,
+                               baseline=False) for i in ITER_SWEEP]
+
+    rows = once(benchmark, run)
+    print_table(
+        "2D stencil: trace size vs iterations (16 procs)",
+        ["iters", "MPI calls", "size"],
+        [(r.params["iters"], r.mpi_calls, fmt_kb(r.pilgrim_size))
+         for r in rows],
+        note="paper: constant space regardless of iteration count")
+    sizes = [r.pilgrim_size for r in rows]
+    # 20x the iterations, <200B drift (CST call-count varints only)
+    assert max(sizes) - min(sizes) < 200
+    calls = [r.mpi_calls for r in rows]
+    assert calls[-1] > calls[0] * 15  # the input really did grow

@@ -1,0 +1,117 @@
+"""§6 (conclusion/future work) — replay and mini-app generation at scale.
+
+Not a paper figure: the paper lists these as work in progress ("a
+mini-app generator that could automatically generate a proxy MPI
+program", "a converter ... into some existing trace formats").  This
+bench validates the implementations at benchmark scale and records their
+costs: replay wall time vs original run, mini-app source size vs trace
+size, and the structural fixed point on every workload family.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import once, save_results
+from repro.analysis import fmt_kb, fmt_time, print_table
+from repro.core import PilgrimTracer
+from repro.core.export import to_text, write_otf_text
+from repro.replay import generate_miniapp, replay_trace, structurally_equal
+from repro.workloads import make
+
+CASES = [
+    ("stencil2d", 64, dict(iters=25)),
+    ("stencil2d_rma", 36, dict(iters=25)),
+    ("npb_mg", 32, dict(iters=8)),
+    ("npb_is", 16, dict(iters=10)),
+    ("flash_sedov", 27, dict(iters=40)),
+    ("milc_su3_rmd", 81, dict(steps=3, cg_iters=6)),
+]
+
+
+def test_sec6_replay_fixed_point_at_scale(benchmark):
+    def run():
+        rows = []
+        for name, P, kw in CASES:
+            tracer = PilgrimTracer()
+            t0 = time.perf_counter()
+            make(name, P, **kw).run(seed=1, tracer=tracer)
+            t_orig = time.perf_counter() - t0
+            blob = tracer.result.trace_bytes
+            retrace = PilgrimTracer()
+            t0 = time.perf_counter()
+            replay_trace(blob, seed=7, tracer=retrace)
+            t_replay = time.perf_counter() - t0
+            ok = structurally_equal(blob, retrace.result.trace_bytes)
+            rows.append((name, P, tracer.result.total_calls, len(blob),
+                         t_orig, t_replay, ok))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "replay: fixed point + cost (trace -> replay -> re-trace)",
+        ["workload", "procs", "calls", "trace", "orig run", "replay run",
+         "fixed point"],
+        [(n, P, c, fmt_kb(b), fmt_time(t1), fmt_time(t2),
+          "OK" if ok else "FAILED")
+         for n, P, c, b, t1, t2, ok in rows],
+        note="replay completes non-blocking ops in the recorded order")
+    save_results("sec6_replay", [
+        {"workload": n, "procs": P, "calls": c, "trace": b,
+         "orig_s": t1, "replay_s": t2, "fixed_point": ok}
+        for n, P, c, b, t1, t2, ok in rows])
+    assert all(ok for *_, ok in rows)
+    # replay cost is the same order as the original traced run
+    for n, P, c, b, t1, t2, ok in rows:
+        assert t2 < 10 * t1 + 1.0, n
+
+
+def test_sec6_miniapp_generation(benchmark):
+    def run():
+        out = []
+        for name, P, kw in CASES[:4]:
+            tracer = PilgrimTracer()
+            make(name, P, **kw).run(seed=1, tracer=tracer)
+            blob = tracer.result.trace_bytes
+            src = generate_miniapp(blob)
+            out.append((name, P, len(blob), len(src),
+                        src.count("for _ in range(")))
+        return out
+
+    rows = once(benchmark, run)
+    print_table(
+        "mini-app generation (the grammar as control flow)",
+        ["workload", "procs", "trace bytes", "source bytes",
+         "loops recovered"],
+        rows,
+        note="source size tracks the grammar, not the call count")
+    for name, P, blob_n, src_n, loops in rows:
+        assert loops >= 1, name
+        assert src_n < 200_000, name
+
+
+def test_sec6_exporters(benchmark):
+    def run():
+        tracer = PilgrimTracer()
+        make("npb_lu", 16, iters=8).run(seed=1, tracer=tracer)
+        blob = tracer.result.trace_bytes
+        text = to_text(blob)
+        otf = write_otf_text(blob)
+        return blob, text, otf, tracer.result.total_calls
+
+    blob, text, otf, calls = once(benchmark, run)
+    n_lines = sum(1 for l in text.splitlines() if not l.startswith("#"))
+    n_enter = otf.count("ENTER ")
+    print_table(
+        "exporters: compressed trace -> flat formats",
+        ["format", "size", "records"],
+        [("pilgrim binary", fmt_kb(len(blob)), f"{calls} calls"),
+         ("flat text", fmt_kb(len(text)), f"{n_lines} lines"),
+         ("OTF-style events", fmt_kb(len(otf)), f"{n_enter} ENTERs")],
+        note="the compressed form is 2-3 orders of magnitude smaller than "
+             "what analysis tools consume")
+    assert n_lines == calls
+    assert n_enter == calls
+    assert len(blob) * 50 < len(text)  # the compression is what the paper sells

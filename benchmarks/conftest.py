@@ -1,0 +1,39 @@
+"""Shared helpers for the table/figure reproduction benchmarks.
+
+Every benchmark module reproduces one table or figure from the paper's
+evaluation (§4).  Conventions:
+
+* each test runs the full experiment once inside ``benchmark.pedantic``
+  (so ``pytest benchmarks/ --benchmark-only`` executes and times it),
+* the paper-style rows are printed with ``-s``-visible output, and
+* the *shape* claims (who wins, growth class, plateaus) are asserted —
+  the absolute numbers are recorded in EXPERIMENTS.md, not asserted.
+
+Process counts and iteration counts are scaled down from the paper's
+(64–16K cores, hundreds of iterations) to laptop scale; the scaling map
+is documented per experiment in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_results(name: str, payload) -> None:
+    """Persist one experiment's rows for EXPERIMENTS.md bookkeeping."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+        json.dump(payload, fh, indent=1, default=str)
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

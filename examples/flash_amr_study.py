@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Study how adaptive mesh refinement drives trace growth (paper §4.3).
+
+Reproduces the Fig 6(d-f) analysis interactively: runs the three FLASH
+problems over an iteration sweep, shows that only the codes whose
+communication pattern *changes over time* keep growing, and attributes
+Sedov's slow growth to the drifting min-dt probe by ablating it.
+
+    python examples/flash_amr_study.py [--procs 16]
+"""
+
+import argparse
+
+from repro.analysis import fmt_kb, print_table, run_experiment
+from repro.core import PilgrimTracer, TraceDecoder
+from repro.workloads import MortonTree, make
+
+
+def iteration_sweep(nprocs: int) -> None:
+    iters = (20, 40, 80, 160)
+    for code in ("flash_stirturb", "flash_sedov", "flash_cellular"):
+        rows = [run_experiment(code, nprocs, iters=i, scalatrace=False,
+                               baseline=False) for i in iters]
+        print_table(
+            f"{code}: Pilgrim trace size vs iterations ({nprocs} ranks)",
+            ["iters", "MPI calls", "signatures", "size"],
+            [(r.params["iters"], r.mpi_calls, r.n_signatures,
+              fmt_kb(r.pilgrim_size)) for r in rows])
+
+
+def sedov_attribution(nprocs: int) -> None:
+    print("\n--- Sedov growth attribution "
+          "(the paper: 'the source of that datum changes every few "
+          "hundred iterations') ---")
+    drifting = [run_experiment("flash_sedov", nprocs, iters=i,
+                               scalatrace=False, baseline=False,
+                               drift_every=20).pilgrim_size
+                for i in (40, 160)]
+    fixed = [run_experiment("flash_sedov", nprocs, iters=i,
+                            scalatrace=False, baseline=False,
+                            drift_every=10 ** 9).pilgrim_size
+             for i in (40, 160)]
+    print_table(
+        "Sedov variants",
+        ["variant", "size @40", "size @160", "growth"],
+        [("drifting min-dt owner", fmt_kb(drifting[0]), fmt_kb(drifting[1]),
+          f"{drifting[1] / drifting[0]:.2f}x"),
+         ("fixed owner", fmt_kb(fixed[0]), fmt_kb(fixed[1]),
+          f"{fixed[1] / fixed[0]:.2f}x")])
+
+
+def cellular_tree_growth(nprocs: int) -> None:
+    print("\n--- Cellular: the Morton tree behind the growing trace ---")
+    tree = MortonTree(base_level=2, seed=7)
+    rows = []
+    for epoch in range(6):
+        rows.append((epoch, tree.n_blocks))
+        tree.refine_step()
+    print_table("PARAMESH-style refinement", ["epoch", "leaf blocks"], rows)
+
+    tracer = PilgrimTracer()
+    make("flash_cellular", nprocs, iters=60).run(seed=1, tracer=tracer)
+    decoder = TraceDecoder.from_bytes(tracer.result.trace_bytes)
+    hist = decoder.function_histogram()
+    print_table(
+        f"Cellular trace content ({nprocs} ranks, 60 iterations)",
+        ["function", "calls"],
+        sorted(hist.items(), key=lambda kv: -kv[1])[:8])
+    print(f"  total: {tracer.result.total_calls} calls -> "
+          f"{fmt_kb(tracer.result.trace_size)} "
+          f"({tracer.result.n_signatures} signatures, "
+          f"{tracer.result.n_unique_grammars} unique grammars)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--procs", type=int, default=16)
+    args = ap.parse_args()
+    iteration_sweep(args.procs)
+    sedov_attribution(args.procs)
+    cellular_tree_growth(args.procs)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's introduction example, end to end.
+
+A loop drives a request array with MPI_Testsome until every request
+finishes.  Message completion order is non-deterministic, so two runs
+(different seeds) behave differently — and a tracer that drops Testsome
+(like ScalaTrace or Cypress, Table 1) cannot tell them apart, while a
+Pilgrim trace replays the exact completion order of each run.
+
+    python examples/nondeterminism_replay.py
+"""
+
+from repro.core import PilgrimTracer, TraceDecoder
+from repro.mpisim import SimMPI, datatypes as dt
+from repro.scalatrace import ScalaTraceTracer
+
+INCOUNT = 6
+
+
+def program(m):
+    """Both ranks: post INCOUNT irecvs, stream sends, Testsome-drain."""
+    peer = 1 - m.rank
+    buf = m.malloc(4096)
+    requests = [m.irecv(buf, 16, dt.DOUBLE, source=peer, tag=t)
+                for t in range(INCOUNT)]
+    for t in range(INCOUNT):
+        yield from m.send(buf + 2048, 16, dt.DOUBLE, dest=peer, tag=t)
+    finished = 0
+    while finished < INCOUNT:
+        indices, statuses = yield from m.testsome(requests)
+        finished += len(indices)
+
+
+def completion_order_from_trace(blob: bytes, rank: int = 0) -> list[int]:
+    """Recover the actual completion order from a Pilgrim trace."""
+    order = []
+    for call in TraceDecoder.from_bytes(blob).rank_calls(rank):
+        if call.fname == "MPI_Testsome":
+            idxs = call.params["array_of_indices"]
+            if idxs:
+                order.extend(idxs)
+    return order
+
+
+def main():
+    orders = {}
+    for seed in (1, 2, 3):
+        tracer = PilgrimTracer()
+        SimMPI(2, seed=seed, tracer=tracer).run(program)
+        orders[seed] = completion_order_from_trace(
+            tracer.result.trace_bytes)
+        print(f"seed {seed}: completion order recovered from the trace: "
+              f"{orders[seed]}")
+    assert len({tuple(o) for o in orders.values()}) > 1, \
+        "expected different completion orders across seeds"
+    print("\n-> different runs completed in different orders, and each "
+          "Pilgrim trace preserves its run's order exactly.")
+
+    st = ScalaTraceTracer()
+    SimMPI(2, seed=1, tracer=st).run(program)
+    print(f"\nScalaTrace on the same run: saw {st.result.total_calls} "
+          f"calls, recorded {st.result.recorded_calls} "
+          f"(every MPI_Testsome dropped — the completion order is gone).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Compare Pilgrim against the ScalaTrace baseline across the NAS
+Parallel Benchmarks — a command-line rendition of the paper's Fig 5.
+
+    python examples/npb_compare.py [--procs 8 16 32] [--codes npb_lu npb_mg]
+"""
+
+import argparse
+
+from repro.analysis import classify_growth, fmt_kb, print_table, run_experiment
+
+DEFAULT_CODES = ("npb_lu", "npb_mg", "npb_is", "npb_cg")
+SQUARE_CODES = {"npb_sp", "npb_bt"}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--procs", type=int, nargs="+", default=[8, 16, 32, 64])
+    ap.add_argument("--codes", nargs="+", default=list(DEFAULT_CODES))
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+
+    for code in args.codes:
+        procs = args.procs
+        if code in SQUARE_CODES:
+            procs = [p * p for p in (4, 6, 8) if p * p <= max(args.procs) * 2]
+        rows = [run_experiment(code, P, seed=args.seed, baseline=False)
+                for P in procs]
+        print_table(
+            f"{code}: trace size vs processes",
+            ["procs", "MPI calls", "ScalaTrace", "Pilgrim", "ratio",
+             "uniq grammars"],
+            [(r.nprocs, r.mpi_calls, fmt_kb(r.scalatrace_size),
+              fmt_kb(r.pilgrim_size),
+              f"{r.scalatrace_size / max(r.pilgrim_size, 1):.1f}x",
+              r.n_unique_grammars) for r in rows])
+        xs = [r.nprocs for r in rows]
+        print(f"  growth: ScalaTrace "
+              f"{classify_growth(xs, [r.scalatrace_size for r in rows])}, "
+              f"Pilgrim "
+              f"{classify_growth(xs, [r.pilgrim_size for r in rows])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: keeps ``pip install -e .`` working offline (the
+sandbox has setuptools but no ``wheel``, so the PEP 517 editable path is
+unavailable). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Reproduction of *Pilgrim: Scalable and (near) Lossless MPI Tracing*
+(Wang, Balaji, Snir — SC '21) on a simulated MPI substrate.
+
+Packages:
+
+* :mod:`repro.mpisim` — the simulated MPI runtime (substrate).
+* :mod:`repro.core` — the Pilgrim tracer: CST + Sequitur CFG compression,
+  symbolic ids, timing grammars, inter-process merge, decoder.
+* :mod:`repro.scalatrace` — the ScalaTrace-style baseline tracer.
+* :mod:`repro.workloads` — stencils, OSU, NPB, FLASH, MILC skeletons.
+* :mod:`repro.analysis` — size accounting, overhead timers, report tables.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""``repro.analysis`` — experiment running, reporting, and post-mortem
+trace analysis."""
+
+from .insights import (CommMatrix, LoadBalance, call_time_share,
+                       collective_participation, comm_matrix, load_balance,
+                       message_size_histogram)
+from .report import (classify_growth, fmt_kb, fmt_time, growth_factor,
+                     print_table)
+from .runner import ExperimentRow, run_experiment
+
+__all__ = ["CommMatrix", "ExperimentRow", "LoadBalance",
+           "call_time_share", "classify_growth",
+           "collective_participation", "comm_matrix", "fmt_kb", "fmt_time",
+           "growth_factor", "load_balance", "message_size_histogram",
+           "print_table", "run_experiment"]

@@ -1,0 +1,192 @@
+"""Post-mortem trace analysis — the uses the paper's introduction lists
+("performance analysis and communication visualization ... identifying
+errors ... performance prediction skeletons").
+
+Every function here consumes a decoded Pilgrim trace (bytes or a
+:class:`~repro.core.decoder.TraceDecoder`) — demonstrating that the
+compressed traces retain enough to drive real analyses:
+
+* :func:`comm_matrix` — point-to-point traffic heat map (messages and
+  bytes per (source, destination) pair);
+* :func:`message_size_histogram` — power-of-two size buckets per
+  function;
+* :func:`call_time_share` — per-function share of recorded call time
+  (from the CST's per-signature mean durations);
+* :func:`collective_participation` — collective call counts per
+  communicator;
+* :func:`load_balance` — per-rank call/byte totals and imbalance factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..core.decoder import TraceDecoder
+from ..mpisim import constants as C
+
+TraceLike = Union[bytes, TraceDecoder]
+
+#: p2p senders: (function, dest param, count param, datatype param)
+_SENDS = {
+    "MPI_Send": ("dest", "count", "datatype"),
+    "MPI_Ssend": ("dest", "count", "datatype"),
+    "MPI_Bsend": ("dest", "count", "datatype"),
+    "MPI_Rsend": ("dest", "count", "datatype"),
+    "MPI_Isend": ("dest", "count", "datatype"),
+    "MPI_Issend": ("dest", "count", "datatype"),
+    "MPI_Send_init": ("dest", "count", "datatype"),
+}
+
+_BUILTIN_SIZES = {-1: 1, -2: 1, -3: 4, -4: 8, -5: 4, -6: 8, -7: 4, -8: 8,
+                  -9: 2, -10: 8, -11: 8, -12: 8, -13: 16, -14: 1}
+
+
+def _decoder(trace: TraceLike) -> TraceDecoder:
+    if isinstance(trace, TraceDecoder):
+        return trace
+    return TraceDecoder.from_bytes(trace)
+
+
+def _dtype_size(handle) -> int:
+    """Best-effort element size (derived types need recipe replay; use 8
+    as the conservative default the histograms tolerate)."""
+    if isinstance(handle, int) and handle < 0:
+        return _BUILTIN_SIZES.get(handle, 8)
+    return 8
+
+
+@dataclass
+class CommMatrix:
+    """Point-to-point traffic between rank pairs."""
+
+    nprocs: int
+    messages: np.ndarray   # [src, dst] message counts
+    bytes: np.ndarray      # [src, dst] payload bytes
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.messages.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes.sum())
+
+    def hottest_pairs(self, k: int = 5) -> list[tuple[int, int, int]]:
+        """Top-k (src, dst, bytes) pairs by traffic."""
+        flat = self.bytes.flatten()
+        order = np.argsort(flat)[::-1][:k]
+        out = []
+        for idx in order:
+            if flat[idx] <= 0:
+                break
+            src, dst = divmod(int(idx), self.nprocs)
+            out.append((src, dst, int(flat[idx])))
+        return out
+
+
+def comm_matrix(trace: TraceLike) -> CommMatrix:
+    """Build the p2p traffic matrix from send-side records.
+
+    Relative destination encodings are materialized per sending rank;
+    sub-communicator ranks are mapped through... the world comm for
+    world-comm traffic (sub-comm sends are attributed by their comm-rank
+    offsets, the best a trace-only view can do without replaying
+    communicator construction)."""
+    dec = _decoder(trace)
+    n = dec.nprocs
+    msgs = np.zeros((n, n), dtype=np.int64)
+    byts = np.zeros((n, n), dtype=np.int64)
+    for rank in range(n):
+        for call in dec.rank_calls(rank):
+            spec = _SENDS.get(call.fname)
+            if spec is None and call.fname != "MPI_Sendrecv":
+                continue
+            mat = call.materialized()
+            if call.fname == "MPI_Sendrecv":
+                dest = mat["dest"]
+                count = mat["sendcount"]
+                dt_h = call.params["sendtype"]
+            else:
+                dest_key, count_key, dt_key = spec
+                dest = mat[dest_key]
+                count = mat[count_key]
+                dt_h = call.params[dt_key]
+            if not isinstance(dest, int) or dest < 0 or dest >= n:
+                continue  # PROC_NULL or sub-comm rank outside world range
+            msgs[rank, dest] += 1
+            byts[rank, dest] += count * _dtype_size(dt_h)
+    return CommMatrix(nprocs=n, messages=msgs, bytes=byts)
+
+
+def message_size_histogram(trace: TraceLike) -> dict[int, int]:
+    """Messages per power-of-two size bucket (bucket = floor(log2 bytes))."""
+    dec = _decoder(trace)
+    hist: dict[int, int] = {}
+    for rank in range(dec.nprocs):
+        for call in dec.rank_calls(rank):
+            spec = _SENDS.get(call.fname)
+            if spec is None:
+                continue
+            count = call.params[spec[1]]
+            nbytes = count * _dtype_size(call.params[spec[2]])
+            bucket = int(math.log2(nbytes)) if nbytes > 0 else 0
+            hist[bucket] = hist.get(bucket, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def call_time_share(trace: TraceLike) -> dict[str, float]:
+    """Fraction of total recorded call time per MPI function (uses the
+    CST's per-signature duration sums — Pilgrim's default timing)."""
+    dec = _decoder(trace)
+    cst = dec.trace.cst
+    per_fn: dict[str, float] = {}
+    for term, sig in enumerate(cst.sigs):
+        fname, _ = dec._decode_sig(term)
+        per_fn[fname] = per_fn.get(fname, 0.0) + cst.dur_sums[term]
+    total = sum(per_fn.values()) or 1.0
+    return {k: v / total
+            for k, v in sorted(per_fn.items(), key=lambda kv: -kv[1])}
+
+
+def collective_participation(trace: TraceLike) -> dict[tuple[str, int], int]:
+    """(collective function, symbolic comm id) -> total call count."""
+    dec = _decoder(trace)
+    out: dict[tuple[str, int], int] = {}
+    for term, sig in enumerate(dec.trace.cst.sigs):
+        fname, params = dec._decode_sig(term)
+        if "comm" not in params or fname.startswith(("MPI_Comm", "MPI_Cart",
+                                                     "MPI_Intercomm")):
+            continue
+        if any(fname.startswith(p) for p in
+               ("MPI_Barrier", "MPI_Bcast", "MPI_Reduce", "MPI_Allreduce",
+                "MPI_Gather", "MPI_Scatter", "MPI_Allgather", "MPI_Alltoall",
+                "MPI_Scan", "MPI_Exscan", "MPI_Ibarrier", "MPI_Ibcast",
+                "MPI_Iallreduce", "MPI_Iallgather", "MPI_Ialltoall")):
+            key = (fname, params["comm"])
+            out[key] = out.get(key, 0) + dec.trace.cst.counts[term]
+    return out
+
+
+@dataclass
+class LoadBalance:
+    per_rank_calls: list[int]
+    per_rank_send_bytes: list[int]
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean of per-rank call counts (1.0 = perfectly balanced)."""
+        calls = self.per_rank_calls
+        mean = sum(calls) / len(calls) if calls else 0
+        return max(calls) / mean if mean else 0.0
+
+
+def load_balance(trace: TraceLike) -> LoadBalance:
+    dec = _decoder(trace)
+    mat = comm_matrix(dec)
+    calls = [dec.call_count(r) for r in range(dec.nprocs)]
+    send_bytes = [int(mat.bytes[r].sum()) for r in range(dec.nprocs)]
+    return LoadBalance(per_rank_calls=calls, per_rank_send_bytes=send_bytes)

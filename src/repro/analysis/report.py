@@ -1,0 +1,75 @@
+"""Paper-style table and series printers for the benchmark harness.
+
+Every table/figure reproduction prints its rows through these helpers so
+the output reads like the paper's figures: one row per configuration,
+sizes in KB, growth factors annotated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def fmt_kb(nbytes: int) -> str:
+    """Format a byte count the way the paper's axes do (KB)."""
+    kb = nbytes / 1024
+    if kb >= 1000:
+        return f"{kb / 1024:.1f}MB"
+    if kb >= 10:
+        return f"{kb:.0f}KB"
+    return f"{kb:.1f}KB"
+
+
+def fmt_time(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.1f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[Any]], note: str = "") -> None:
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join("-" * w for w in widths)
+    print()
+    print(f"== {title} ==")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print(line)
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        print(f"  note: {note}")
+
+
+def growth_factor(values: Sequence[float]) -> float:
+    """Last/first ratio of a series (0 if degenerate)."""
+    vals = [v for v in values if v]
+    if len(vals) < 2 or not vals[0]:
+        return 0.0
+    return vals[-1] / vals[0]
+
+
+def classify_growth(xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Rough growth classification of y(x): 'flat', 'sublinear',
+    'linear', or 'superlinear' — the property the figures argue about."""
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        return "flat"
+    x0, y0 = pairs[0]
+    x1, y1 = pairs[-1]
+    if y1 <= y0 * 1.3:
+        return "flat"
+    import math
+    slope = math.log(y1 / y0) / math.log(x1 / x0)
+    if slope < 0.15:
+        return "flat"
+    if slope < 0.85:
+        return "sublinear"
+    if slope <= 1.15:
+        return "linear"
+    return "superlinear"

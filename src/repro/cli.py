@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The workflows a downstream user actually runs:
+
+* ``trace``    — run a workload under Pilgrim, write the trace file
+* ``info``     — summarize a trace file (sizes, signatures, grammars)
+* ``dump``     — decode a trace to flat text (or OTF-style events)
+* ``replay``   — re-execute a trace on a fresh simulated world
+* ``miniapp``  — generate a proxy mini-app from a trace
+* ``compare``  — Pilgrim vs the ScalaTrace baseline on one workload
+* ``workloads``— list available workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import fmt_kb, print_table, run_experiment
+from .core import PilgrimTracer, TIMING_LOSSY, TraceDecoder, verify_roundtrip
+from .core.export import to_text, write_otf_text
+from .replay import generate_miniapp, replay_trace, structurally_equal
+from .workloads import REGISTRY, make
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    out: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --param {pair!r}; expected key=value")
+        k, v = pair.split("=", 1)
+        try:
+            out[k] = int(v)
+        except ValueError:
+            out[k] = v
+    return out
+
+
+def cmd_trace(args) -> int:
+    tracer = PilgrimTracer(
+        timing_mode=TIMING_LOSSY if args.lossy_timing else "aggregate",
+        keep_raw=args.verify)
+    wl = make(args.workload, args.procs, **_parse_params(args.param))
+    wl.run(seed=args.seed, tracer=tracer)
+    r = tracer.result
+    with open(args.output, "wb") as fh:
+        fh.write(r.trace_bytes)
+    print(f"traced {args.workload} on {args.procs} ranks: "
+          f"{r.total_calls} calls, {r.n_signatures} signatures, "
+          f"{r.n_unique_grammars} unique grammars")
+    print(f"wrote {r.trace_size} bytes to {args.output}")
+    if args.verify:
+        report = verify_roundtrip(tracer)
+        print(f"lossless round-trip: {'OK' if report.ok else 'FAILED'}")
+        if not report.ok:
+            return 1
+    return 0
+
+
+def cmd_info(args) -> int:
+    blob = open(args.trace, "rb").read()
+    dec = TraceDecoder.from_bytes(blob)
+    sizes = dec.trace.section_sizes()
+    print_table(f"trace {args.trace}",
+                ["field", "value"],
+                [("ranks", dec.nprocs),
+                 ("total calls", dec.call_count()),
+                 ("signatures", len(dec.trace.cst.sigs)),
+                 ("unique grammars", dec.trace.cfg.n_unique),
+                 *[(f"section {k}", fmt_kb(v)) for k, v in sizes.items()]])
+    print_table("calls per function", ["function", "count"],
+                sorted(dec.function_histogram().items(),
+                       key=lambda kv: -kv[1]))
+    return 0
+
+
+def cmd_dump(args) -> int:
+    blob = open(args.trace, "rb").read()
+    ranks = [int(r) for r in args.rank] if args.rank else None
+    if args.otf:
+        sys.stdout.write(write_otf_text(blob, ranks))
+    else:
+        sys.stdout.write(to_text(blob, ranks=ranks,
+                                 max_calls_per_rank=args.limit))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    blob = open(args.trace, "rb").read()
+    tracer = PilgrimTracer() if args.check else None
+    result = replay_trace(blob, seed=args.seed, tracer=tracer)
+    print(f"replayed {result.nprocs} ranks, virtual makespan "
+          f"{result.app_time * 1e3:.3f} ms")
+    if args.check:
+        ok = structurally_equal(blob, tracer.result.trace_bytes)
+        print(f"structural fixed point: {'OK' if ok else 'FAILED'}")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_miniapp(args) -> int:
+    blob = open(args.trace, "rb").read()
+    source = generate_miniapp(blob)
+    with open(args.output, "w") as fh:
+        fh.write(source)
+    print(f"wrote {len(source.splitlines())}-line mini-app to {args.output}")
+    print(f"run it with: python {args.output}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = [run_experiment(args.workload, P, seed=args.seed, baseline=False,
+                           **_parse_params(args.param))
+            for P in args.procs]
+    print_table(
+        f"{args.workload}: Pilgrim vs ScalaTrace baseline",
+        ["procs", "MPI calls", "ScalaTrace", "Pilgrim", "ratio"],
+        [(r.nprocs, r.mpi_calls, fmt_kb(r.scalatrace_size),
+          fmt_kb(r.pilgrim_size),
+          f"{r.scalatrace_size / max(r.pilgrim_size, 1):.1f}x")
+         for r in rows])
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .analysis.insights import (call_time_share, comm_matrix,
+                                    load_balance, message_size_histogram)
+    blob = open(args.trace, "rb").read()
+    mat = comm_matrix(blob)
+    print_table("p2p traffic", ["metric", "value"],
+                [("total messages", mat.total_messages),
+                 ("total bytes", fmt_kb(mat.total_bytes))])
+    if mat.total_messages:
+        print_table("hottest pairs", ["src", "dst", "bytes"],
+                    [(s_, d, fmt_kb(b))
+                     for s_, d, b in mat.hottest_pairs(args.top)])
+        print_table("message sizes (log2 buckets)", ["2^k bytes", "messages"],
+                    list(message_size_histogram(blob).items()))
+    print_table("call time share", ["function", "share"],
+                [(f, f"{100 * v:.1f}%")
+                 for f, v in list(call_time_share(blob).items())[:10]])
+    lb = load_balance(blob)
+    print_table("load balance", ["metric", "value"],
+                [("imbalance (max/mean calls)", f"{lb.imbalance:.3f}"),
+                 ("max rank calls", max(lb.per_rank_calls)),
+                 ("min rank calls", min(lb.per_rank_calls))])
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    for name in sorted(REGISTRY):
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("trace", help="run a workload under Pilgrim")
+    p.add_argument("workload")
+    p.add_argument("-n", "--procs", type=int, default=16)
+    p.add_argument("-o", "--output", default="trace.pilgrim")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE")
+    p.add_argument("--lossy-timing", action="store_true")
+    p.add_argument("--verify", action="store_true",
+                   help="run the lossless round-trip check")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("info", help="summarize a trace file")
+    p.add_argument("trace")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("dump", help="decode a trace to text")
+    p.add_argument("trace")
+    p.add_argument("--rank", action="append", default=[])
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--otf", action="store_true",
+                   help="OTF-style ENTER/LEAVE events instead of calls")
+    p.set_defaults(fn=cmd_dump)
+
+    p = sub.add_parser("replay", help="re-execute a trace")
+    p.add_argument("trace")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check", action="store_true",
+                   help="re-trace the replay and verify the fixed point")
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("miniapp", help="generate a proxy mini-app")
+    p.add_argument("trace")
+    p.add_argument("-o", "--output", default="miniapp.py")
+    p.set_defaults(fn=cmd_miniapp)
+
+    p = sub.add_parser("compare", help="Pilgrim vs the baseline")
+    p.add_argument("workload")
+    p.add_argument("-n", "--procs", type=int, nargs="+",
+                   default=[8, 16, 32])
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("analyze", help="post-mortem trace analysis")
+    p.add_argument("trace")
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("workloads", help="list available workloads")
+    p.set_defaults(fn=cmd_workloads)
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # output piped into head/less that exited early; not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""``repro.core`` — the Pilgrim tracing and compression system.
+
+Public surface:
+
+* :class:`PilgrimTracer` / :class:`PilgrimResult` — attach to a
+  :class:`repro.mpisim.SimMPI` run; produces the compressed trace.
+* :class:`TraceFile` / :class:`TraceDecoder` — the binary format and its
+  decoder (decompression back to per-rank call records).
+* :func:`verify_roundtrip` — the paper's lossless round-trip check.
+* Building blocks, exported for tests/benchmarks: :class:`Sequitur`,
+  :class:`Grammar`, :class:`CST`, :func:`merge_csts`,
+  :func:`merge_grammars`, :class:`IntervalTree`,
+  :class:`TimingCompressor`.
+"""
+
+from .avl import IntervalTree
+from .cst import CST, MergedCST, merge_csts
+from .decoder import TraceDecoder
+from .encoder import CommIdSpace, MemoryTable, PerRankEncoder
+from .grammar import Grammar
+from .interproc import CFGMergeResult, expand_rank, merge_grammars
+from .records import DecodedCall, sig_to_params
+from .sequitur import Sequitur
+from .symbolic import IdPool, ObjectIdTable, RequestIdAllocator
+from .timing import TimingCompressor, bin_value, reconstruct_times, unbin_value
+from .trace_format import TraceFile
+from .tracer import TIMING_AGGREGATE, TIMING_LOSSY, PilgrimResult, PilgrimTracer
+from .verify import VerifyReport, verify_roundtrip
+
+__all__ = [
+    "CFGMergeResult", "CST", "CommIdSpace", "DecodedCall", "Grammar",
+    "IdPool", "IntervalTree", "MemoryTable", "MergedCST", "ObjectIdTable",
+    "PerRankEncoder", "PilgrimResult", "PilgrimTracer",
+    "RequestIdAllocator", "Sequitur", "TIMING_AGGREGATE", "TIMING_LOSSY",
+    "TimingCompressor", "TraceDecoder", "TraceFile", "VerifyReport",
+    "bin_value", "expand_rank", "merge_csts", "merge_grammars",
+    "reconstruct_times", "sig_to_params", "unbin_value", "verify_roundtrip",
+]

@@ -1,0 +1,190 @@
+"""AVL interval tree for live memory segments (§3.3.3).
+
+The paper tracks currently-allocated segments in an AVL tree sorted by
+start address; looking up the segment containing a pointer is O(log n).
+This is a textbook AVL implementation specialised to that use: keys are
+segment start addresses, each node carries the segment size and payload
+(the symbolic id and device location), and ``find_containing`` walks the
+tree once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class AVLNode:
+    __slots__ = ("addr", "size", "payload", "left", "right", "height")
+
+    def __init__(self, addr: int, size: int, payload: Any):
+        self.addr = addr
+        self.size = size
+        self.payload = payload
+        self.left: Optional["AVLNode"] = None
+        self.right: Optional["AVLNode"] = None
+        self.height = 1
+
+
+def _h(node: Optional[AVLNode]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: AVLNode) -> None:
+    node.height = 1 + max(_h(node.left), _h(node.right))
+
+
+def _balance_factor(node: AVLNode) -> int:
+    return _h(node.left) - _h(node.right)
+
+
+def _rot_right(y: AVLNode) -> AVLNode:
+    x = y.left
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rot_left(x: AVLNode) -> AVLNode:
+    y = x.right
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: AVLNode) -> AVLNode:
+    _update(node)
+    bf = _balance_factor(node)
+    if bf > 1:
+        if _balance_factor(node.left) < 0:
+            node.left = _rot_left(node.left)
+        return _rot_right(node)
+    if bf < -1:
+        if _balance_factor(node.right) > 0:
+            node.right = _rot_right(node.right)
+        return _rot_left(node)
+    return node
+
+
+class IntervalTree:
+    """AVL tree over disjoint [addr, addr+size) segments."""
+
+    def __init__(self) -> None:
+        self._root: Optional[AVLNode] = None
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, addr: int, size: int, payload: Any) -> None:
+        """Insert a segment; raises on duplicate start address."""
+        self._root = self._insert(self._root, addr, size, payload)
+        self._count += 1
+
+    def _insert(self, node: Optional[AVLNode], addr: int, size: int,
+                payload: Any) -> AVLNode:
+        if node is None:
+            return AVLNode(addr, size, payload)
+        if addr < node.addr:
+            node.left = self._insert(node.left, addr, size, payload)
+        elif addr > node.addr:
+            node.right = self._insert(node.right, addr, size, payload)
+        else:
+            raise KeyError(f"segment at {addr:#x} already tracked")
+        return _rebalance(node)
+
+    def remove(self, addr: int) -> Any:
+        """Remove the segment starting at *addr*; returns its payload."""
+        self._root, payload = self._remove(self._root, addr)
+        self._count -= 1
+        return payload
+
+    def _remove(self, node: Optional[AVLNode],
+                addr: int) -> tuple[Optional[AVLNode], Any]:
+        if node is None:
+            raise KeyError(f"no segment starts at {addr:#x}")
+        if addr < node.addr:
+            node.left, payload = self._remove(node.left, addr)
+        elif addr > node.addr:
+            node.right, payload = self._remove(node.right, addr)
+        else:
+            payload = node.payload
+            if node.left is None:
+                return node.right, payload
+            if node.right is None:
+                return node.left, payload
+            # two children: replace with in-order successor
+            succ = node.right
+            while succ.left is not None:
+                succ = succ.left
+            node.addr, node.size, node.payload = (succ.addr, succ.size,
+                                                  succ.payload)
+            node.right, _ = self._remove(node.right, succ.addr)
+        return _rebalance(node), payload
+
+    # -- queries -------------------------------------------------------------------
+
+    def find_containing(self, addr: int) -> Optional[AVLNode]:
+        """The segment with ``node.addr <= addr < node.addr + node.size``."""
+        node = self._root
+        best: Optional[AVLNode] = None
+        while node is not None:
+            if addr < node.addr:
+                node = node.left
+            else:
+                best = node
+                node = node.right
+        if best is not None and addr < best.addr + best.size:
+            return best
+        return None
+
+    def find_exact(self, addr: int) -> Optional[AVLNode]:
+        node = self._root
+        while node is not None:
+            if addr < node.addr:
+                node = node.left
+            elif addr > node.addr:
+                node = node.right
+            else:
+                return node
+        return None
+
+    def items(self) -> Iterator[AVLNode]:
+        """In-order traversal (ascending addresses)."""
+        stack: list[AVLNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node
+            node = node.right
+
+    def check_invariants(self) -> None:
+        """Assert AVL balance and BST/disjointness properties (tests)."""
+        def walk(node: Optional[AVLNode]) -> tuple[int, int, int, int]:
+            # returns (height, min_addr, max_end, count)
+            if node is None:
+                return 0, 1 << 62, -1, 0
+            lh, lmin, lmax_end, lc = walk(node.left)
+            rh, rmin, rmax_end, rc = walk(node.right)
+            assert abs(lh - rh) <= 1, f"unbalanced at {node.addr:#x}"
+            assert node.height == 1 + max(lh, rh), "stale height"
+            if node.left is not None:
+                assert lmax_end <= node.addr, "overlap/order violation (left)"
+            if node.right is not None:
+                assert node.addr + node.size <= rmin, \
+                    "overlap/order violation (right)"
+            return (node.height,
+                    min(lmin, node.addr),
+                    max(lmax_end, rmax_end, node.addr + node.size),
+                    lc + rc + 1)
+
+        _, _, _, count = walk(self._root)
+        assert count == self._count, "count drift"

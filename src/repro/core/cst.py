@@ -1,0 +1,146 @@
+"""Call Signature Tables (§2.1, §3.5.1).
+
+A CST maps call signatures (the flat tuples built by
+:mod:`repro.core.encoder`) to dense terminal symbols used in the CFG.
+Alongside every entry it aggregates timing statistics — Pilgrim's default
+timing mode keeps only the per-signature call count and mean duration
+(§3.2), which adds no new grammar symbols.
+
+:func:`merge_csts` implements the inter-process compression: pairwise
+merges in ceil(log2 P) phases, then a global renumbering table per rank
+so each process can rewrite its grammar's terminals (Fig 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .packing import Reader, read_value, write_uvarint, write_value
+
+
+class CST:
+    """One process's signature → terminal table with timing stats."""
+
+    __slots__ = ("_table", "sigs", "counts", "dur_sums")
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, int] = {}
+        self.sigs: list[tuple] = []
+        self.counts: list[int] = []
+        self.dur_sums: list[float] = []
+
+    def intern(self, sig: tuple, duration: float) -> int:
+        """Terminal symbol of *sig*, creating an entry on first sight."""
+        term = self._table.get(sig)
+        if term is None:
+            term = len(self.sigs)
+            self._table[sig] = term
+            self.sigs.append(sig)
+            self.counts.append(1)
+            self.dur_sums.append(duration)
+        else:
+            self.counts[term] += 1
+            self.dur_sums[term] += duration
+        return term
+
+    def lookup(self, sig: tuple) -> Optional[int]:
+        return self._table.get(sig)
+
+    def __len__(self) -> int:
+        return len(self.sigs)
+
+    def __contains__(self, sig: tuple) -> bool:
+        return sig in self._table
+
+    def avg_duration(self, term: int) -> float:
+        n = self.counts[term]
+        return self.dur_sums[term] / n if n else 0.0
+
+
+@dataclass
+class MergedCST:
+    """Globally unique signatures after inter-process compression."""
+
+    sigs: list[tuple]
+    counts: list[int]
+    dur_sums: list[float]
+    #: per-rank terminal renumbering: remaps[r][local_term] == global_term
+    remaps: list[list[int]]
+
+    def __len__(self) -> int:
+        return len(self.sigs)
+
+    # -- serialization -----------------------------------------------------------
+
+    def write_to(self, out: bytearray) -> None:
+        write_uvarint(out, len(self.sigs))
+        for sig, count, dur in zip(self.sigs, self.counts, self.dur_sums):
+            write_value(out, sig)
+            write_uvarint(out, count)
+            write_value(out, dur)
+
+    @classmethod
+    def read_from(cls, r: Reader) -> "MergedCST":
+        n = r.read_uvarint()
+        sigs, counts, durs = [], [], []
+        for _ in range(n):
+            sigs.append(read_value(r))
+            counts.append(r.read_uvarint())
+            durs.append(read_value(r))
+        return cls(sigs, counts, durs, remaps=[])
+
+    def size_bytes(self) -> int:
+        out = bytearray()
+        self.write_to(out)
+        return len(out)
+
+
+def merge_csts(csts: list[CST]) -> MergedCST:
+    """Inter-process CST compression (§3.5.1).
+
+    Performs the paper's ceil(log2 P) phases of pairwise merges (the work
+    is real, so callers can time it), then derives the per-rank terminal
+    remap tables from the final global numbering.
+    """
+    nprocs = len(csts)
+    # working copies: sig -> (count, dur_sum); global numbering grows as
+    # novel signatures are appended during merges, preserving the lower
+    # partner's numbering exactly as in Fig 3
+    partial: list[Optional[dict[tuple, int]]] = []
+    order: list[Optional[list[tuple]]] = []
+    stats: dict[tuple, tuple[int, float]] = {}
+    for cst in csts:
+        d = dict(cst._table)
+        partial.append(d)
+        order.append(list(cst.sigs))
+        for sig, c, s in zip(cst.sigs, cst.counts, cst.dur_sums):
+            got = stats.get(sig)
+            stats[sig] = (c, s) if got is None else (got[0] + c, got[1] + s)
+
+    stride = 1
+    while stride < nprocs:
+        for left in range(0, nprocs, 2 * stride):
+            right = left + stride
+            if right >= nprocs:
+                continue
+            ltab, lorder = partial[left], order[left]
+            for sig in order[right]:
+                if sig not in ltab:
+                    ltab[sig] = len(lorder)
+                    lorder.append(sig)
+            partial[right] = None
+            order[right] = None
+        stride *= 2
+
+    final_order = order[0] if nprocs else []
+    final_index = partial[0] if nprocs else {}
+    remaps = []
+    for cst in csts:
+        remaps.append([final_index[sig] for sig in cst.sigs])
+    return MergedCST(
+        sigs=list(final_order),
+        counts=[stats[s][0] for s in final_order],
+        dur_sums=[stats[s][1] for s in final_order],
+        remaps=remaps,
+    )

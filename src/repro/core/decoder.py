@@ -1,0 +1,83 @@
+"""Trace decompression and decoding.
+
+The paper's decompressor is "a process of recursive rule application";
+expanding the leftmost non-terminal first yields the ranks' traces in
+rank order, and extracting a single rank is cheap.  This module goes one
+step further and decodes terminal symbols back into named
+:class:`~repro.core.records.DecodedCall` records via the merged CST,
+giving the uncompressed trace records the paper's decoder emits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .records import DecodedCall, sig_to_params
+from .trace_format import TraceFile
+
+
+class TraceDecoder:
+    """Random-access decoder over a parsed :class:`TraceFile`."""
+
+    def __init__(self, trace: TraceFile):
+        self.trace = trace
+        self._sig_cache: dict[int, tuple[str, dict]] = {}
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TraceDecoder":
+        return cls(TraceFile.from_bytes(data))
+
+    @property
+    def nprocs(self) -> int:
+        return self.trace.nprocs
+
+    # -- terminal level ------------------------------------------------------------------
+
+    def rank_terminals(self, rank: int) -> list[int]:
+        """One rank's call sequence as global CST terminal symbols."""
+        if not 0 <= rank < self.trace.nprocs:
+            raise IndexError(f"rank {rank} out of range")
+        cfg = self.trace.cfg
+        return cfg.unique[cfg.rank_uid[rank]].expand()
+
+    def all_terminals(self) -> list[list[int]]:
+        """Every rank's sequence; identical ranks share one expansion."""
+        cfg = self.trace.cfg
+        expanded = [g.expand() for g in cfg.unique]
+        return [expanded[uid] for uid in cfg.rank_uid]
+
+    # -- record level ----------------------------------------------------------------------
+
+    def _decode_sig(self, term: int) -> tuple[str, dict]:
+        got = self._sig_cache.get(term)
+        if got is None:
+            got = sig_to_params(self.trace.cst.sigs[term])
+            self._sig_cache[term] = got
+        return got
+
+    def rank_calls(self, rank: int) -> Iterator[DecodedCall]:
+        cst = self.trace.cst
+        for term in self.rank_terminals(rank):
+            fname, params = self._decode_sig(term)
+            count = cst.counts[term]
+            yield DecodedCall(
+                rank=rank, fname=fname, params=params,
+                avg_duration=(cst.dur_sums[term] / count if count else 0.0),
+                sig_count=count)
+
+    def call_count(self, rank: Optional[int] = None) -> int:
+        cfg = self.trace.cfg
+        lengths = [g.expanded_length() for g in cfg.unique]
+        if rank is not None:
+            return lengths[cfg.rank_uid[rank]]
+        return sum(lengths[uid] for uid in cfg.rank_uid)
+
+    # -- summaries ----------------------------------------------------------------------------
+
+    def function_histogram(self) -> dict[str, int]:
+        """Total calls per MPI function across all ranks (from CST stats)."""
+        out: dict[str, int] = {}
+        for term, sig in enumerate(self.trace.cst.sigs):
+            fname, _ = self._decode_sig(term)
+            out[fname] = out.get(fname, 0) + self.trace.cst.counts[term]
+        return out

@@ -1,0 +1,413 @@
+"""Registry-driven call-signature encoding (§3.3).
+
+The encoder turns a traced call's ``(fname, args)`` into a flat hashable
+*call signature* tuple ``(fid, v1, v2, ...)`` in registry parameter
+order.  Every opaque value goes symbolic:
+
+* communicators — globally agreed ids via :class:`CommIdSpace`
+  (the §3.3.1 group-wide max algorithm, including the non-blocking
+  ``MPI_Comm_idup`` case resolved at Wait/Test time);
+* datatypes/groups — per-rank :class:`ObjectIdTable` pools;
+* requests — per-signature pools (:class:`RequestIdAllocator`, §3.4.3);
+* memory pointers — AVL-tree segment lookup → (segment id, displacement,
+  device) with the stack-address fallback (§3.3.3);
+* ranks and rank-correlated ints — relative encoding (§3.4.2);
+* statuses — only ``(MPI_SOURCE, MPI_TAG)`` survive (§3.3.2).
+
+Everything else (counts, flags, strings, index arrays from Testsome — the
+non-determinism the paper insists on preserving) is stored verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..mpisim import constants as C
+from ..mpisim import funcs as F
+from ..mpisim.comm import Comm
+from ..mpisim.datatypes import Datatype
+from ..mpisim.group import Group
+from ..mpisim.ops import Op
+from ..mpisim.request import Request
+from ..mpisim.status import Status
+from .avl import IntervalTree
+from .relative import encode_rank, encode_rankish
+from .symbolic import IdPool, ObjectIdTable, RequestIdAllocator
+
+# pointer encodings (first element of the tuple)
+PTR_NULL = 0
+PTR_HEAP = 1
+PTR_STACK = 2
+PTR_DEVICE = 3
+
+
+class CommIdSpace:
+    """Communicator symbolic ids, agreed group-wide (§3.3.1).
+
+    In the real Pilgrim every member of a new communicator's group runs a
+    max-allreduce over its locally-assigned ids and uses max+1.  Here the
+    per-rank maxima live side by side in one object, so the agreement is
+    a direct computation over the member ranks — same ids, same ordering
+    guarantees (see DESIGN.md §1 on this substitution).
+    """
+
+    def __init__(self, nprocs: int):
+        self._sym: dict[int, int] = {0: 0}   # world comm is id 0 everywhere
+        self._max = [0] * nprocs
+
+    def sym_for(self, comm: Comm) -> int:
+        sym = self._sym.get(comm.cid)
+        if sym is None:
+            members = list(comm.group.ranks)
+            if comm.remote_group is not None:
+                # inter-communicator: the paper merges into a temporary
+                # intra-communicator and runs the same algorithm over the
+                # union of both groups
+                members.extend(comm.remote_group.ranks)
+            sym = 1 + max(self._max[r] for r in members)
+            self._sym[comm.cid] = sym
+            for r in members:
+                if self._max[r] < sym:
+                    self._max[r] = sym
+        return sym
+
+    @property
+    def count(self) -> int:
+        return len(self._sym)
+
+
+class WinIdSpace:
+    """Window symbolic ids, agreed group-wide like communicators —
+    windows are collective objects, so every member must use the same id
+    (same §3.3.1 algorithm, separate pool per object type)."""
+
+    def __init__(self, nprocs: int):
+        self._sym: dict[int, int] = {}
+        self._max = [-1] * nprocs
+
+    def sym_for(self, win) -> int:
+        sym = self._sym.get(win.wid)
+        if sym is None:
+            members = list(win.comm.group.ranks)
+            if win.comm.remote_group is not None:
+                members.extend(win.comm.remote_group.ranks)
+            sym = 1 + max(self._max[r] for r in members)
+            self._sym[win.wid] = sym
+            for r in members:
+                if self._max[r] < sym:
+                    self._max[r] = sym
+        return sym
+
+
+class MemoryTable:
+    """Per-rank live-segment tracking with symbolic segment ids."""
+
+    def __init__(self) -> None:
+        self.tree = IntervalTree()
+        self._pool = IdPool()
+        self._stack_ids: dict[int, int] = {}
+        self._next_stack = 0
+
+    # -- allocation interception ------------------------------------------------
+
+    def on_alloc(self, addr: int, size: int, device: int = -1) -> int:
+        sid = self._pool.acquire()
+        self.tree.insert(addr, max(size, 1), (sid, device))
+        return sid
+
+    def on_free(self, addr: int) -> Optional[int]:
+        node = self.tree.find_exact(addr)
+        if node is None:
+            return None
+        sid, _dev = node.payload
+        self.tree.remove(addr)
+        self._pool.release(sid)
+        return sid
+
+    # -- pointer encoding ----------------------------------------------------------
+
+    def encode_ptr(self, addr: int) -> tuple:
+        if addr == 0:
+            return (PTR_NULL,)
+        node = self.tree.find_containing(addr)
+        if node is not None:
+            sid, dev = node.payload
+            off = addr - node.addr
+            if dev >= 0:
+                return (PTR_DEVICE, dev, sid, off)
+            return (PTR_HEAP, sid, off)
+        # Stack (or otherwise untracked) address: first-touch id with a
+        # conservatively assumed 1-byte extent, per §3.3.3.
+        sid = self._stack_ids.get(addr)
+        if sid is None:
+            sid = self._next_stack
+            self._stack_ids[addr] = sid
+            self._next_stack += 1
+        return (PTR_STACK, sid)
+
+
+class PerRankEncoder:
+    """One rank's symbolic state + signature construction."""
+
+    def __init__(self, rank: int, comm_space: CommIdSpace, *,
+                 win_space: Optional[WinIdSpace] = None,
+                 relative_ranks: bool = True,
+                 per_signature_request_pools: bool = True):
+        self.rank = rank
+        self.comm_space = comm_space
+        self.win_space = win_space
+        self.relative_ranks = relative_ranks
+        self.per_signature_request_pools = per_signature_request_pools
+        self.type_ids = ObjectIdTable()
+        self.group_ids = ObjectIdTable()
+        self._group_refs: dict[int, Group] = {}
+        self.requests = RequestIdAllocator()
+        self.memory = MemoryTable()
+
+    # -- helpers per kind ------------------------------------------------------------
+
+    def _enc_comm(self, comm: Optional[Comm]) -> int:
+        if comm is None:
+            return -1  # MPI_COMM_NULL
+        return self.comm_space.sym_for(comm)
+
+    def _enc_datatype(self, dt: Optional[Datatype]) -> int:
+        if dt is None:
+            return -(1 << 20)  # MPI_DATATYPE_NULL
+        if dt.handle < 0:
+            return dt.handle  # builtins: stable negative handles
+        return self.type_ids.lookup_or_assign(dt.handle)
+
+    def _enc_group(self, group: Optional[Group]) -> int:
+        if group is None:
+            return -1
+        key = id(group)
+        self._group_refs[key] = group
+        return self.group_ids.lookup_or_assign(key)
+
+    def _enc_request(self, req: Optional[Request],
+                     creation_sig: Optional[tuple]) -> Any:
+        if req is None:
+            return None
+        if not req.persistent and (req.consumed or req.freed) \
+                and self.requests.lookup(id(req)) is None:
+            # a request already consumed by an earlier completion call:
+            # the user's handle would be MPI_REQUEST_NULL by now
+            return None
+        key = id(req)
+        sym = self.requests.lookup(key)
+        if sym is None:
+            if creation_sig is None:
+                # a request we never saw created (shouldn't happen; keep a
+                # distinguishable encoding rather than crash)
+                creation_sig = ("?",)
+            if not self.per_signature_request_pools:
+                creation_sig = ("*",)  # ablation: one global pool
+            sym = self.requests.on_create(key, creation_sig, ref=req)
+        return sym
+
+    def _enc_status(self, st: Optional[Status], ctx_rank: int) -> Any:
+        if st is None:
+            return None  # MPI_STATUS_IGNORE
+        src = st.MPI_SOURCE
+        return (encode_rank(src, ctx_rank, enabled=self.relative_ranks),
+                st.MPI_TAG)
+
+    # -- main entry --------------------------------------------------------------------
+
+    #: per-function (fid, ((name, kind), ...)) cache — avoids dataclass
+    #: attribute access in the hot per-call loop
+    _SPEC_CACHE: dict[str, tuple[int, tuple[tuple[str, str], ...]]] = {}
+
+    @classmethod
+    def _spec_info(cls, fname: str):
+        got = cls._SPEC_CACHE.get(fname)
+        if got is None:
+            spec = F.FUNCS[fname]
+            got = (spec.fid, tuple((p.name, p.kind) for p in spec.params))
+            cls._SPEC_CACHE[fname] = got
+        return got
+
+    def encode_call(self, fname: str, args: dict[str, Any]) -> tuple:
+        fid, param_info = self._spec_info(fname)
+        my_rank = self.rank
+        rel = self.relative_ranks
+        # caller's rank within the call's communicator, for relative ranks
+        comm = args.get("comm") or args.get("comm_old") \
+            or args.get("local_comm") or args.get("intercomm")
+        ctx_rank = my_rank
+        if isinstance(comm, Comm):
+            cr = comm.group.rank_of(my_rank)
+            if cr == C.UNDEFINED and comm.remote_group is not None:
+                cr = comm.remote_group.rank_of(my_rank)
+            if cr != C.UNDEFINED:
+                ctx_rank = cr
+        # completion calls: per-status context from the matching request
+        req_list = args.get("array_of_requests")
+
+        parts: list[Any] = [fid]
+        deferred_requests: list[tuple[int, Any]] = []
+        for name, kind in param_info:
+            v = args.get(name)
+            if kind == F.K_COUNT or kind == F.K_INT:
+                parts.append(v)
+            elif kind == F.K_PTR:
+                parts.append(self.memory.encode_ptr(v or 0))
+            elif kind == F.K_COMM or kind == F.K_NEWCOMM:
+                parts.append(self._enc_comm(v))
+            elif kind == F.K_WIN or kind == F.K_NEWWIN:
+                parts.append(-1 if v is None
+                             else self.win_space.sym_for(v))
+            elif kind == F.K_DATATYPE or kind == F.K_NEWTYPE:
+                parts.append(self._enc_datatype(v))
+            elif kind == F.K_GROUP:
+                parts.append(self._enc_group(v))
+            elif kind == F.K_RANK:
+                parts.append(encode_rank(v, ctx_rank, enabled=rel))
+            elif kind in (F.K_ROOT, F.K_TAG, F.K_COLOR, F.K_KEY):
+                # usually-constant rank-correlated values: relative only on
+                # exact match (a constant root=0 must stay absolute)
+                parts.append(encode_rankish(v, ctx_rank, enabled=rel))
+            elif kind == F.K_REQUEST:
+                # creation signature excludes the request itself; defer
+                deferred_requests.append((len(parts), v))
+                parts.append(None)
+            elif kind == F.K_REQUESTV:
+                deferred_requests.append((len(parts), list(v or ())))
+                parts.append(None)
+            elif kind == F.K_STATUS:
+                # Waitany/Testany: the single status describes request
+                # [index]; other calls carry their request (or comm) inline
+                ridx = None
+                if fname in ("MPI_Waitany", "MPI_Testany"):
+                    idx = args.get("index")
+                    if isinstance(idx, int) and idx >= 0:
+                        ridx = idx
+                parts.append(self._enc_status(v, self._status_ctx(
+                    args, req_list, ctx_rank, ridx)))
+            elif kind == F.K_STATUSV:
+                if v is None:
+                    parts.append(None)
+                else:
+                    idxs = self._completed_indices(fname, args, len(v))
+                    parts.append(tuple(
+                        self._enc_status(st, self._status_ctx(
+                            args, req_list, ctx_rank,
+                            idxs[i] if idxs is not None and i < len(idxs)
+                            else None))
+                        for i, st in enumerate(v)))
+            elif kind == F.K_OP:
+                parts.append(v.handle if isinstance(v, Op) else v)
+            elif kind in (F.K_INTV, F.K_INDEXV):
+                if v is not None and rel and name == "coords" \
+                        and isinstance(comm, Comm) and comm.topo is not None:
+                    # Cartesian coordinates are rank-derived: store them
+                    # relative to the caller's own coordinates so identical
+                    # grid code yields identical signatures on every rank
+                    mine = comm.topo.coords_of(ctx_rank)
+                    parts.append(tuple(x - m for x, m in zip(v, mine)))
+                else:
+                    parts.append(tuple(v) if v is not None else None)
+            elif kind == F.K_FLAG:
+                parts.append(bool(v))
+            else:  # K_COUNT, K_INT, K_STR and anything scalar
+                parts.append(v)
+
+        # resolve deferred request encodings with the creation signature
+        if deferred_requests:
+            if len(deferred_requests) == 1:
+                pos = deferred_requests[0][0]
+                base = tuple(parts[:pos]) + tuple(parts[pos + 1:])
+            else:
+                skip = {pos for pos, _ in deferred_requests}
+                base = tuple(x for i, x in enumerate(parts)
+                             if i not in skip)
+            for pos, v in deferred_requests:
+                if isinstance(v, list):
+                    parts[pos] = tuple(self._enc_request(r, base) for r in v)
+                else:
+                    parts[pos] = self._enc_request(v, base)
+
+        sig = tuple(parts)
+
+        # post-encoding lifecycle: release ids of requests this call
+        # consumed, and pick up comm ids delivered by non-blocking creation
+        self._post_call(fname, args)
+        return sig
+
+    def _status_ctx(self, args, req_list, default_ctx: int,
+                    req_index: Optional[int]) -> int:
+        """Caller's comm rank in the communicator relevant to a status."""
+        req = None
+        if req_index is not None and req_list:
+            if 0 <= req_index < len(req_list):
+                req = req_list[req_index]
+        elif args.get("request") is not None:
+            req = args["request"]
+        if isinstance(req, Request) and req.comm_cid >= 0:
+            comm = self._comm_resolver(req.comm_cid)
+            if comm is not None:
+                cr = comm.group.rank_of(self.rank)
+                if cr != C.UNDEFINED:
+                    return cr
+        return default_ctx
+
+    @staticmethod
+    def _completed_indices(fname: str, args: dict,
+                           nstatuses: int) -> Optional[list[int]]:
+        """Map statuses[i] to the request index it describes."""
+        if fname in ("MPI_Waitsome", "MPI_Testsome"):
+            idxs = args.get("array_of_indices")
+            return list(idxs) if idxs is not None else None
+        if fname in ("MPI_Waitany", "MPI_Testany"):
+            idx = args.get("index")
+            return [idx] if isinstance(idx, int) and idx >= 0 else None
+        return list(range(nstatuses))  # Waitall/Testall align 1:1
+
+    # wired by the tracer: cid -> Comm (default: unresolved)
+    @staticmethod
+    def _comm_resolver(cid: int):
+        return None
+
+    def set_comm_resolver(self, fn) -> None:
+        """Install a cid → Comm lookup (plain callable, not bound)."""
+        self._comm_resolver = fn
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    _RELEASING = frozenset((
+        "MPI_Wait", "MPI_Waitall", "MPI_Waitany", "MPI_Waitsome",
+        "MPI_Test", "MPI_Testall", "MPI_Testany", "MPI_Testsome",
+        "MPI_Request_free",
+    ))
+
+    def _post_call(self, fname: str, args: dict[str, Any]) -> None:
+        if fname == "MPI_Type_free":
+            dt = args.get("datatype")
+            if dt is not None and dt.handle >= 0 \
+                    and self.type_ids.lookup(dt.handle) is not None:
+                self.type_ids.release(dt.handle)
+            return
+        if fname == "MPI_Group_free":
+            grp = args.get("group")
+            key = id(grp)
+            if grp is not None and self.group_ids.lookup(key) is not None:
+                self.group_ids.release(key)
+                self._group_refs.pop(key, None)
+            return
+        if fname not in self._RELEASING:
+            return
+        reqs: list[Optional[Request]] = []
+        if args.get("request") is not None:
+            reqs.append(args["request"])
+        reqs.extend(args.get("array_of_requests") or ())
+        for req in reqs:
+            if req is None or req.persistent:
+                continue
+            if req.consumed or req.freed:
+                sym = self.requests.on_release(id(req))
+                if sym is not None and req.kind == "comm_idup" \
+                        and isinstance(req.value, Comm):
+                    # §3.3.1: the symbolic id of an idup'ed communicator is
+                    # agreed when the completing Wait/Test observes it
+                    self.comm_space.sym_for(req.value)

@@ -1,0 +1,191 @@
+"""Frozen (serialized) grammars: the unit of inter-process compression.
+
+A live :class:`~repro.core.sequitur.Sequitur` is frozen into a
+:class:`Grammar` — a tuple of rules, each a tuple of ``(value, exp)``
+tokens where non-negative values are terminals and ``-(k+1)`` references
+rule *k*.  Freezing is **canonical** (rules renumbered in first-use DFS
+order from the start rule), so two processes that built structurally
+identical grammars serialize to identical objects/bytes.  That is what
+makes the paper's "identical grammar" fast path (§3.5.2) a cheap
+memory-comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .packing import Reader, pack_ints, write_varint
+from .sequitur import Sequitur
+
+Token = tuple[int, int]
+Rule = tuple[Token, ...]
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """An immutable CFG; rule 0 is the start rule."""
+
+    rules: tuple[Rule, ...]
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def freeze(cls, seq: Sequitur) -> "Grammar":
+        """Canonical snapshot of a live Sequitur grammar (flushes any
+        pending loop prediction first)."""
+        seq.flush()
+        order: dict[int, int] = {}
+
+        def visit(rid: int) -> None:
+            if rid in order:
+                return
+            order[rid] = len(order)
+            for value, _exp in seq.rules[rid].tokens():
+                if value < 0:
+                    visit(value)
+
+        visit(seq.START_RID)
+        # DFS above assigns parents before children but visits depth-first;
+        # renumber breadth-consistently by the recorded first-visit order.
+        rules: list[Rule] = [()] * len(order)
+        for rid, idx in order.items():
+            body = []
+            for value, exp in seq.rules[rid].tokens():
+                if value < 0:
+                    body.append((-(order[value] + 1), exp))
+                else:
+                    body.append((value, exp))
+            rules[idx] = tuple(body)
+        return cls(tuple(rules))
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.rules)
+
+    @property
+    def n_tokens(self) -> int:
+        return sum(len(r) for r in self.rules)
+
+    def expand(self, max_len: int | None = None) -> list[int]:
+        """The terminal string this grammar uniquely generates."""
+        memo: dict[int, list[int]] = {}
+
+        def body(idx: int, active: frozenset) -> list[int]:
+            got = memo.get(idx)
+            if got is not None:
+                return got
+            if idx in active:
+                raise ValueError(f"cyclic grammar at rule {idx}")
+            out: list[int] = []
+            for value, exp in self.rules[idx]:
+                if value >= 0:
+                    out.extend([value] * exp)
+                else:
+                    sub = body(-value - 1, active | {idx})
+                    if exp == 1:
+                        out.extend(sub)
+                    else:
+                        out.extend(sub * exp)
+            memo[idx] = out
+            return out
+
+        return body(0, frozenset())
+
+    def expanded_length(self) -> int:
+        """Length of the expanded string without materializing it."""
+        memo: dict[int, int] = {}
+
+        def length(idx: int, active: frozenset) -> int:
+            got = memo.get(idx)
+            if got is not None:
+                return got
+            if idx in active:
+                raise ValueError(f"cyclic grammar at rule {idx}")
+            n = 0
+            for value, exp in self.rules[idx]:
+                if value >= 0:
+                    n += exp
+                else:
+                    n += exp * length(-value - 1, active | {idx})
+            memo[idx] = n
+            return n
+
+        return length(0, frozenset())
+
+    def iter_terminals(self) -> Iterator[int]:
+        """All terminal values mentioned (with repetition per token)."""
+        for rule in self.rules:
+            for value, _exp in rule:
+                if value >= 0:
+                    yield value
+
+    # -- transforms --------------------------------------------------------------------
+
+    def remap_terminals(self, mapping: Callable[[int], int]) -> "Grammar":
+        """Apply a terminal renumbering (local → global CST symbols)."""
+        return Grammar(tuple(
+            tuple((mapping(v) if v >= 0 else v, e) for v, e in rule)
+            for rule in self.rules))
+
+    def shift_rules(self, offset: int) -> tuple[Rule, ...]:
+        """Rule bodies with every rule reference shifted by *offset*
+        (used when splicing grammars into a merged rule space)."""
+        return tuple(
+            tuple((v if v >= 0 else v - offset, e) for v, e in rule)
+            for rule in self.rules)
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_ints(self) -> list[int]:
+        """Flat int-array encoding (Pilgrim stores grammars this way):
+        ``[nrules, len(rule0), v,e,v,e,..., len(rule1), ...]``."""
+        out = [len(self.rules)]
+        for rule in self.rules:
+            out.append(len(rule))
+            for v, e in rule:
+                out.append(v)
+                out.append(e)
+        return out
+
+    def to_bytes(self) -> bytes:
+        return pack_ints(self.to_ints())
+
+    @classmethod
+    def from_ints(cls, ints: list[int]) -> "Grammar":
+        it = iter(ints)
+        nrules = next(it)
+        rules = []
+        for _ in range(nrules):
+            ntok = next(it)
+            rule = tuple((next(it), next(it)) for _ in range(ntok))
+            rules.append(rule)
+        return cls(tuple(rules))
+
+    @classmethod
+    def from_reader(cls, r: Reader) -> "Grammar":
+        nrules = r.read_varint()
+        rules = []
+        for _ in range(nrules):
+            ntok = r.read_varint()
+            rule = tuple((r.read_varint(), r.read_varint())
+                         for _ in range(ntok))
+            rules.append(rule)
+        return cls(tuple(rules))
+
+    def write_to(self, out: bytearray) -> None:
+        write_varint(out, len(self.rules))
+        for rule in self.rules:
+            write_varint(out, len(rule))
+            for v, e in rule:
+                write_varint(out, v)
+                write_varint(out, e)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Grammar":
+        return cls.from_reader(Reader(data))
+
+    def size_bytes(self) -> int:
+        return len(self.to_bytes())

@@ -1,0 +1,105 @@
+"""Inter-process CFG compression (§3.5.2, Fig 4).
+
+Per-rank grammars are first checked for identity — a cheap equality test
+on their canonical frozen form (Pilgrim compares the int arrays with
+memcmp) — because in SPMD codes most ranks build *identical* grammars.
+Unique grammars are then merged into one rule space: a new start rule
+concatenates the per-rank sub-grammar heads (with run-length exponents
+collapsing runs of identical ranks), and a final Sequitur pass compresses
+that rank-level sequence.  The result is a single :class:`Grammar` whose
+expansion is the concatenation of every rank's terminal string in rank
+order, exactly as the paper describes its decompression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .grammar import Grammar
+from .sequitur import Sequitur
+
+
+@dataclass
+class CFGMergeResult:
+    """Outcome of the inter-process CFG merge."""
+
+    final: Grammar
+    #: rank -> unique-grammar index (the trace format stores this map)
+    rank_uid: list[int]
+    #: the deduplicated per-rank grammars, in first-appearance order
+    unique: list[Grammar]
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.unique)
+
+
+def merge_grammars(per_rank: list[Grammar],
+                   loop_detection: bool = True,
+                   dedup: bool = True) -> CFGMergeResult:
+    """Merge per-rank grammars into one, deduplicating identical ones.
+
+    ``dedup=False`` skips the identity check (the ablation the paper
+    motivates in §3.5.2: without it the final Sequitur pass sees P
+    sub-grammars instead of a handful and both size and merge time blow
+    up for SPMD codes).
+    """
+    unique: list[Grammar] = []
+    rank_uid: list[int] = []
+    if dedup:
+        unique_index: dict[Grammar, int] = {}
+        for g in per_rank:
+            uid = unique_index.get(g)
+            if uid is None:
+                uid = len(unique)
+                unique_index[g] = uid
+                unique.append(g)
+            rank_uid.append(uid)
+    else:
+        unique = list(per_rank)
+        rank_uid = list(range(len(per_rank)))
+
+    # Final Sequitur pass over the rank -> sub-grammar sequence.  Runs of
+    # the same uid collapse through run-length exponents, so P identical
+    # ranks cost O(1) — this is where "27 unique grammars at 16K ranks"
+    # stays ~600KB (Fig 9).
+    top_seq = Sequitur(loop_detection=loop_detection)
+    i = 0
+    n = len(rank_uid)
+    while i < n:
+        j = i
+        while j < n and rank_uid[j] == rank_uid[i]:
+            j += 1
+        top_seq.append(rank_uid[i], j - i)
+        i = j
+    top = Grammar.freeze(top_seq)
+
+    # Splice: [top rules] + [each unique grammar's rules, shifted].
+    n_top = len(top.rules)
+    bases: list[int] = []
+    off = n_top
+    for g in unique:
+        bases.append(off)
+        off += len(g.rules)
+
+    rules: list[tuple] = []
+    for rule in top.rules:
+        body = []
+        for v, e in rule:
+            if v >= 0:
+                # a top-level "terminal" is a unique-grammar id: point it
+                # at that sub-grammar's start rule
+                body.append((-(bases[v] + 1), e))
+            else:
+                body.append((v, e))
+        rules.append(tuple(body))
+    for g, base in zip(unique, bases):
+        rules.extend(g.shift_rules(base))
+
+    return CFGMergeResult(final=Grammar(tuple(rules)), rank_uid=rank_uid,
+                          unique=unique)
+
+
+def expand_rank(result: CFGMergeResult, rank: int) -> list[int]:
+    """Decompress one rank's terminal sequence (global CST symbols)."""
+    return result.unique[result.rank_uid[rank]].expand()

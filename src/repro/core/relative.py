@@ -1,0 +1,62 @@
+"""Relative-rank encoding (§3.4.2).
+
+Rank-valued parameters (src/dst, and rank-correlated integers like tags,
+colors, and keys) are stored relative to the caller's rank in the
+communicator, so a stencil's ``send(dest=me+1)`` produces the *same*
+signature on every rank.  Encoded values are small marker-tagged tuples:
+
+* ``(MARK_SPECIAL, v)`` — MPI constants (PROC_NULL, ANY_SOURCE, ANY_TAG…)
+* ``(MARK_REL, delta)`` — relative to the caller's comm rank
+* ``(MARK_ABS, v)`` — absolute value
+
+``src``/``dst`` are always encoded relative (they are semantically
+ranks).  Tags/colors/keys are relative only when the offset is within
+``REL_WINDOW`` of the caller's rank (default 0, i.e. only ``v == rank``):
+a constant ``tag=1`` near-but-not-at the caller's rank must stay absolute
+or its relative form would *differ* per rank and wreck inter-process
+compression, while ``key=rank`` collapses to ``(MARK_REL, 0)``
+everywhere.  Decoding is exact given the caller's rank, so the scheme is
+lossless either way.
+"""
+
+from __future__ import annotations
+
+from ..mpisim import constants as C
+
+MARK_SPECIAL = 0
+MARK_REL = 1
+MARK_ABS = 2
+
+#: constants that must never be interpreted as real ranks
+_SPECIALS = frozenset((C.PROC_NULL, C.ANY_SOURCE, C.ANY_TAG, C.ROOT,
+                       C.UNDEFINED))
+
+#: |v - rank| window within which rank-correlated ints go relative;
+#: 0 means only exact ``v == rank`` matches (the key=rank idiom)
+REL_WINDOW = 0
+
+
+def encode_rank(value: int, my_rank: int, *, enabled: bool = True) -> tuple:
+    """Encode a parameter that IS a rank (src/dst/root)."""
+    if value in _SPECIALS:
+        return (MARK_SPECIAL, value)
+    if not enabled:
+        return (MARK_ABS, value)
+    return (MARK_REL, value - my_rank)
+
+
+def encode_rankish(value: int, my_rank: int, *, enabled: bool = True) -> tuple:
+    """Encode a parameter that MAY be rank-correlated (tag/color/key)."""
+    if value in _SPECIALS:
+        return (MARK_SPECIAL, value)
+    if enabled and abs(value - my_rank) <= REL_WINDOW:
+        return (MARK_REL, value - my_rank)
+    return (MARK_ABS, value)
+
+
+def decode(encoded: tuple, my_rank: int) -> int:
+    """Exact inverse of both encoders, given the caller's rank."""
+    mark, v = encoded
+    if mark == MARK_REL:
+        return v + my_rank
+    return v

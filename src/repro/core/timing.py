@@ -1,0 +1,110 @@
+"""Lossy timing compression (§3.2, evaluated in §4.4 / Fig 10).
+
+Two modes:
+
+* **aggregate** (Pilgrim's default): only per-signature count and mean
+  duration, stored in the CST — handled there, nothing here runs.
+* **lossy**: per call, the *duration* and the *interval* since the
+  previous call with the same signature are kept, both binned into
+  exponential buckets ``bin = ceil(log_b x)`` so the relative error is at
+  most ``b - 1``.  Intervals use the paper's drift-free adjustment: the
+  next interval is measured against the *reconstructed* clock
+  ``sum(b^bin_j)``, not the true one, so absolute timestamps recovered in
+  post-processing stay within the same relative error bound.
+
+The resulting bin streams are fed to two more Sequitur grammars (one for
+durations, one for intervals), exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .grammar import Grammar
+from .sequitur import Sequitur
+
+#: bins are shifted by this offset so Sequitur sees non-negative terminals
+BIN_OFFSET = 4096
+#: durations/intervals below this are clamped into the lowest bin
+_EPS = 1e-12
+
+
+def bin_value(x: float, base: float) -> int:
+    """Exponential bin index: ``ceil(log_base x)`` (clamped)."""
+    if x < _EPS:
+        x = _EPS
+    b = math.ceil(math.log(x) / math.log(base))
+    if b < -BIN_OFFSET:
+        b = -BIN_OFFSET
+    elif b > BIN_OFFSET:
+        b = BIN_OFFSET
+    return b
+
+
+def unbin_value(b: int, base: float) -> float:
+    """Representative value of a bin (its upper edge, so the true value is
+    within a factor of ``base`` below it)."""
+    return base ** b
+
+
+class TimingCompressor:
+    """Per-rank lossy duration/interval compression."""
+
+    def __init__(self, base: float = 1.2,
+                 per_function_base: Optional[dict[str, float]] = None,
+                 loop_detection: bool = True):
+        if base <= 1.0:
+            raise ValueError("binning base must exceed 1.0")
+        self.base = base
+        #: §3.2: the base is user-tunable per function
+        self.per_function_base = per_function_base or {}
+        self.duration_grammar = Sequitur(loop_detection=loop_detection)
+        self.interval_grammar = Sequitur(loop_detection=loop_detection)
+        #: per-signature-terminal reconstructed clock (sum of b^bin)
+        self._recon: dict[int, float] = {}
+        self.n_calls = 0
+        #: raw streams kept only when verification asks for them
+        self.keep_raw = False
+        self.raw_durations: list[float] = []
+        self.raw_starts: list[float] = []
+
+    def record(self, term: int, fname: str, t0: float, t1: float) -> None:
+        base = self.per_function_base.get(fname, self.base)
+        dbin = bin_value(t1 - t0, base)
+        self.duration_grammar.append(dbin + BIN_OFFSET)
+        # drift-free interval: measure against the reconstructed clock
+        recon = self._recon.get(term, 0.0)
+        ibin = bin_value(t0 - recon, base)
+        self.interval_grammar.append(ibin + BIN_OFFSET)
+        self._recon[term] = recon + unbin_value(ibin, base)
+        self.n_calls += 1
+        if self.keep_raw:
+            self.raw_durations.append(t1 - t0)
+            self.raw_starts.append(t0)
+
+    # -- freezing -----------------------------------------------------------------
+
+    def freeze(self) -> tuple[Grammar, Grammar]:
+        return (Grammar.freeze(self.duration_grammar),
+                Grammar.freeze(self.interval_grammar))
+
+
+def reconstruct_times(duration_bins: list[int], interval_bins: list[int],
+                      terms: list[int], base: float = 1.2
+                      ) -> list[tuple[float, float]]:
+    """Post-processing: recover (t_start, t_end) per call from the binned
+    streams, replaying the per-signature reconstructed clocks.
+
+    Guarantees (tested): ``t_start`` is within relative error ``base - 1``
+    of the true entry time, likewise the duration.
+    """
+    recon: dict[int, float] = {}
+    out = []
+    for dbin, ibin, term in zip(duration_bins, interval_bins, terms):
+        prev = recon.get(term, 0.0)
+        t_start = prev + unbin_value(ibin - BIN_OFFSET, base)
+        recon[term] = t_start
+        d = unbin_value(dbin - BIN_OFFSET, base)
+        out.append((t_start, t_start + d))
+    return out

@@ -1,0 +1,198 @@
+"""Pilgrim's binary trace format (writer + reader).
+
+Layout (all integers are varints, see :mod:`repro.core.packing`)::
+
+    magic  b"PILG"            4 bytes
+    version                   1 byte
+    flags                     1 byte   (bit0: lossy timing sections present;
+                                        bit1: sections are zlib-compressed)
+    nprocs
+    -- CST section --
+    n_signatures, then per entry: signature value, count, duration sum
+    -- CFG section --
+    n_top_rules               (rules [0, n_top) are the merged top level)
+    n_unique_grammars, then per grammar: its rule count
+    final grammar             (rule array, see Grammar.write_to; the rank ->
+                               sub-grammar assignment is the start rule)
+    -- optional timing sections (flags bit0) --
+    duration: same layout as the CFG section
+    interval: same layout as the CFG section
+
+Sections are individually deflate-compressed by default (length-prefixed),
+mirroring the generic final-compression pass real trace formats apply —
+without it, the per-rank Alltoallv count arrays of IS alone would dwarf
+the paper's reported sizes (58KB at 1024 ranks).  All size figures the
+benchmarks report are ``len()`` of these bytes — honest on-disk sizes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from .cst import MergedCST
+from .grammar import Grammar
+from .interproc import CFGMergeResult
+from .packing import Reader, write_uvarint
+from .sequitur import Sequitur
+
+MAGIC = b"PILG"
+VERSION = 1
+
+FLAG_TIMING = 1
+FLAG_COMPRESSED = 2
+
+#: zlib level used for section compression (balanced, like zstd defaults)
+ZLIB_LEVEL = 6
+
+
+def _emit_section(out: bytearray, payload: bytes, compress: bool) -> None:
+    if compress:
+        payload = zlib.compress(payload, ZLIB_LEVEL)
+    write_uvarint(out, len(payload))
+    out.extend(payload)
+
+
+def _take_section(r: Reader, compressed: bool) -> Reader:
+    n = r.read_uvarint()
+    blob = r.read_bytes(n)
+    if compressed:
+        blob = zlib.decompress(blob)
+    return Reader(blob)
+
+
+def _write_cfg_section(out: bytearray, merge: CFGMergeResult) -> None:
+    n_top = len(merge.final.rules) - sum(len(g.rules) for g in merge.unique)
+    write_uvarint(out, n_top)
+    write_uvarint(out, len(merge.unique))
+    for g in merge.unique:
+        write_uvarint(out, len(g.rules))
+    merge.final.write_to(out)
+    # NB: no separate rank map — the rank -> sub-grammar assignment lives
+    # in the merged start rule (as in the paper's S -> S1 S2 ... form,
+    # compressed by the final Sequitur pass) and is re-derived on read.
+
+
+def _read_cfg_section(r: Reader) -> CFGMergeResult:
+    n_top = r.read_uvarint()
+    n_unique = r.read_uvarint()
+    rule_counts = [r.read_uvarint() for _ in range(n_unique)]
+    final = Grammar.from_reader(r)
+    # recover the per-unique sub-grammars from the spliced rule space
+    unique: list[Grammar] = []
+    bases: list[int] = []
+    base = n_top
+    for count in rule_counts:
+        bases.append(base)
+        rules = []
+        for rule in final.rules[base:base + count]:
+            rules.append(tuple(
+                (v + base if v < 0 else v, e) for v, e in rule))
+        unique.append(Grammar(tuple(rules)))
+        base += count
+    # derive the rank -> uid sequence by expanding the top-level rules,
+    # treating references to sub-grammar start rules as uid terminals
+    base_to_uid = {b: uid for uid, b in enumerate(bases)}
+    memo: dict[int, list[int]] = {}
+
+    def expand_top(idx: int) -> list[int]:
+        got = memo.get(idx)
+        if got is not None:
+            return got
+        out: list[int] = []
+        for v, e in final.rules[idx]:
+            ref = -v - 1
+            if v >= 0:
+                raise ValueError(
+                    f"top rule {idx} holds a raw terminal {v}; corrupt CFG")
+            if ref in base_to_uid:
+                out.extend([base_to_uid[ref]] * e)
+            else:
+                sub = expand_top(ref)
+                out.extend(sub if e == 1 else sub * e)
+        memo[idx] = out
+        return out
+
+    rank_uid = expand_top(0) if n_top else []
+    return CFGMergeResult(final=final, rank_uid=rank_uid, unique=unique)
+
+
+@dataclass
+class TraceFile:
+    """A fully parsed Pilgrim trace."""
+
+    nprocs: int
+    cst: MergedCST
+    cfg: CFGMergeResult
+    timing_duration: Optional[CFGMergeResult] = None
+    timing_interval: Optional[CFGMergeResult] = None
+
+    # -- writing ---------------------------------------------------------------------
+
+    def to_bytes(self, compress: bool = True) -> bytes:
+        out = bytearray()
+        out.extend(MAGIC)
+        out.append(VERSION)
+        flags = (FLAG_TIMING if self.timing_duration is not None else 0) \
+            | (FLAG_COMPRESSED if compress else 0)
+        out.append(flags)
+        write_uvarint(out, self.nprocs)
+        for payload in self._section_payloads():
+            _emit_section(out, payload, compress)
+        return bytes(out)
+
+    def _section_payloads(self) -> list[bytes]:
+        cst_b = bytearray()
+        self.cst.write_to(cst_b)
+        cfg_b = bytearray()
+        _write_cfg_section(cfg_b, self.cfg)
+        payloads = [bytes(cst_b), bytes(cfg_b)]
+        if self.timing_duration is not None:
+            d = bytearray()
+            _write_cfg_section(d, self.timing_duration)
+            i = bytearray()
+            _write_cfg_section(i, self.timing_interval)
+            payloads.extend((bytes(d), bytes(i)))
+        return payloads
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TraceFile":
+        if data[:4] != MAGIC:
+            raise ValueError("not a Pilgrim trace (bad magic)")
+        if data[4] != VERSION:
+            raise ValueError(f"unsupported trace version {data[4]}")
+        flags = data[5]
+        compressed = bool(flags & FLAG_COMPRESSED)
+        r = Reader(data, 6)
+        nprocs = r.read_uvarint()
+        cst = MergedCST.read_from(_take_section(r, compressed))
+        cfg = _read_cfg_section(_take_section(r, compressed))
+        td = ti = None
+        if flags & FLAG_TIMING:
+            td = _read_cfg_section(_take_section(r, compressed))
+            ti = _read_cfg_section(_take_section(r, compressed))
+        return cls(nprocs=nprocs, cst=cst, cfg=cfg,
+                   timing_duration=td, timing_interval=ti)
+
+    # -- size accounting ----------------------------------------------------------------
+
+    def section_sizes(self, compress: bool = True) -> dict[str, int]:
+        """On-disk byte size per section (what the figures plot)."""
+        payloads = self._section_payloads()
+        names = ["cst", "cfg"]
+        if self.timing_duration is not None:
+            names.extend(("timing_duration", "timing_interval"))
+        sizes = {"header": 6 + len(_uvarint_bytes(self.nprocs))}
+        for name, payload in zip(names, payloads):
+            section = bytearray()
+            _emit_section(section, payload, compress)
+            sizes[name] = len(section)
+        sizes["total"] = sum(sizes.values())
+        return sizes
+
+
+def _uvarint_bytes(n: int) -> bytes:
+    out = bytearray()
+    write_uvarint(out, n)
+    return bytes(out)

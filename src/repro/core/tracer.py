@@ -1,0 +1,219 @@
+"""The Pilgrim tracer (the paper's primary contribution, assembled).
+
+Attach an instance to a :class:`repro.mpisim.SimMPI` run::
+
+    tracer = PilgrimTracer()
+    sim = SimMPI(nprocs=64, seed=1, tracer=tracer)
+    sim.run(program)
+    result = tracer.result          # PilgrimResult
+    blob = result.trace_bytes       # the on-disk trace
+    print(result.section_sizes())   # {"cst": ..., "cfg": ..., "total": ...}
+
+Pipeline per intercepted call (Fig 2): encode parameters symbolically →
+intern the signature in this rank's CST → grow this rank's CFG with the
+terminal (optimized Sequitur) → optionally compress timing.  At
+``MPI_Finalize`` time the inter-process compression runs: CST merge +
+terminal renumbering, then grammar dedup/merge/final-Sequitur.
+
+All the paper's optimizations are individually toggleable for the
+ablation benchmarks: ``relative_ranks`` (§3.4.2),
+``per_signature_request_pools`` (§3.4.3), ``loop_detection`` (§2.2's
+run-length/loop optimization), ``cfg_dedup`` (§3.5.2's identity check).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..mpisim.hooks import TracerHooks
+from .cst import CST, merge_csts
+from .encoder import CommIdSpace, PerRankEncoder, WinIdSpace
+from .grammar import Grammar
+from .interproc import merge_grammars
+from .sequitur import Sequitur
+from .timing import TimingCompressor
+from .trace_format import TraceFile
+
+TIMING_AGGREGATE = "aggregate"
+TIMING_LOSSY = "lossy"
+
+
+@dataclass
+class PilgrimResult:
+    """Everything the finalize phase produced, plus perf accounting."""
+
+    trace: TraceFile
+    trace_bytes: bytes
+    n_unique_grammars: int
+    total_calls: int
+    n_signatures: int
+    #: real CPU seconds spent in per-call tracing (Fig 8 "intra-process")
+    time_intra: float
+    #: real CPU seconds in the CST merge + grammar renumbering (Fig 8)
+    time_cst_merge: float
+    #: real CPU seconds in the CFG dedup/merge/final Sequitur (Fig 8)
+    time_cfg_merge: float
+    per_rank_calls: list[int] = field(default_factory=list)
+
+    @property
+    def trace_size(self) -> int:
+        return len(self.trace_bytes)
+
+    def section_sizes(self) -> dict[str, int]:
+        return self.trace.section_sizes()
+
+    @property
+    def time_total_overhead(self) -> float:
+        return self.time_intra + self.time_cst_merge + self.time_cfg_merge
+
+    def overhead_breakdown(self) -> dict[str, float]:
+        """Fig 8's decomposition, as fractions of total tracing overhead."""
+        total = self.time_total_overhead or 1.0
+        return {
+            "intra": self.time_intra / total,
+            "inter_cst": self.time_cst_merge / total,
+            "inter_cfg": self.time_cfg_merge / total,
+        }
+
+
+class PilgrimTracer(TracerHooks):
+    """Near-lossless tracing with CST+CFG compression."""
+
+    def __init__(self, *,
+                 relative_ranks: bool = True,
+                 per_signature_request_pools: bool = True,
+                 loop_detection: bool = True,
+                 cfg_dedup: bool = True,
+                 timing_mode: str = TIMING_AGGREGATE,
+                 timing_base: float = 1.2,
+                 per_function_base: Optional[dict[str, float]] = None,
+                 keep_raw: bool = False):
+        if timing_mode not in (TIMING_AGGREGATE, TIMING_LOSSY):
+            raise ValueError(f"unknown timing mode {timing_mode!r}")
+        self.relative_ranks = relative_ranks
+        self.per_signature_request_pools = per_signature_request_pools
+        self.loop_detection = loop_detection
+        self.cfg_dedup = cfg_dedup
+        self.timing_mode = timing_mode
+        self.timing_base = timing_base
+        self.per_function_base = per_function_base
+        self.keep_raw = keep_raw
+
+        self.nprocs = 0
+        self.comm_space: Optional[CommIdSpace] = None
+        self.encoders: list[PerRankEncoder] = []
+        self.csts: list[CST] = []
+        self.grammars: list[Sequitur] = []
+        self.timing: list[TimingCompressor] = []
+        #: per-rank local-terminal streams, kept for lossless verification
+        self.raw_terms: list[list[int]] = []
+        self.total_calls = 0
+        self.time_intra = 0.0
+        self.result: Optional[PilgrimResult] = None
+
+    # -- hooks -------------------------------------------------------------------------
+
+    def on_run_start(self, sim) -> None:
+        self.nprocs = sim.nprocs
+        self.comm_space = CommIdSpace(sim.nprocs)
+        self.win_space = WinIdSpace(sim.nprocs)
+        self.encoders = []
+        for r in range(sim.nprocs):
+            enc = PerRankEncoder(
+                r, self.comm_space, win_space=self.win_space,
+                relative_ranks=self.relative_ranks,
+                per_signature_request_pools=self.per_signature_request_pools)
+            enc.set_comm_resolver(sim.comm_by_cid)
+            self.encoders.append(enc)
+        self.csts = [CST() for _ in range(sim.nprocs)]
+        self.grammars = [Sequitur(loop_detection=self.loop_detection)
+                         for _ in range(sim.nprocs)]
+        if self.timing_mode == TIMING_LOSSY:
+            self.timing = [TimingCompressor(
+                self.timing_base, self.per_function_base,
+                loop_detection=self.loop_detection)
+                for _ in range(sim.nprocs)]
+        if self.keep_raw:
+            self.raw_terms = [[] for _ in range(sim.nprocs)]
+
+    def on_call(self, rank: int, fname: str, args: dict[str, Any],
+                t0: float, t1: float) -> None:
+        tick = _time.perf_counter()
+        sig = self.encoders[rank].encode_call(fname, args)
+        term = self.csts[rank].intern(sig, t1 - t0)
+        self.grammars[rank].append(term)
+        if self.timing:
+            self.timing[rank].record(term, fname, t0, t1)
+        if self.keep_raw:
+            self.raw_terms[rank].append(term)
+        self.total_calls += 1
+        self.time_intra += _time.perf_counter() - tick
+
+    def on_mem(self, rank: int, fname: str, args: dict[str, Any],
+               result: Any, t: float) -> None:
+        tick = _time.perf_counter()
+        mem = self.encoders[rank].memory
+        if fname == "malloc":
+            mem.on_alloc(result, args["size"])
+        elif fname == "calloc":
+            mem.on_alloc(result, args["nmemb"] * args["size"])
+        elif fname == "realloc":
+            if args["ptr"]:
+                mem.on_free(args["ptr"])
+            mem.on_alloc(result, args["size"])
+        elif fname == "free":
+            mem.on_free(args["ptr"])
+        elif fname == "cudaMalloc":
+            mem.on_alloc(result, args["size"], device=args.get("device", 0))
+        elif fname == "cudaFree":
+            mem.on_free(args["ptr"])
+        self.time_intra += _time.perf_counter() - tick
+
+    def on_run_end(self, sim) -> None:
+        self.result = self.finalize()
+
+    # -- finalize (inter-process compression) ------------------------------------------------
+
+    def finalize(self) -> PilgrimResult:
+        # Phase 1: CST merge (pairwise, log2 P) + grammar renumbering.
+        tick = _time.perf_counter()
+        merged_cst = merge_csts(self.csts)
+        frozen: list[Grammar] = []
+        for r, seq in enumerate(self.grammars):
+            g = Grammar.freeze(seq)
+            remap = merged_cst.remaps[r]
+            frozen.append(g.remap_terminals(lambda t, m=remap: m[t]))
+        t_cst = _time.perf_counter() - tick
+
+        # Phase 2: CFG identity check + merge + final Sequitur pass.
+        tick = _time.perf_counter()
+        cfg = merge_grammars(frozen, loop_detection=self.loop_detection,
+                             dedup=self.cfg_dedup)
+        t_cfg = _time.perf_counter() - tick
+
+        timing_d = timing_i = None
+        if self.timing:
+            frozen_t = [tc.freeze() for tc in self.timing]
+            timing_d = merge_grammars([d for d, _ in frozen_t],
+                                      loop_detection=self.loop_detection,
+                                      dedup=self.cfg_dedup)
+            timing_i = merge_grammars([i for _, i in frozen_t],
+                                      loop_detection=self.loop_detection,
+                                      dedup=self.cfg_dedup)
+
+        trace = TraceFile(nprocs=self.nprocs, cst=merged_cst, cfg=cfg,
+                          timing_duration=timing_d, timing_interval=timing_i)
+        blob = trace.to_bytes()
+        return PilgrimResult(
+            trace=trace,
+            trace_bytes=blob,
+            n_unique_grammars=cfg.n_unique,
+            total_calls=self.total_calls,
+            n_signatures=len(merged_cst),
+            time_intra=self.time_intra,
+            time_cst_merge=t_cst,
+            time_cfg_merge=t_cfg,
+            per_rank_calls=[g.n_input for g in self.grammars],
+        )

@@ -1,0 +1,61 @@
+"""Lossless round-trip verification.
+
+"As we developed both compressor and decompressor, we can check
+correctness by comparing uncompressed traces to compressed next
+decompressed traces" (§4).  This module is that check: run the tracer
+with ``keep_raw=True`` (it then retains each rank's uncompressed local
+terminal stream), decompress the produced trace blob, and compare
+signature-by-signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .decoder import TraceDecoder
+from .tracer import PilgrimTracer
+
+
+@dataclass
+class VerifyReport:
+    ok: bool
+    nprocs: int
+    total_calls: int
+    mismatches: list[str]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_roundtrip(tracer: PilgrimTracer) -> VerifyReport:
+    """Compare raw (pre-compression) records against decode(compress(...)).
+
+    Requires the tracer to have been constructed with ``keep_raw=True``
+    and the run to have finished (``tracer.result`` populated).
+    """
+    if not tracer.keep_raw:
+        raise ValueError("verify_roundtrip needs PilgrimTracer(keep_raw=True)")
+    if tracer.result is None:
+        raise ValueError("run not finalized — nothing to verify")
+
+    decoder = TraceDecoder.from_bytes(tracer.result.trace_bytes)
+    mismatches: list[str] = []
+    total = 0
+    for rank in range(tracer.nprocs):
+        raw_sigs = [tracer.csts[rank].sigs[t] for t in tracer.raw_terms[rank]]
+        dec_sigs = [decoder.trace.cst.sigs[t]
+                    for t in decoder.rank_terminals(rank)]
+        total += len(raw_sigs)
+        if len(raw_sigs) != len(dec_sigs):
+            mismatches.append(
+                f"rank {rank}: length {len(raw_sigs)} raw vs "
+                f"{len(dec_sigs)} decoded")
+            continue
+        for i, (a, b) in enumerate(zip(raw_sigs, dec_sigs)):
+            if a != b:
+                mismatches.append(f"rank {rank} call {i}: {a!r} != {b!r}")
+                if len(mismatches) > 20:
+                    mismatches.append("... (truncated)")
+                    break
+    return VerifyReport(ok=not mismatches, nprocs=tracer.nprocs,
+                        total_calls=total, mismatches=mismatches)

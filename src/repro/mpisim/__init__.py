@@ -1,0 +1,39 @@
+"""``repro.mpisim`` — an event-driven simulated MPI runtime.
+
+This is the substrate the Pilgrim reproduction runs on: rank programs are
+generator coroutines executing against a faithful MPI semantic model
+(matching, collectives, communicators, datatypes, requests) with virtual
+time.  See DESIGN.md §1 for why this substitution preserves the paper's
+claims, and :mod:`repro.mpisim.runtime` for usage.
+"""
+
+from . import constants
+from . import datatypes
+from . import funcs
+from . import ops
+from .comm import Comm
+from .errors import (CollectiveMismatchError, DeadlockError,
+                     InvalidArgumentError, InvalidHandleError, MpiSimError,
+                     RankProgramError, TruncationError)
+from .group import Group
+from .hooks import TracerHooks
+from .memory import RankHeap
+from .netmodel import NetworkModel
+from .request import Request
+from .runtime import RankAPI, RunResult, SimMPI
+from .status import Status
+from .topology import CartTopology, dims_create
+
+__all__ = [
+    "CartTopology", "CollectiveMismatchError", "Comm", "DeadlockError",
+    "Group", "InvalidArgumentError", "InvalidHandleError", "MpiSimError",
+    "NetworkModel", "RankAPI", "RankHeap", "RankProgramError", "Request",
+    "RunResult", "SimMPI", "Status", "TracerHooks", "TruncationError",
+    "constants", "datatypes", "dims_create", "funcs", "ops",
+]
+
+# Convenient aliases mirroring the MPI namespace
+PROC_NULL = constants.PROC_NULL
+ANY_SOURCE = constants.ANY_SOURCE
+ANY_TAG = constants.ANY_TAG
+UNDEFINED = constants.UNDEFINED

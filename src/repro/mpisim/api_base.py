@@ -1,0 +1,172 @@
+"""Shared plumbing for the rank-facing MPI API.
+
+The API is split across mixin modules (p2p, completion, collectives,
+communicator management, datatypes/topology/local) that all build on the
+helpers here.  Conventions:
+
+* **Blocking** operations are generator functions — rank programs invoke
+  them as ``result = yield from m.recv(...)``.
+* **Non-blocking / local** operations are plain methods.
+* Every operation reports itself to the attached tracer through
+  :meth:`_rec`, passing a dict of *all* parameters (inputs and outputs,
+  direction information lives in :mod:`repro.mpisim.funcs`) plus the
+  virtual entry/exit timestamps — exactly the information a PMPI
+  prologue/epilogue pair observes (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import constants as C
+from . import datatypes as dt
+from .comm import Comm
+from .errors import InvalidArgumentError
+from .request import Request
+
+#: virtual cost of a purely local MPI call (comm_rank, type_size, ...)
+LOCAL_OP_COST = 5.0e-8
+
+
+class ApiBase:
+    """State and helpers common to all API mixins."""
+
+    def __init__(self, rt, rank: int):
+        self.rt = rt
+        self.rank = rank                    # world rank
+        self.clock = rt.clocks[rank]
+        self.heap = rt.heaps[rank]
+        self.types = rt.type_tables[rank]
+        self.world: Comm = rt.world
+        self._next_req_handle = 1
+        hook = rt.tracer.on_call if rt.tracer is not None else None
+        self._hook = hook
+        self._mem_hook = rt.tracer.on_mem if rt.tracer is not None else None
+
+    # -- tracer plumbing -----------------------------------------------------
+
+    def _rec(self, fname: str, t0: float, args: dict) -> None:
+        if self._hook is not None:
+            self._hook(self.rank, fname, args, t0, self.clock.now)
+
+    # -- request plumbing -----------------------------------------------------
+
+    def _new_request(self, kind: str, **kw) -> Request:
+        req = Request(kind, self.rank, self._next_req_handle, **kw)
+        self._next_req_handle += 1
+        return req
+
+    @staticmethod
+    def _live(req: Optional[Request]) -> bool:
+        """Is this array entry a request that still needs completion?"""
+        return req is not None and not req.freed
+
+    # -- argument validation ----------------------------------------------------
+
+    def _check_p2p_args(self, comm: Comm, peer: int, count: int,
+                        datatype: dt.Datatype, tag: int, *,
+                        is_recv: bool) -> None:
+        comm.check_usable()
+        datatype.check_usable()
+        if count < 0:
+            raise InvalidArgumentError(f"negative count {count}")
+        if is_recv:
+            if tag != C.ANY_TAG and not 0 <= tag <= C.TAG_UB:
+                raise InvalidArgumentError(f"invalid recv tag {tag}")
+        else:
+            if not 0 <= tag <= C.TAG_UB:
+                raise InvalidArgumentError(f"invalid send tag {tag}")
+        self._check_peer(comm, peer, wildcard_ok=is_recv)
+
+    def _check_peer(self, comm: Comm, peer: int, *,
+                    wildcard_ok: bool = False) -> None:
+        if peer == C.PROC_NULL:
+            return
+        if wildcard_ok and peer == C.ANY_SOURCE:
+            return
+        size = self._peer_group(comm).size
+        if not 0 <= peer < size:
+            raise InvalidArgumentError(
+                f"peer rank {peer} out of range for {comm.name} (size {size})")
+
+    # -- group resolution (intra vs inter) -----------------------------------------
+
+    def _local_group(self, comm: Comm):
+        if comm.remote_group is None:
+            return comm.group
+        if comm.group.contains(self.rank):
+            return comm.group
+        return comm.remote_group
+
+    def _peer_group(self, comm: Comm):
+        if comm.remote_group is None:
+            return comm.group
+        if comm.group.contains(self.rank):
+            return comm.remote_group
+        return comm.group
+
+    def _comm_rank(self, comm: Comm) -> int:
+        return self._local_group(comm).rank_of(self.rank)
+
+    # -- misc ------------------------------------------------------------------
+
+    def _tick(self) -> float:
+        """Charge the fixed software cost of an MPI call; returns entry time."""
+        t0 = self.clock.now
+        self.clock.advance_exact(self.rt.net.overhead)
+        return t0
+
+    def compute(self, seconds: float) -> float:
+        """Model a local computation phase (noise applied). Not an MPI call —
+        never traced."""
+        return self.clock.advance(seconds)
+
+    def yield_to_scheduler(self):
+        """Cooperatively let other ranks run (used by spin loops around
+        Test/Iprobe). Usage: ``yield from m.yield_to_scheduler()``."""
+        yield None
+
+    # -- simulated heap interception ----------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        addr = self.heap.malloc(size)
+        if self._mem_hook is not None:
+            self._mem_hook(self.rank, "malloc", {"size": size}, addr,
+                           self.clock.now)
+        return addr
+
+    def calloc(self, nmemb: int, size: int) -> int:
+        addr = self.heap.calloc(nmemb, size)
+        if self._mem_hook is not None:
+            self._mem_hook(self.rank, "calloc",
+                           {"nmemb": nmemb, "size": size}, addr,
+                           self.clock.now)
+        return addr
+
+    def realloc(self, addr: int, size: int) -> int:
+        new_addr = self.heap.realloc(addr, size)
+        if self._mem_hook is not None:
+            self._mem_hook(self.rank, "realloc",
+                           {"ptr": addr, "size": size}, new_addr,
+                           self.clock.now)
+        return new_addr
+
+    def free(self, addr: int) -> None:
+        self.heap.free(addr)
+        if self._mem_hook is not None:
+            self._mem_hook(self.rank, "free", {"ptr": addr}, None,
+                           self.clock.now)
+
+    def cuda_malloc(self, size: int, device: int = 0) -> int:
+        addr = self.heap.cuda_malloc(size, device)
+        if self._mem_hook is not None:
+            self._mem_hook(self.rank, "cudaMalloc",
+                           {"size": size, "device": device}, addr,
+                           self.clock.now)
+        return addr
+
+    def cuda_free(self, addr: int) -> None:
+        self.heap.cuda_free(addr)
+        if self._mem_hook is not None:
+            self._mem_hook(self.rank, "cudaFree", {"ptr": addr}, None,
+                           self.clock.now)

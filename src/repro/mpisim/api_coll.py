@@ -1,0 +1,499 @@
+"""Collective operations.
+
+Each collective is a rendezvous on the communicator (see
+:meth:`repro.mpisim.comm.Comm.join_collective`): the *n*-th collective call
+of every member joins gathering *n*, the last arrival computes the results
+and completion time (max arrival + LogP-style cost), and everyone resumes.
+Blocking and non-blocking variants share the same rendezvous, which gives
+``MPI_Ibarrier``/``MPI_Iallreduce`` correct ordering semantics for free.
+
+Data semantics operate on Python payloads (numbers / sequences / None);
+reductions are ordered by communicator rank as the standard requires for
+deterministic results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from . import constants as C
+from . import datatypes as dt
+from .api_base import ApiBase
+from .comm import Comm
+from .errors import InvalidArgumentError
+from .future import Future
+from .ops import Op, reduce_payloads
+from .request import Request
+from .status import Status
+
+
+class ApiColl(ApiBase):
+    """Collectives mixin."""
+
+    # -- rendezvous scaffolding ------------------------------------------------
+
+    def _finalize_fn(self, op_name: str, nbytes: int, compute):
+        rt = self.rt
+
+        def fin(g, comm: Comm) -> None:
+            tmax = g.max_arrival()
+            nprocs = comm.group.size + (comm.remote_group.size
+                                        if comm.remote_group else 0)
+            tdone = tmax + rt.net.coll_time(op_name, nprocs, nbytes)
+            results = compute(g, comm) if compute is not None else None
+            for wr, fut in g.futures.items():
+                val = results.get(wr) if results is not None else None
+                if isinstance(fut, Request):
+                    rt.scheduler_complete(fut, Status.empty(), tdone,
+                                          value=val)
+                else:
+                    rt.scheduler.resolve(fut, (val, tdone))
+
+        return fin
+
+    def _coll(self, op_name: str, comm: Comm, payload: Any, nbytes: int,
+              compute, check_args: Any = None):
+        """Blocking collective: generator returning this rank's result."""
+        comm.check_usable()
+        fut = Future(f"{op_name}@{comm.name} rank={self.rank}")
+        comm.join_collective(self.rank, op_name,
+                             self._finalize_fn(op_name, nbytes, compute),
+                             payload, self.clock.now, fut, check_args)
+        val, tdone = yield fut
+        self.clock.sync_to(tdone)
+        return val
+
+    def _coll_nb(self, op_name: str, comm: Comm, payload: Any, nbytes: int,
+                 compute, check_args: Any = None) -> Request:
+        """Non-blocking collective: returns a request whose ``value`` will
+        hold this rank's result on completion."""
+        comm.check_usable()
+        req = self._new_request("icoll:" + op_name, comm_cid=comm.cid,
+                                nbytes=nbytes)
+        req.post_time = self.clock.now
+        comm.join_collective(self.rank, op_name,
+                             self._finalize_fn(op_name, nbytes, compute),
+                             payload, self.clock.now, req, check_args)
+        return req
+
+    @staticmethod
+    def _require_intra(comm: Comm, op_name: str) -> None:
+        if comm.remote_group is not None:
+            raise InvalidArgumentError(
+                f"{op_name} on an inter-communicator is not supported by "
+                f"the simulator (merge it first, as Pilgrim itself does)")
+
+    def _root_world(self, comm: Comm, root: int) -> int:
+        if not 0 <= root < comm.group.size:
+            raise InvalidArgumentError(
+                f"root {root} out of range for {comm.name}")
+        return comm.group.world_rank(root)
+
+    # -- result computations ------------------------------------------------------
+
+    @staticmethod
+    def _ordered(g, comm: Comm) -> list:
+        return [g.arrived[w][0] for w in comm.group.ranks]
+
+    def _c_bcast(self, root: int):
+        def compute(g, comm):
+            rootw = comm.group.world_rank(root)
+            val = g.arrived[rootw][0]
+            return {w: val for w in g.arrived}
+        return compute
+
+    def _c_reduce(self, op: Op, root: int):
+        def compute(g, comm):
+            res = reduce_payloads(op, self._ordered(g, comm))
+            return {comm.group.world_rank(root): res}
+        return compute
+
+    def _c_allreduce(self, op: Op):
+        def compute(g, comm):
+            res = reduce_payloads(op, self._ordered(g, comm))
+            return {w: res for w in g.arrived}
+        return compute
+
+    def _c_gather(self, root: int):
+        def compute(g, comm):
+            return {comm.group.world_rank(root): self._ordered(g, comm)}
+        return compute
+
+    def _c_allgather(self):
+        def compute(g, comm):
+            vals = self._ordered(g, comm)
+            return {w: vals for w in g.arrived}
+        return compute
+
+    def _c_scatter(self, root: int):
+        def compute(g, comm):
+            rootw = comm.group.world_rank(root)
+            vals = g.arrived[rootw][0]
+            out = {}
+            for i, w in enumerate(comm.group.ranks):
+                out[w] = None if vals is None else vals[i]
+            return out
+        return compute
+
+    def _c_alltoall(self):
+        def compute(g, comm):
+            ranks = comm.group.ranks
+            rows = [g.arrived[w][0] for w in ranks]
+            out = {}
+            for i, w in enumerate(ranks):
+                if all(r is None for r in rows):
+                    out[w] = None
+                else:
+                    out[w] = [None if r is None else r[i] for r in rows]
+            return out
+        return compute
+
+    def _c_scan(self, op: Op, *, exclusive: bool):
+        def compute(g, comm):
+            vals = self._ordered(g, comm)
+            out = {}
+            for i, w in enumerate(comm.group.ranks):
+                upto = vals[:i] if exclusive else vals[:i + 1]
+                out[w] = reduce_payloads(op, upto) if upto else None
+            return out
+        return compute
+
+    def _c_reduce_scatter_block(self, op: Op):
+        def compute(g, comm):
+            vals = self._ordered(g, comm)
+            folded = reduce_payloads(op, vals)
+            out = {}
+            for i, w in enumerate(comm.group.ranks):
+                out[w] = None if folded is None else folded[i]
+            return out
+        return compute
+
+    def _c_reduce_scatter(self, op: Op, recvcounts: Sequence[int]):
+        def compute(g, comm):
+            vals = self._ordered(g, comm)
+            folded = reduce_payloads(op, vals)
+            out = {}
+            off = 0
+            for i, w in enumerate(comm.group.ranks):
+                n = recvcounts[i]
+                out[w] = None if folded is None else list(folded[off:off + n])
+                off += n
+            return out
+        return compute
+
+    # -- blocking collectives -------------------------------------------------------
+
+    def barrier(self, comm: Optional[Comm] = None):
+        comm = comm or self.world
+        t0 = self._tick()
+        yield from self._coll("barrier", comm, None, 0, None)
+        self._rec("MPI_Barrier", t0, {"comm": comm})
+
+    def bcast(self, buffer: int, count: int, datatype: dt.Datatype,
+              root: int, comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Bcast")
+        self._root_world(comm, root)
+        datatype.check_usable()
+        t0 = self._tick()
+        val = yield from self._coll("bcast", comm, data,
+                                    count * datatype.size,
+                                    self._c_bcast(root), ("bcast", root))
+        self._rec("MPI_Bcast", t0, {
+            "buffer": buffer, "count": count, "datatype": datatype,
+            "root": root, "comm": comm})
+        return val
+
+    def reduce(self, sendbuf: int, recvbuf: int, count: int,
+               datatype: dt.Datatype, op: Op, root: int,
+               comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Reduce")
+        self._root_world(comm, root)
+        datatype.check_usable()
+        t0 = self._tick()
+        val = yield from self._coll("reduce", comm, data,
+                                    count * datatype.size,
+                                    self._c_reduce(op, root),
+                                    ("reduce", root, op.name))
+        self._rec("MPI_Reduce", t0, {
+            "sendbuf": sendbuf, "recvbuf": recvbuf, "count": count,
+            "datatype": datatype, "op": op, "root": root, "comm": comm})
+        return val
+
+    def allreduce(self, sendbuf: int, recvbuf: int, count: int,
+                  datatype: dt.Datatype, op: Op,
+                  comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Allreduce")
+        datatype.check_usable()
+        t0 = self._tick()
+        val = yield from self._coll("allreduce", comm, data,
+                                    count * datatype.size,
+                                    self._c_allreduce(op),
+                                    ("allreduce", op.name))
+        self._rec("MPI_Allreduce", t0, {
+            "sendbuf": sendbuf, "recvbuf": recvbuf, "count": count,
+            "datatype": datatype, "op": op, "comm": comm})
+        return val
+
+    def gather(self, sendbuf: int, sendcount: int, sendtype: dt.Datatype,
+               recvbuf: int, recvcount: int, recvtype: dt.Datatype,
+               root: int, comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Gather")
+        t0 = self._tick()
+        val = yield from self._coll("gather", comm, data,
+                                    sendcount * sendtype.size,
+                                    self._c_gather(root), ("gather", root))
+        self._rec("MPI_Gather", t0, {
+            "sendbuf": sendbuf, "sendcount": sendcount, "sendtype": sendtype,
+            "recvbuf": recvbuf, "recvcount": recvcount, "recvtype": recvtype,
+            "root": root, "comm": comm})
+        return val
+
+    def gatherv(self, sendbuf: int, sendcount: int, sendtype: dt.Datatype,
+                recvbuf: int, recvcounts: Optional[Sequence[int]],
+                displs: Optional[Sequence[int]], recvtype: dt.Datatype,
+                root: int, comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Gatherv")
+        t0 = self._tick()
+        val = yield from self._coll("gather", comm, data,
+                                    sendcount * sendtype.size,
+                                    self._c_gather(root), ("gatherv", root))
+        self._rec("MPI_Gatherv", t0, {
+            "sendbuf": sendbuf, "sendcount": sendcount, "sendtype": sendtype,
+            "recvbuf": recvbuf,
+            "recvcounts": tuple(recvcounts) if recvcounts else None,
+            "displs": tuple(displs) if displs else None,
+            "recvtype": recvtype, "root": root, "comm": comm})
+        return val
+
+    def scatter(self, sendbuf: int, sendcount: int, sendtype: dt.Datatype,
+                recvbuf: int, recvcount: int, recvtype: dt.Datatype,
+                root: int, comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Scatter")
+        t0 = self._tick()
+        val = yield from self._coll("scatter", comm, data,
+                                    recvcount * recvtype.size,
+                                    self._c_scatter(root), ("scatter", root))
+        self._rec("MPI_Scatter", t0, {
+            "sendbuf": sendbuf, "sendcount": sendcount, "sendtype": sendtype,
+            "recvbuf": recvbuf, "recvcount": recvcount, "recvtype": recvtype,
+            "root": root, "comm": comm})
+        return val
+
+    def scatterv(self, sendbuf: int, sendcounts: Optional[Sequence[int]],
+                 displs: Optional[Sequence[int]], sendtype: dt.Datatype,
+                 recvbuf: int, recvcount: int, recvtype: dt.Datatype,
+                 root: int, comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Scatterv")
+        t0 = self._tick()
+        val = yield from self._coll("scatter", comm, data,
+                                    recvcount * recvtype.size,
+                                    self._c_scatter(root), ("scatterv", root))
+        self._rec("MPI_Scatterv", t0, {
+            "sendbuf": sendbuf,
+            "sendcounts": tuple(sendcounts) if sendcounts else None,
+            "displs": tuple(displs) if displs else None,
+            "sendtype": sendtype, "recvbuf": recvbuf,
+            "recvcount": recvcount, "recvtype": recvtype, "root": root,
+            "comm": comm})
+        return val
+
+    def allgather(self, sendbuf: int, sendcount: int, sendtype: dt.Datatype,
+                  recvbuf: int, recvcount: int, recvtype: dt.Datatype,
+                  comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Allgather")
+        t0 = self._tick()
+        val = yield from self._coll("allgather", comm, data,
+                                    sendcount * sendtype.size,
+                                    self._c_allgather(), ("allgather",))
+        self._rec("MPI_Allgather", t0, {
+            "sendbuf": sendbuf, "sendcount": sendcount, "sendtype": sendtype,
+            "recvbuf": recvbuf, "recvcount": recvcount, "recvtype": recvtype,
+            "comm": comm})
+        return val
+
+    def allgatherv(self, sendbuf: int, sendcount: int, sendtype: dt.Datatype,
+                   recvbuf: int, recvcounts: Optional[Sequence[int]],
+                   displs: Optional[Sequence[int]], recvtype: dt.Datatype,
+                   comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Allgatherv")
+        t0 = self._tick()
+        val = yield from self._coll("allgather", comm, data,
+                                    sendcount * sendtype.size,
+                                    self._c_allgather(), ("allgatherv",))
+        self._rec("MPI_Allgatherv", t0, {
+            "sendbuf": sendbuf, "sendcount": sendcount, "sendtype": sendtype,
+            "recvbuf": recvbuf,
+            "recvcounts": tuple(recvcounts) if recvcounts else None,
+            "displs": tuple(displs) if displs else None,
+            "recvtype": recvtype, "comm": comm})
+        return val
+
+    def alltoall(self, sendbuf: int, sendcount: int, sendtype: dt.Datatype,
+                 recvbuf: int, recvcount: int, recvtype: dt.Datatype,
+                 comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Alltoall")
+        t0 = self._tick()
+        val = yield from self._coll("alltoall", comm, data,
+                                    sendcount * sendtype.size * comm.size,
+                                    self._c_alltoall(), ("alltoall",))
+        self._rec("MPI_Alltoall", t0, {
+            "sendbuf": sendbuf, "sendcount": sendcount, "sendtype": sendtype,
+            "recvbuf": recvbuf, "recvcount": recvcount, "recvtype": recvtype,
+            "comm": comm})
+        return val
+
+    def alltoallv(self, sendbuf: int, sendcounts: Sequence[int],
+                  sdispls: Sequence[int], sendtype: dt.Datatype,
+                  recvbuf: int, recvcounts: Sequence[int],
+                  rdispls: Sequence[int], recvtype: dt.Datatype,
+                  comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Alltoallv")
+        t0 = self._tick()
+        nbytes = sum(sendcounts) * sendtype.size
+        val = yield from self._coll("alltoallv", comm, data, nbytes,
+                                    self._c_alltoall(), ("alltoallv",))
+        self._rec("MPI_Alltoallv", t0, {
+            "sendbuf": sendbuf, "sendcounts": tuple(sendcounts),
+            "sdispls": tuple(sdispls), "sendtype": sendtype,
+            "recvbuf": recvbuf, "recvcounts": tuple(recvcounts),
+            "rdispls": tuple(rdispls), "recvtype": recvtype, "comm": comm})
+        return val
+
+    def reduce_scatter(self, sendbuf: int, recvbuf: int,
+                       recvcounts: Sequence[int], datatype: dt.Datatype,
+                       op: Op, comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Reduce_scatter")
+        if len(recvcounts) != comm.size:
+            raise InvalidArgumentError("recvcounts length != comm size")
+        t0 = self._tick()
+        nbytes = sum(recvcounts) * datatype.size
+        val = yield from self._coll("reduce_scatter", comm, data, nbytes,
+                                    self._c_reduce_scatter(op, recvcounts),
+                                    ("reduce_scatter", op.name))
+        self._rec("MPI_Reduce_scatter", t0, {
+            "sendbuf": sendbuf, "recvbuf": recvbuf,
+            "recvcounts": tuple(recvcounts), "datatype": datatype,
+            "op": op, "comm": comm})
+        return val
+
+    def reduce_scatter_block(self, sendbuf: int, recvbuf: int,
+                             recvcount: int, datatype: dt.Datatype, op: Op,
+                             comm: Optional[Comm] = None, data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Reduce_scatter_block")
+        t0 = self._tick()
+        nbytes = recvcount * datatype.size * comm.size
+        val = yield from self._coll("reduce_scatter", comm, data, nbytes,
+                                    self._c_reduce_scatter_block(op),
+                                    ("reduce_scatter_block", op.name))
+        self._rec("MPI_Reduce_scatter_block", t0, {
+            "sendbuf": sendbuf, "recvbuf": recvbuf, "recvcount": recvcount,
+            "datatype": datatype, "op": op, "comm": comm})
+        return val
+
+    def scan(self, sendbuf: int, recvbuf: int, count: int,
+             datatype: dt.Datatype, op: Op, comm: Optional[Comm] = None,
+             data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Scan")
+        t0 = self._tick()
+        val = yield from self._coll("scan", comm, data,
+                                    count * datatype.size,
+                                    self._c_scan(op, exclusive=False),
+                                    ("scan", op.name))
+        self._rec("MPI_Scan", t0, {
+            "sendbuf": sendbuf, "recvbuf": recvbuf, "count": count,
+            "datatype": datatype, "op": op, "comm": comm})
+        return val
+
+    def exscan(self, sendbuf: int, recvbuf: int, count: int,
+               datatype: dt.Datatype, op: Op, comm: Optional[Comm] = None,
+               data: Any = None):
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Exscan")
+        t0 = self._tick()
+        val = yield from self._coll("scan", comm, data,
+                                    count * datatype.size,
+                                    self._c_scan(op, exclusive=True),
+                                    ("exscan", op.name))
+        self._rec("MPI_Exscan", t0, {
+            "sendbuf": sendbuf, "recvbuf": recvbuf, "count": count,
+            "datatype": datatype, "op": op, "comm": comm})
+        return val
+
+    # -- non-blocking collectives -------------------------------------------------------
+
+    def ibarrier(self, comm: Optional[Comm] = None) -> Request:
+        comm = comm or self.world
+        t0 = self._tick()
+        req = self._coll_nb("barrier", comm, None, 0, None)
+        self._rec("MPI_Ibarrier", t0, {"comm": comm, "request": req})
+        return req
+
+    def ibcast(self, buffer: int, count: int, datatype: dt.Datatype,
+               root: int, comm: Optional[Comm] = None,
+               data: Any = None) -> Request:
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Ibcast")
+        t0 = self._tick()
+        req = self._coll_nb("bcast", comm, data, count * datatype.size,
+                            self._c_bcast(root), ("bcast", root))
+        self._rec("MPI_Ibcast", t0, {
+            "buffer": buffer, "count": count, "datatype": datatype,
+            "root": root, "comm": comm, "request": req})
+        return req
+
+    def iallreduce(self, sendbuf: int, recvbuf: int, count: int,
+                   datatype: dt.Datatype, op: Op,
+                   comm: Optional[Comm] = None, data: Any = None) -> Request:
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Iallreduce")
+        t0 = self._tick()
+        req = self._coll_nb("allreduce", comm, data, count * datatype.size,
+                            self._c_allreduce(op), ("allreduce", op.name))
+        self._rec("MPI_Iallreduce", t0, {
+            "sendbuf": sendbuf, "recvbuf": recvbuf, "count": count,
+            "datatype": datatype, "op": op, "comm": comm, "request": req})
+        return req
+
+    def iallgather(self, sendbuf: int, sendcount: int, sendtype: dt.Datatype,
+                   recvbuf: int, recvcount: int, recvtype: dt.Datatype,
+                   comm: Optional[Comm] = None, data: Any = None) -> Request:
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Iallgather")
+        t0 = self._tick()
+        req = self._coll_nb("allgather", comm, data,
+                            sendcount * sendtype.size,
+                            self._c_allgather(), ("allgather",))
+        self._rec("MPI_Iallgather", t0, {
+            "sendbuf": sendbuf, "sendcount": sendcount, "sendtype": sendtype,
+            "recvbuf": recvbuf, "recvcount": recvcount, "recvtype": recvtype,
+            "comm": comm, "request": req})
+        return req
+
+    def ialltoall(self, sendbuf: int, sendcount: int, sendtype: dt.Datatype,
+                  recvbuf: int, recvcount: int, recvtype: dt.Datatype,
+                  comm: Optional[Comm] = None, data: Any = None) -> Request:
+        comm = comm or self.world
+        self._require_intra(comm, "MPI_Ialltoall")
+        t0 = self._tick()
+        req = self._coll_nb("alltoall", comm, data,
+                            sendcount * sendtype.size * comm.size,
+                            self._c_alltoall(), ("alltoall",))
+        self._rec("MPI_Ialltoall", t0, {
+            "sendbuf": sendbuf, "sendcount": sendcount, "sendtype": sendtype,
+            "recvbuf": recvbuf, "recvcount": recvcount, "recvtype": recvtype,
+            "comm": comm, "request": req})
+        return req

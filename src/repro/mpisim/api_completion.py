@@ -1,0 +1,330 @@
+"""Completion operations: the MPI_Wait* and MPI_Test* families.
+
+These are the calls the paper singles out in its introduction: a tracer
+that drops ``MPI_Testsome`` (as ScalaTrace and Cypress do) cannot recover
+the true completion order of non-blocking communication.  The simulator
+therefore implements the full family with faithful semantics:
+
+* null / already-consumed / inactive-persistent entries behave like
+  ``MPI_REQUEST_NULL`` (empty status, never block);
+* ``Waitany``/``Waitsome``/``Testany`` pick among *currently completed*
+  requests using the runtime RNG, modelling network completion-order
+  non-determinism (this is what exercises Pilgrim's per-signature request
+  id pools, §3.4.3);
+* ``Testall`` with an incomplete set consumes nothing, per the standard;
+* every ``Test*`` call cooperatively yields to the scheduler so that spin
+  loops make global progress, standing in for MPI's progress engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from . import constants as C
+from .api_base import ApiBase
+from .future import Future
+from .request import Request
+from .status import Status
+
+
+class ApiCompletion(ApiBase):
+    """Wait/Test mixin."""
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _is_null(req: Optional[Request]) -> bool:
+        """Entries that complete immediately with an empty status."""
+        if req is None or req.consumed or req.freed:
+            return True
+        if req.persistent and (req.current is None):
+            return True  # inactive persistent request
+        return False
+
+    @staticmethod
+    def _target(req: Request) -> Request:
+        return req.wait_target()
+
+    def _consume(self, req: Request) -> Status:
+        """Extract the status of a completed request and deactivate it."""
+        target = req.wait_target()
+        st = target.status if target.status is not None else Status.empty()
+        if req.persistent:
+            req.current = None
+            req.active = False
+        else:
+            req.consumed = True
+        self.clock.sync_to(target.complete_time)
+        return st
+
+    def _wait_any_future(self, pending: list[Request]) -> Future:
+        """A future resolved as soon as any of *pending* completes."""
+        agg = Future(f"wait-any({len(pending)} reqs) rank={self.rank}")
+        sched = self.rt.scheduler
+
+        def on_done(_fut, agg=agg, sched=sched):
+            if not agg.done:
+                sched.resolve(agg, None)
+
+        for req in pending:
+            req.wait_target().add_callback(on_done)
+        return agg
+
+    # -- wait family --------------------------------------------------------------
+
+    def wait(self, request: Optional[Request], status=True):
+        t0 = self._tick()
+        if self._is_null(request):
+            st = Status.empty()
+        else:
+            target = request.wait_target()
+            if not target.done:
+                yield target
+            st = self._consume(request)
+        out_st = st if status is not None else None
+        self._rec("MPI_Wait", t0, {"request": request, "status": out_st})
+        return out_st
+
+    def waitall(self, requests: Sequence[Optional[Request]], statuses=True):
+        t0 = self._tick()
+        reqs = list(requests)
+        for req in reqs:
+            if self._is_null(req):
+                continue
+            target = req.wait_target()
+            if not target.done:
+                yield target
+        sts = []
+        for req in reqs:
+            if self._is_null(req):
+                sts.append(Status.empty())
+            else:
+                sts.append(self._consume(req))
+        out = sts if statuses is not None else None
+        self._rec("MPI_Waitall", t0, {
+            "count": len(reqs), "array_of_requests": reqs,
+            "array_of_statuses": out})
+        return out
+
+    def waitany(self, requests: Sequence[Optional[Request]], status=True,
+                *, directed_index: Optional[int] = None):
+        """Returns ``(index, status)``; index is UNDEFINED if all null.
+
+        ``directed_index`` (replay support): complete exactly that entry —
+        a legal Waitany outcome — instead of an RNG pick."""
+        t0 = self._tick()
+        reqs = list(requests)
+        if directed_index is not None and directed_index >= 0:
+            req = reqs[directed_index]
+            if not self._is_null(req):
+                target = req.wait_target()
+                if not target.done:
+                    yield target
+                st = self._consume(req)
+                out_st = st if status is not None else None
+                self._rec("MPI_Waitany", t0, {
+                    "count": len(reqs), "array_of_requests": reqs,
+                    "index": directed_index, "status": out_st})
+                return directed_index, out_st
+        while True:
+            live = [i for i, r in enumerate(reqs) if not self._is_null(r)]
+            if not live:
+                st = Status.empty() if status is not None else None
+                self._rec("MPI_Waitany", t0, {
+                    "count": len(reqs), "array_of_requests": reqs,
+                    "index": C.UNDEFINED, "status": st})
+                return C.UNDEFINED, st
+            done = [i for i in live if reqs[i].wait_target().done]
+            if done:
+                idx = done[self.rt.rng.randrange(len(done))] \
+                    if len(done) > 1 else done[0]
+                st = self._consume(reqs[idx])
+                out_st = st if status is not None else None
+                self._rec("MPI_Waitany", t0, {
+                    "count": len(reqs), "array_of_requests": reqs,
+                    "index": idx, "status": out_st})
+                return idx, out_st
+            yield self._wait_any_future([reqs[i] for i in live])
+
+    def waitsome(self, requests: Sequence[Optional[Request]], statuses=True,
+                 *, directed_indices: Optional[Sequence[int]] = None):
+        """Returns ``(indices, statuses)``; indices is None if all null
+        (MPI returns outcount=MPI_UNDEFINED in that case).
+
+        ``directed_indices`` (replay support): complete exactly those
+        entries, in that order."""
+        t0 = self._tick()
+        reqs = list(requests)
+        if directed_indices is not None:
+            sts = []
+            for idx in directed_indices:
+                req = reqs[idx]
+                target = req.wait_target()
+                if not target.done:
+                    yield target
+                sts.append(self._consume(req))
+            out = sts if statuses is not None else None
+            self._rec("MPI_Waitsome", t0, {
+                "incount": len(reqs), "array_of_requests": reqs,
+                "outcount": len(directed_indices),
+                "array_of_indices": list(directed_indices),
+                "array_of_statuses": out})
+            return list(directed_indices), out
+        while True:
+            live = [i for i, r in enumerate(reqs) if not self._is_null(r)]
+            if not live:
+                self._rec("MPI_Waitsome", t0, {
+                    "incount": len(reqs), "array_of_requests": reqs,
+                    "outcount": C.UNDEFINED, "array_of_indices": None,
+                    "array_of_statuses": None})
+                return None, None
+            done = [i for i in live if reqs[i].wait_target().done]
+            if done:
+                # Completion order is non-deterministic: report completed
+                # entries in a seeded-random order, as a real NIC would.
+                self.rt.rng.shuffle(done)
+                sts = [self._consume(reqs[i]) for i in done]
+                out = sts if statuses is not None else None
+                self._rec("MPI_Waitsome", t0, {
+                    "incount": len(reqs), "array_of_requests": reqs,
+                    "outcount": len(done), "array_of_indices": list(done),
+                    "array_of_statuses": out})
+                return list(done), out
+            yield self._wait_any_future([reqs[i] for i in live])
+
+    # -- test family -----------------------------------------------------------------
+
+    def test(self, request: Optional[Request], status=True, *,
+             directed_flag: Optional[bool] = None):
+        t0 = self._tick()
+        yield None  # cooperative progress
+        if directed_flag is False:
+            self._rec("MPI_Test", t0, {
+                "request": request, "flag": False, "status": None})
+            return False, None
+        if directed_flag is True and not self._is_null(request):
+            target = request.wait_target()
+            if not target.done:
+                yield target
+        if self._is_null(request):
+            flag, st = True, Status.empty()
+        elif request.wait_target().done:
+            flag, st = True, self._consume(request)
+        else:
+            flag, st = False, None
+        out_st = st if status is not None else None
+        self._rec("MPI_Test", t0, {
+            "request": request, "flag": flag, "status": out_st})
+        return flag, out_st
+
+    def testall(self, requests: Sequence[Optional[Request]], statuses=True,
+                *, directed_flag: Optional[bool] = None):
+        t0 = self._tick()
+        yield None
+        reqs = list(requests)
+        if directed_flag is False:
+            self._rec("MPI_Testall", t0, {
+                "count": len(reqs), "array_of_requests": reqs,
+                "flag": False, "array_of_statuses": None})
+            return False, None
+        if directed_flag is True:
+            for r in reqs:
+                if not self._is_null(r):
+                    target = r.wait_target()
+                    if not target.done:
+                        yield target
+        all_done = all(self._is_null(r) or r.wait_target().done for r in reqs)
+        if all_done:
+            sts = [Status.empty() if self._is_null(r) else self._consume(r)
+                   for r in reqs]
+            out = sts if statuses is not None else None
+            self._rec("MPI_Testall", t0, {
+                "count": len(reqs), "array_of_requests": reqs, "flag": True,
+                "array_of_statuses": out})
+            return True, out
+        self._rec("MPI_Testall", t0, {
+            "count": len(reqs), "array_of_requests": reqs, "flag": False,
+            "array_of_statuses": None})
+        return False, None
+
+    def testany(self, requests: Sequence[Optional[Request]], status=True,
+                *, directed_index: Optional[int] = None,
+                directed_flag: Optional[bool] = None):
+        t0 = self._tick()
+        yield None
+        reqs = list(requests)
+        if directed_flag is False:
+            self._rec("MPI_Testany", t0, {
+                "count": len(reqs), "array_of_requests": reqs,
+                "index": C.UNDEFINED, "flag": False, "status": None})
+            return False, C.UNDEFINED, None
+        if directed_index is not None and directed_index >= 0 \
+                and not self._is_null(reqs[directed_index]):
+            req = reqs[directed_index]
+            target = req.wait_target()
+            if not target.done:
+                yield target
+            st = self._consume(req)
+            out_st = st if status is not None else None
+            self._rec("MPI_Testany", t0, {
+                "count": len(reqs), "array_of_requests": reqs,
+                "index": directed_index, "flag": True, "status": out_st})
+            return True, directed_index, out_st
+        live = [i for i, r in enumerate(reqs) if not self._is_null(r)]
+        if not live:
+            st = Status.empty() if status is not None else None
+            self._rec("MPI_Testany", t0, {
+                "count": len(reqs), "array_of_requests": reqs,
+                "index": C.UNDEFINED, "flag": True, "status": st})
+            return True, C.UNDEFINED, st
+        done = [i for i in live if reqs[i].wait_target().done]
+        if done:
+            idx = done[self.rt.rng.randrange(len(done))] \
+                if len(done) > 1 else done[0]
+            st = self._consume(reqs[idx])
+            out_st = st if status is not None else None
+            self._rec("MPI_Testany", t0, {
+                "count": len(reqs), "array_of_requests": reqs, "index": idx,
+                "flag": True, "status": out_st})
+            return True, idx, out_st
+        self._rec("MPI_Testany", t0, {
+            "count": len(reqs), "array_of_requests": reqs,
+            "index": C.UNDEFINED, "flag": False, "status": None})
+        return False, C.UNDEFINED, None
+
+    def testsome(self, requests: Sequence[Optional[Request]], statuses=True,
+                 *, directed_indices: Optional[Sequence[int]] = None):
+        t0 = self._tick()
+        yield None
+        reqs = list(requests)
+        if directed_indices is not None:
+            sts = []
+            for idx in directed_indices:
+                req = reqs[idx]
+                target = req.wait_target()
+                if not target.done:
+                    yield target
+                sts.append(self._consume(req))
+            out = sts if statuses is not None else None
+            self._rec("MPI_Testsome", t0, {
+                "incount": len(reqs), "array_of_requests": reqs,
+                "outcount": len(directed_indices),
+                "array_of_indices": list(directed_indices),
+                "array_of_statuses": out})
+            return list(directed_indices), out
+        live = [i for i, r in enumerate(reqs) if not self._is_null(r)]
+        if not live:
+            self._rec("MPI_Testsome", t0, {
+                "incount": len(reqs), "array_of_requests": reqs,
+                "outcount": C.UNDEFINED, "array_of_indices": None,
+                "array_of_statuses": None})
+            return None, None
+        done = [i for i in live if reqs[i].wait_target().done]
+        self.rt.rng.shuffle(done)
+        sts = [self._consume(reqs[i]) for i in done]
+        out = sts if statuses is not None else None
+        self._rec("MPI_Testsome", t0, {
+            "incount": len(reqs), "array_of_requests": reqs,
+            "outcount": len(done), "array_of_indices": list(done),
+            "array_of_statuses": out})
+        return list(done), out

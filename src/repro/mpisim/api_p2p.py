@@ -1,0 +1,419 @@
+"""Point-to-point operations: sends, receives, probes, persistent requests.
+
+Protocol model: ``MPI_Send``/``MPI_Isend`` are *eager* — the message is
+injected and the send completes after a sender-side overhead, matching the
+behaviour of real MPI for small/medium messages (and keeping naive
+exchange patterns deadlock-free, as buffered sends do in practice).
+``MPI_Ssend``/``MPI_Issend`` are genuinely synchronous: the send request
+completes only when a matching receive consumes the message, so
+head-to-head ``Ssend`` pairs deadlock — and the simulator reports it.
+
+Matching follows the standard: per (communicator, receiver) queues, posting
+order, wildcards on source and tag, non-overtaking between a given pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from . import constants as C
+from . import datatypes as dt
+from .api_base import ApiBase
+from .comm import Comm, MessageEnvelope
+from .errors import InvalidArgumentError, TruncationError
+from .future import Future
+from .request import Request
+from .status import Status
+
+
+class ProbeEntry:
+    """A pending blocking probe parked in the posted queue."""
+
+    __slots__ = ("src", "tag", "future", "post_time")
+
+    def __init__(self, src: int, tag: int, future: Future, post_time: float):
+        self.src = src
+        self.tag = tag
+        self.future = future
+        self.post_time = post_time
+
+
+def _matches(want_src: int, want_tag: int, env: MessageEnvelope) -> bool:
+    return ((want_src == C.ANY_SOURCE or want_src == env.src)
+            and (want_tag == C.ANY_TAG or want_tag == env.tag))
+
+
+class ApiP2P(ApiBase):
+    """Point-to-point mixin."""
+
+    # -- delivery engine -----------------------------------------------------------
+
+    def _inject(self, comm: Comm, dest: int, tag: int, nbytes: int,
+                data: Any, send_req: Optional[Request]) -> None:
+        """Deliver an envelope to *dest* (a peer-group rank) on *comm*."""
+        peer_group = self._peer_group(comm)
+        dst_world = peer_group.world_rank(dest)
+        src_crank = self._comm_rank(comm)
+        env = MessageEnvelope(src_crank, tag, nbytes, data,
+                              send_time=self.clock.now,
+                              seq=self.rt.next_seq(), send_req=send_req)
+        posted = comm.posted_queue(dst_world)
+        i = 0
+        while i < len(posted):
+            entry = posted[i]
+            if isinstance(entry, ProbeEntry):
+                if _matches(entry.src, entry.tag, env):
+                    st = Status(count=env.nbytes, MPI_SOURCE=env.src,
+                                MPI_TAG=env.tag)
+                    t = max(entry.post_time,
+                            env.send_time + self.rt.net.p2p_time(env.nbytes))
+                    del posted[i]
+                    self.rt.scheduler.resolve(entry.future, (st, t))
+                    continue  # a probe does not consume the message
+                i += 1
+            else:  # a posted receive request
+                if not entry.freed and _matches(entry.peer, entry.tag, env):
+                    del posted[i]
+                    self._complete_recv(entry, env)
+                    return
+                i += 1
+        comm.unexpected_queue(dst_world).append(env)
+
+    def _complete_recv(self, rreq: Request, env: MessageEnvelope) -> None:
+        if env.nbytes > rreq.nbytes:
+            raise TruncationError(
+                f"rank {rreq.owner}: message of {env.nbytes} bytes "
+                f"(src={env.src}, tag={env.tag}) truncates a "
+                f"{rreq.nbytes}-byte receive")
+        t = max(rreq.post_time,
+                env.send_time + self.rt.net.p2p_time(env.nbytes))
+        st = Status(count=env.nbytes, MPI_SOURCE=env.src, MPI_TAG=env.tag)
+        if env.send_req is not None and not env.send_req.done:
+            # synchronous-mode send completes at matching time
+            self.rt.scheduler_complete(env.send_req, Status.empty(), t)
+        self.rt.scheduler_complete(rreq, st, t, value=env.data)
+
+    def _post_recv(self, comm: Comm, source: int, tag: int, nbytes: int,
+                   buf: int, datatype: dt.Datatype) -> Request:
+        rreq = self._new_request("irecv", comm_cid=comm.cid, peer=source,
+                                 tag=tag, nbytes=nbytes,
+                                 datatype_handle=datatype.handle,
+                                 buf_addr=buf)
+        rreq.post_time = self.clock.now
+        if source == C.PROC_NULL:
+            rreq.complete(Status.empty(), self.clock.now)
+            return rreq
+        # try unexpected messages first, in arrival order
+        unexpected = comm.unexpected_queue(self.rank)
+        for i, env in enumerate(unexpected):
+            if _matches(source, tag, env):
+                del unexpected[i]
+                self._complete_recv(rreq, env)
+                return rreq
+        comm.posted_queue(self.rank).append(rreq)
+        return rreq
+
+    def _post_send(self, kind: str, comm: Comm, dest: int, tag: int,
+                   nbytes: int, buf: int, datatype: dt.Datatype,
+                   data: Any) -> Request:
+        sreq = self._new_request(kind, comm_cid=comm.cid, peer=dest,
+                                 tag=tag, nbytes=nbytes,
+                                 datatype_handle=datatype.handle,
+                                 buf_addr=buf)
+        sreq.post_time = self.clock.now
+        if dest == C.PROC_NULL:
+            sreq.complete(Status.empty(), self.clock.now)
+            return sreq
+        synchronous = kind == "issend"
+        self.clock.advance_exact(self.rt.net.send_overhead(nbytes))
+        self._inject(comm, dest, tag, nbytes, data,
+                     sreq if synchronous else None)
+        if not synchronous and not sreq.done:
+            sreq.complete(Status.empty(), self.clock.now)
+        return sreq
+
+    # -- non-blocking user calls -------------------------------------------------
+
+    def isend(self, buf: int, count: int, datatype: dt.Datatype, dest: int,
+              tag: int = 0, comm: Optional[Comm] = None,
+              data: Any = None) -> Request:
+        comm = comm or self.world
+        self._check_p2p_args(comm, dest, count, datatype, tag, is_recv=False)
+        t0 = self._tick()
+        req = self._post_send("isend", comm, dest, tag,
+                              count * datatype.size, buf, datatype, data)
+        self._rec("MPI_Isend", t0, {
+            "buf": buf, "count": count, "datatype": datatype, "dest": dest,
+            "tag": tag, "comm": comm, "request": req})
+        return req
+
+    def issend(self, buf: int, count: int, datatype: dt.Datatype, dest: int,
+               tag: int = 0, comm: Optional[Comm] = None,
+               data: Any = None) -> Request:
+        comm = comm or self.world
+        self._check_p2p_args(comm, dest, count, datatype, tag, is_recv=False)
+        t0 = self._tick()
+        req = self._post_send("issend", comm, dest, tag,
+                              count * datatype.size, buf, datatype, data)
+        self._rec("MPI_Issend", t0, {
+            "buf": buf, "count": count, "datatype": datatype, "dest": dest,
+            "tag": tag, "comm": comm, "request": req})
+        return req
+
+    def irecv(self, buf: int, count: int, datatype: dt.Datatype, source: int,
+              tag: int = C.ANY_TAG, comm: Optional[Comm] = None, *,
+              directed_source: Optional[int] = None) -> Request:
+        """``directed_source`` (replay support): match as if posted with
+        that concrete source while recording the original wildcard — the
+        directed outcome is one MPI could legally have produced."""
+        comm = comm or self.world
+        self._check_p2p_args(comm, source, count, datatype, tag, is_recv=True)
+        t0 = self._tick()
+        match_src = directed_source if (source == C.ANY_SOURCE and
+                                        directed_source is not None) \
+            else source
+        req = self._post_recv(comm, match_src, tag, count * datatype.size,
+                              buf, datatype)
+        self._rec("MPI_Irecv", t0, {
+            "buf": buf, "count": count, "datatype": datatype,
+            "source": source, "tag": tag, "comm": comm, "request": req})
+        return req
+
+    # -- blocking user calls ---------------------------------------------------------
+
+    def _blocking_send(self, fname: str, kind: str, buf: int, count: int,
+                       datatype: dt.Datatype, dest: int, tag: int,
+                       comm: Optional[Comm], data: Any):
+        comm = comm or self.world
+        self._check_p2p_args(comm, dest, count, datatype, tag, is_recv=False)
+        t0 = self._tick()
+        req = self._post_send(kind, comm, dest, tag, count * datatype.size,
+                              buf, datatype, data)
+        if not req.done:
+            yield req
+        self.clock.sync_to(req.complete_time)
+        self._rec(fname, t0, {
+            "buf": buf, "count": count, "datatype": datatype, "dest": dest,
+            "tag": tag, "comm": comm})
+        return None
+
+    def send(self, buf: int, count: int, datatype: dt.Datatype, dest: int,
+             tag: int = 0, comm: Optional[Comm] = None, data: Any = None):
+        return self._blocking_send("MPI_Send", "isend", buf, count, datatype,
+                                   dest, tag, comm, data)
+
+    def ssend(self, buf: int, count: int, datatype: dt.Datatype, dest: int,
+              tag: int = 0, comm: Optional[Comm] = None, data: Any = None):
+        return self._blocking_send("MPI_Ssend", "issend", buf, count,
+                                   datatype, dest, tag, comm, data)
+
+    def bsend(self, buf: int, count: int, datatype: dt.Datatype, dest: int,
+              tag: int = 0, comm: Optional[Comm] = None, data: Any = None):
+        return self._blocking_send("MPI_Bsend", "isend", buf, count, datatype,
+                                   dest, tag, comm, data)
+
+    def rsend(self, buf: int, count: int, datatype: dt.Datatype, dest: int,
+              tag: int = 0, comm: Optional[Comm] = None, data: Any = None):
+        return self._blocking_send("MPI_Rsend", "isend", buf, count, datatype,
+                                   dest, tag, comm, data)
+
+    def recv(self, buf: int, count: int, datatype: dt.Datatype, source: int,
+             tag: int = C.ANY_TAG, comm: Optional[Comm] = None,
+             status: Any = True, *, directed_source: Optional[int] = None):
+        """Blocking receive. Returns ``(data, Status)``; pass
+        ``status=None`` (MPI_STATUS_IGNORE) to skip status recording.
+        ``directed_source`` pins a wildcard receive for replay."""
+        comm = comm or self.world
+        self._check_p2p_args(comm, source, count, datatype, tag, is_recv=True)
+        t0 = self._tick()
+        match_src = directed_source if (source == C.ANY_SOURCE and
+                                        directed_source is not None) \
+            else source
+        req = self._post_recv(comm, match_src, tag, count * datatype.size,
+                              buf, datatype)
+        if not req.done:
+            yield req
+        self.clock.sync_to(req.complete_time)
+        st = req.status if status is not None else None
+        self._rec("MPI_Recv", t0, {
+            "buf": buf, "count": count, "datatype": datatype,
+            "source": source, "tag": tag, "comm": comm, "status": st})
+        return req.value, (req.status if status is not None else None)
+
+    def sendrecv(self, sendbuf: int, sendcount: int, sendtype: dt.Datatype,
+                 dest: int, sendtag: int,
+                 recvbuf: int, recvcount: int, recvtype: dt.Datatype,
+                 source: int, recvtag: int = C.ANY_TAG,
+                 comm: Optional[Comm] = None, status: Any = True,
+                 data: Any = None, *,
+                 directed_source: Optional[int] = None):
+        comm = comm or self.world
+        self._check_p2p_args(comm, dest, sendcount, sendtype, sendtag,
+                             is_recv=False)
+        self._check_p2p_args(comm, source, recvcount, recvtype, recvtag,
+                             is_recv=True)
+        t0 = self._tick()
+        match_src = directed_source if (source == C.ANY_SOURCE and
+                                        directed_source is not None) \
+            else source
+        rreq = self._post_recv(comm, match_src, recvtag,
+                               recvcount * recvtype.size, recvbuf, recvtype)
+        sreq = self._post_send("isend", comm, dest, sendtag,
+                               sendcount * sendtype.size, sendbuf, sendtype,
+                               data)
+        if not sreq.done:
+            yield sreq
+        if not rreq.done:
+            yield rreq
+        self.clock.sync_to(max(sreq.complete_time, rreq.complete_time))
+        st = rreq.status if status is not None else None
+        self._rec("MPI_Sendrecv", t0, {
+            "sendbuf": sendbuf, "sendcount": sendcount, "sendtype": sendtype,
+            "dest": dest, "sendtag": sendtag,
+            "recvbuf": recvbuf, "recvcount": recvcount, "recvtype": recvtype,
+            "source": source, "recvtag": recvtag, "comm": comm, "status": st})
+        return rreq.value, st
+
+    # -- probes ---------------------------------------------------------------------
+
+    def probe(self, source: int, tag: int = C.ANY_TAG,
+              comm: Optional[Comm] = None, *,
+              directed_source: Optional[int] = None):
+        comm = comm or self.world
+        comm.check_usable()
+        self._check_peer(comm, source, wildcard_ok=True)
+        t0 = self._tick()
+        match_src = directed_source if (source == C.ANY_SOURCE and
+                                        directed_source is not None) \
+            else source
+        st = self._scan_unexpected(comm, match_src, tag)
+        if st is None:
+            fut = Future(f"probe(src={source},tag={tag})@{comm.name} "
+                         f"rank={self.rank}")
+            entry = ProbeEntry(match_src, tag, fut, self.clock.now)
+            comm.posted_queue(self.rank).append(entry)
+            st, t = yield fut
+            self.clock.sync_to(t)
+        self._rec("MPI_Probe", t0, {
+            "source": source, "tag": tag, "comm": comm, "status": st})
+        return st
+
+    def iprobe(self, source: int, tag: int = C.ANY_TAG,
+               comm: Optional[Comm] = None):
+        comm = comm or self.world
+        comm.check_usable()
+        self._check_peer(comm, source, wildcard_ok=True)
+        t0 = self._tick()
+        st = self._scan_unexpected(comm, source, tag)
+        flag = st is not None
+        self._rec("MPI_Iprobe", t0, {
+            "source": source, "tag": tag, "comm": comm, "flag": flag,
+            "status": st})
+        return flag, st
+
+    def _scan_unexpected(self, comm: Comm, source: int,
+                         tag: int) -> Optional[Status]:
+        for env in comm.unexpected_queue(self.rank):
+            if _matches(source, tag, env):
+                return Status(count=env.nbytes, MPI_SOURCE=env.src,
+                              MPI_TAG=env.tag)
+        return None
+
+    # -- persistent requests ---------------------------------------------------------
+
+    def send_init(self, buf: int, count: int, datatype: dt.Datatype,
+                  dest: int, tag: int = 0, comm: Optional[Comm] = None,
+                  data: Any = None) -> Request:
+        comm = comm or self.world
+        self._check_p2p_args(comm, dest, count, datatype, tag, is_recv=False)
+        t0 = self._tick()
+        req = self._new_request("send_init", comm_cid=comm.cid, peer=dest,
+                                tag=tag, nbytes=count * datatype.size,
+                                datatype_handle=datatype.handle, buf_addr=buf)
+        req.persistent = True
+        req.active = False
+        req._persistent_start = lambda: self._post_send(
+            "isend", comm, dest, tag, count * datatype.size, buf, datatype,
+            data)
+        self._rec("MPI_Send_init", t0, {
+            "buf": buf, "count": count, "datatype": datatype, "dest": dest,
+            "tag": tag, "comm": comm, "request": req})
+        return req
+
+    def recv_init(self, buf: int, count: int, datatype: dt.Datatype,
+                  source: int, tag: int = C.ANY_TAG,
+                  comm: Optional[Comm] = None) -> Request:
+        comm = comm or self.world
+        self._check_p2p_args(comm, source, count, datatype, tag, is_recv=True)
+        t0 = self._tick()
+        req = self._new_request("recv_init", comm_cid=comm.cid, peer=source,
+                                tag=tag, nbytes=count * datatype.size,
+                                datatype_handle=datatype.handle, buf_addr=buf)
+        req.persistent = True
+        req.active = False
+        req._persistent_start = lambda: self._post_recv(
+            comm, source, tag, count * datatype.size, buf, datatype)
+        self._rec("MPI_Recv_init", t0, {
+            "buf": buf, "count": count, "datatype": datatype,
+            "source": source, "tag": tag, "comm": comm, "request": req})
+        return req
+
+    def start(self, request: Request) -> None:
+        request.check_usable()
+        if not request.persistent:
+            raise InvalidArgumentError("MPI_Start on a non-persistent request")
+        if request.active:
+            raise InvalidArgumentError("MPI_Start on an active request")
+        t0 = self._tick()
+        request.current = request._persistent_start()
+        request.active = True
+        self._rec("MPI_Start", t0, {"request": request})
+
+    def startall(self, requests: list[Request]) -> None:
+        t0 = self._tick()
+        for req in requests:
+            req.check_usable()
+            if not req.persistent or req.active:
+                raise InvalidArgumentError("MPI_Startall on unstartable request")
+            req.current = req._persistent_start()
+            req.active = True
+        self._rec("MPI_Startall", t0, {
+            "count": len(requests), "array_of_requests": list(requests)})
+
+    # -- cancel / free -------------------------------------------------------------
+
+    def cancel(self, request: Request) -> None:
+        """Cancel a pending receive (sends are eager and cannot be cancelled
+        once injected — matching real-MPI best-effort semantics)."""
+        request.check_usable()
+        t0 = self._tick()
+        target = request.wait_target()
+        if (target is not None and not target.done
+                and target.kind == "irecv"):
+            comm = self.rt.comm_by_cid(target.comm_cid)
+            posted = comm.posted_queue(self.rank)
+            for i, entry in enumerate(posted):
+                if entry is target:
+                    del posted[i]
+                    target.cancelled = True
+                    st = Status(cancelled=True, MPI_SOURCE=C.ANY_SOURCE,
+                                MPI_TAG=C.ANY_TAG)
+                    self.rt.scheduler_complete(target, st, self.clock.now)
+                    break
+        self._rec("MPI_Cancel", t0, {"request": request})
+
+    def request_free(self, request: Request) -> None:
+        request.check_usable()
+        t0 = self._tick()
+        request.freed = True
+        self._rec("MPI_Request_free", t0, {"request": request})
+
+    def request_get_status(self, request: Request):
+        request.check_usable()
+        t0 = self._tick()
+        target = request.wait_target()
+        flag = target.done
+        st = target.status if flag else None
+        self._rec("MPI_Request_get_status", t0, {
+            "request": request, "flag": flag, "status": st})
+        return flag, st

@@ -1,0 +1,224 @@
+"""One-sided (RMA) operations mixin.
+
+Covers the window lifecycle and the core RMA surface: ``Win_create``,
+``Win_allocate``, ``Win_free``, ``Win_fence``, ``Put``, ``Get``,
+``Accumulate``, ``Win_lock``/``Win_unlock``, ``Win_set_name``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from . import constants as C
+from . import datatypes as dt
+from .api_base import ApiBase
+from .comm import Comm
+from .errors import InvalidArgumentError
+from .future import Future
+from .ops import Op
+from .win import LOCK_EXCLUSIVE, LOCK_SHARED, Win
+
+
+class ApiRMA(ApiBase):
+    """RMA mixin."""
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def win_create(self, base: int, size: int, disp_unit: int = 1,
+                   comm: Optional[Comm] = None):
+        """Collective window creation over *comm*."""
+        comm = comm or self.world
+        if size < 0 or disp_unit <= 0:
+            raise InvalidArgumentError("bad win size/disp_unit")
+        rt = self.rt
+
+        def compute(g, c):
+            bases, sizes, units = {}, {}, {}
+            for i, w in enumerate(c.group.ranks):
+                b, s, d = g.arrived[w][0]
+                bases[i], sizes[i], units[i] = b, s, d
+            win = Win(rt.next_win_id(), c, bases, sizes, units)
+            win.sync_comm = rt.make_comm(type(c.group)(c.group.ranks),
+                                         name=f"{win.name}-sync")
+            return {w: win for w in g.arrived}
+
+        t0 = self._tick()
+        win = yield from self._coll("win_create", comm,
+                                    (base, size, disp_unit), 0, compute)
+        self._rec("MPI_Win_create", t0, {
+            "base": base, "size": size, "disp_unit": disp_unit,
+            "comm": comm, "win": win})
+        return win
+
+    def win_allocate(self, size: int, disp_unit: int = 1,
+                     comm: Optional[Comm] = None):
+        """Collective allocate-and-expose: the simulator mallocs the
+        backing buffer (intercepted) and creates the window."""
+        comm = comm or self.world
+        base = self.malloc(max(size, 1))
+        rt = self.rt
+
+        def compute(g, c):
+            bases, sizes, units = {}, {}, {}
+            for i, w in enumerate(c.group.ranks):
+                b, s, d = g.arrived[w][0]
+                bases[i], sizes[i], units[i] = b, s, d
+            win = Win(rt.next_win_id(), c, bases, sizes, units)
+            win.sync_comm = rt.make_comm(type(c.group)(c.group.ranks),
+                                         name=f"{win.name}-sync")
+            return {w: win for w in g.arrived}
+
+        t0 = self._tick()
+        win = yield from self._coll("win_create", comm,
+                                    (base, size, disp_unit), 0, compute)
+        self._rec("MPI_Win_allocate", t0, {
+            "size": size, "disp_unit": disp_unit, "comm": comm,
+            "baseptr": base, "win": win})
+        return base, win
+
+    def win_free(self, win: Win):
+        """Collective window destruction (synchronising, per standard)."""
+        win.check_usable()
+
+        def compute(g, c):
+            return None
+
+        t0 = self._tick()
+        yield from self._coll("win_free", win.sync_comm, None, 0, compute)
+        win.freed = True
+        self._rec("MPI_Win_free", t0, {"win": win})
+
+    def win_set_name(self, win: Win, name: str) -> None:
+        win.check_usable()
+        t0 = self._tick()
+        win.name = name[:C.MAX_OBJECT_NAME]
+        self._rec("MPI_Win_set_name", t0, {"win": win, "win_name": name})
+
+    # -- active target synchronisation -----------------------------------------------
+
+    def win_fence(self, win: Win, assert_: int = 0):
+        """Collective fence: closes the current epoch (queued RMA effects
+        land in window memory) and opens the next."""
+        win.check_usable()
+        rt = self.rt
+
+        def compute(g, c):
+            win.apply_effects()
+            win.fence_count += 1
+            return None
+
+        t0 = self._tick()
+        yield from self._coll("win_fence", win.sync_comm, None, 0, compute,
+                              ("win_fence", win.wid))
+        self._rec("MPI_Win_fence", t0, {"assert": assert_, "win": win})
+
+    # -- RMA operations ---------------------------------------------------------------
+
+    def _rma_common(self, win: Win, target_rank: int, target_count: int,
+                    target_datatype: dt.Datatype) -> int:
+        win.check_usable()
+        win.check_target(target_rank)
+        target_datatype.check_usable()
+        nbytes = target_count * target_datatype.size
+        disp_limit = win.sizes[target_rank]
+        return nbytes
+
+    def put(self, origin_addr: int, origin_count: int,
+            origin_datatype: dt.Datatype, target_rank: int,
+            target_disp: int, target_count: int,
+            target_datatype: dt.Datatype, win: Win,
+            data: Any = None) -> None:
+        nbytes = self._rma_common(win, target_rank, target_count,
+                                  target_datatype)
+        t0 = self._tick()
+        self.clock.advance_exact(self.rt.net.send_overhead(nbytes))
+        win.queue_effect(target_rank,
+                         (self._comm_rank(win.comm), "put", target_disp,
+                          data))
+        self._rec("MPI_Put", t0, {
+            "origin_addr": origin_addr, "origin_count": origin_count,
+            "origin_datatype": origin_datatype, "target_rank": target_rank,
+            "target_disp": target_disp, "target_count": target_count,
+            "target_datatype": target_datatype, "win": win})
+
+    def get(self, origin_addr: int, origin_count: int,
+            origin_datatype: dt.Datatype, target_rank: int,
+            target_disp: int, target_count: int,
+            target_datatype: dt.Datatype, win: Win) -> Any:
+        """Returns the target's value at that displacement as of the last
+        closed epoch (None for metadata-only windows)."""
+        nbytes = self._rma_common(win, target_rank, target_count,
+                                  target_datatype)
+        t0 = self._tick()
+        self.clock.advance_exact(self.rt.net.p2p_time(nbytes))
+        value = win.memory[target_rank].get(target_disp)
+        self._rec("MPI_Get", t0, {
+            "origin_addr": origin_addr, "origin_count": origin_count,
+            "origin_datatype": origin_datatype, "target_rank": target_rank,
+            "target_disp": target_disp, "target_count": target_count,
+            "target_datatype": target_datatype, "win": win})
+        return value
+
+    def accumulate(self, origin_addr: int, origin_count: int,
+                   origin_datatype: dt.Datatype, target_rank: int,
+                   target_disp: int, target_count: int,
+                   target_datatype: dt.Datatype, op: Op, win: Win,
+                   data: Any = None) -> None:
+        nbytes = self._rma_common(win, target_rank, target_count,
+                                  target_datatype)
+        t0 = self._tick()
+        self.clock.advance_exact(self.rt.net.send_overhead(nbytes))
+        win.queue_effect(target_rank,
+                         (self._comm_rank(win.comm), "acc", target_disp,
+                          data))
+        self._rec("MPI_Accumulate", t0, {
+            "origin_addr": origin_addr, "origin_count": origin_count,
+            "origin_datatype": origin_datatype, "target_rank": target_rank,
+            "target_disp": target_disp, "target_count": target_count,
+            "target_datatype": target_datatype, "op": op, "win": win})
+
+    # -- passive target synchronisation ------------------------------------------------
+
+    def win_lock(self, lock_type: int, target_rank: int, win: Win,
+                 assert_: int = 0):
+        """Acquire a shared/exclusive lock on *target_rank*'s window
+        portion; blocks while an incompatible holder exists."""
+        win.check_usable()
+        win.check_target(target_rank)
+        if lock_type not in (LOCK_EXCLUSIVE, LOCK_SHARED):
+            raise InvalidArgumentError(f"bad lock type {lock_type}")
+        t0 = self._tick()
+        st = win.lock_state(target_rank)
+        me = self.rank
+        while True:
+            holders, mode = st["holders"], st["mode"]
+            compatible = (not holders) or (
+                mode == LOCK_SHARED and lock_type == LOCK_SHARED)
+            if compatible:
+                st["holders"].add(me)
+                st["mode"] = lock_type
+                break
+            fut = Future(f"win_lock({win.name},target={target_rank}) "
+                         f"rank={me}")
+            st["waiters"].append(fut)
+            yield fut
+        self._rec("MPI_Win_lock", t0, {
+            "lock_type": lock_type, "rank": target_rank,
+            "assert": assert_, "win": win})
+
+    def win_unlock(self, target_rank: int, win: Win) -> None:
+        """Release the lock; queued effects on that target land now."""
+        win.check_usable()
+        t0 = self._tick()
+        st = win.lock_state(target_rank)
+        if self.rank not in st["holders"]:
+            raise InvalidArgumentError(
+                f"rank {self.rank} does not hold the lock on "
+                f"{win.name}[{target_rank}]")
+        win.apply_effects(target_rank)
+        st["holders"].discard(self.rank)
+        if not st["holders"]:
+            st["mode"] = 0
+            while st["waiters"]:
+                self.rt.scheduler.resolve(st["waiters"].popleft(), None)
+        self._rec("MPI_Win_unlock", t0, {"rank": target_rank, "win": win})

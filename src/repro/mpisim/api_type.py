@@ -1,0 +1,115 @@
+"""Datatype construction calls plus small environment queries.
+
+Derived-datatype creation calls are traced with their full recipes so the
+tracer can associate, e.g., a ``MPI_Type_indexed`` creation with later
+``MPI_Send`` uses through the symbolic id (§3.3's ``MPI_Type_indexed``
+example).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from . import datatypes as dt
+from .api_base import ApiBase
+from .status import Status
+
+
+class ApiType(ApiBase):
+    """Datatype/environment mixin."""
+
+    def type_contiguous(self, count: int, oldtype: dt.Datatype) -> dt.Datatype:
+        t0 = self._tick()
+        newtype = self.types.contiguous(count, oldtype)
+        self._rec("MPI_Type_contiguous", t0, {
+            "count": count, "oldtype": oldtype, "newtype": newtype})
+        return newtype
+
+    def type_vector(self, count: int, blocklength: int, stride: int,
+                    oldtype: dt.Datatype) -> dt.Datatype:
+        t0 = self._tick()
+        newtype = self.types.vector(count, blocklength, stride, oldtype)
+        self._rec("MPI_Type_vector", t0, {
+            "count": count, "blocklength": blocklength, "stride": stride,
+            "oldtype": oldtype, "newtype": newtype})
+        return newtype
+
+    def type_indexed(self, blocklengths: Sequence[int],
+                     displacements: Sequence[int],
+                     oldtype: dt.Datatype) -> dt.Datatype:
+        t0 = self._tick()
+        newtype = self.types.indexed(blocklengths, displacements, oldtype)
+        self._rec("MPI_Type_indexed", t0, {
+            "count": len(blocklengths),
+            "array_of_blocklengths": tuple(blocklengths),
+            "array_of_displacements": tuple(displacements),
+            "oldtype": oldtype, "newtype": newtype})
+        return newtype
+
+    def type_create_struct(self, blocklengths: Sequence[int],
+                           displacements: Sequence[int],
+                           types: Sequence[dt.Datatype]) -> dt.Datatype:
+        t0 = self._tick()
+        newtype = self.types.struct(blocklengths, displacements, types)
+        self._rec("MPI_Type_create_struct", t0, {
+            "count": len(blocklengths),
+            "array_of_blocklengths": tuple(blocklengths),
+            "array_of_displacements": tuple(displacements),
+            "array_of_types": tuple(types), "newtype": newtype})
+        return newtype
+
+    def type_commit(self, datatype: dt.Datatype) -> None:
+        t0 = self._tick()
+        self.types.commit(datatype)
+        self._rec("MPI_Type_commit", t0, {"datatype": datatype})
+
+    def type_free(self, datatype: dt.Datatype) -> None:
+        t0 = self._tick()
+        self.types.free(datatype)
+        self._rec("MPI_Type_free", t0, {"datatype": datatype})
+
+    def type_size(self, datatype: dt.Datatype) -> int:
+        t0 = self._tick()
+        size = datatype.size
+        self._rec("MPI_Type_size", t0, {"datatype": datatype, "size": size})
+        return size
+
+    def type_get_extent(self, datatype: dt.Datatype) -> tuple[int, int]:
+        t0 = self._tick()
+        lb, extent = 0, datatype.extent
+        self._rec("MPI_Type_get_extent", t0, {
+            "datatype": datatype, "lb": lb, "extent": extent})
+        return lb, extent
+
+    def get_count(self, status: Status, datatype: dt.Datatype) -> int:
+        t0 = self._tick()
+        count = status.get_count(datatype.size)
+        self._rec("MPI_Get_count", t0, {
+            "status": status, "datatype": datatype, "count": count})
+        return count
+
+    # -- environment -----------------------------------------------------------
+
+    def abort(self, comm=None, errorcode: int = 1) -> None:
+        """``MPI_Abort``: terminate the whole simulated job.  Recorded
+        first (a tracer must see the call), then the run is torn down by
+        raising out of the calling rank."""
+        from .errors import MpiSimError
+        comm = comm or self.world
+        t0 = self._tick()
+        self._rec("MPI_Abort", t0, {"comm": comm, "errorcode": errorcode})
+        raise MpiSimError(
+            f"MPI_Abort called on rank {self.rank} with errorcode "
+            f"{errorcode}")
+
+    def initialized(self) -> bool:
+        t0 = self._tick()
+        self._rec("MPI_Initialized", t0, {"flag": True})
+        return True
+
+    def get_processor_name(self) -> str:
+        t0 = self._tick()
+        name = f"simnode{self.rank // self.rt.node_size:04d}"
+        self._rec("MPI_Get_processor_name", t0, {
+            "name": name, "resultlen": len(name)})
+        return name

@@ -1,0 +1,181 @@
+"""Communicators: message channels plus collective rendezvous state.
+
+A :class:`Comm` is shared by all member ranks (the simulator runs every
+rank in one process).  It owns
+
+* the point-to-point matching queues (posted receives / unexpected
+  messages, per receiving rank, matched in MPI's posting order with
+  wildcard support), and
+* the collective rendezvous bookkeeping: MPI requires all members to call
+  the same sequence of collectives on a communicator, so the *n*-th
+  collective call of each rank on this comm joins gathering *n*.
+
+Inter-communicators carry a local and a remote group; point-to-point peers
+and collective roots are interpreted against the remote group exactly as
+the standard specifies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from . import constants as C
+from .errors import (CollectiveMismatchError, InvalidArgumentError,
+                     InvalidHandleError)
+from .future import Future
+from .group import Group
+
+
+class MessageEnvelope:
+    """An in-flight point-to-point message (metadata + optional payload)."""
+
+    __slots__ = ("src", "tag", "nbytes", "data", "send_time", "seq",
+                 "send_req")
+
+    def __init__(self, src: int, tag: int, nbytes: int, data: Any,
+                 send_time: float, seq: int, send_req=None):
+        self.src = src              # comm rank of the sender (in sender's group)
+        self.tag = tag
+        self.nbytes = nbytes
+        self.data = data
+        self.send_time = send_time
+        self.seq = seq              # global arrival sequence, for FIFO order
+        self.send_req = send_req
+
+
+class CollGathering:
+    """State of one in-progress collective on a communicator."""
+
+    __slots__ = ("op", "arrived", "futures", "finalize", "check_args")
+
+    def __init__(self, op: str,
+                 finalize: Callable[["CollGathering", "Comm"], None],
+                 check_args: Any = None):
+        self.op = op
+        #: world rank -> (payload, arrival virtual time)
+        self.arrived: dict[int, tuple[Any, float]] = {}
+        #: world rank -> future resolved with (result, completion time)
+        self.futures: dict[int, Future] = {}
+        self.finalize = finalize
+        #: signature-relevant args of the first arriver (mismatch check)
+        self.check_args = check_args
+
+    def max_arrival(self) -> float:
+        return max(t for _, t in self.arrived.values())
+
+
+class Comm:
+    """An intra- or inter-communicator."""
+
+    __slots__ = ("cid", "kind", "group", "remote_group", "name", "topo",
+                 "freed", "_posted", "_unexpected", "_coll_seq", "_colls",
+                 "attrs")
+
+    def __init__(self, cid: int, group: Group,
+                 remote_group: Optional[Group] = None,
+                 name: str = ""):
+        self.cid = cid
+        self.kind = "inter" if remote_group is not None else "intra"
+        self.group = group                  # local group
+        self.remote_group = remote_group    # None for intra-comms
+        self.name = name or f"comm#{cid}"
+        self.topo = None                    # set by cart_create
+        self.freed = False
+        # p2p queues keyed by *receiving* world rank
+        self._posted: dict[int, deque] = {}
+        self._unexpected: dict[int, deque] = {}
+        # collective sequencing: world rank -> next collective index
+        self._coll_seq: dict[int, int] = {}
+        self._colls: dict[int, CollGathering] = {}
+        # cached user attributes (MPI_Comm_set_attr style), incl. names
+        self.attrs: dict[Any, Any] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Local group size (MPI_Comm_size semantics for inter-comms too)."""
+        return self.group.size
+
+    @property
+    def remote_size(self) -> int:
+        if self.remote_group is None:
+            raise InvalidHandleError("remote_size on an intra-communicator")
+        return self.remote_group.size
+
+    def rank_of_world(self, world_rank: int) -> int:
+        return self.group.rank_of(world_rank)
+
+    def peer_group(self) -> Group:
+        """Group against which src/dest arguments are interpreted."""
+        return self.remote_group if self.remote_group is not None else self.group
+
+    def check_usable(self) -> None:
+        if self.freed:
+            raise InvalidHandleError(f"communicator {self.name} was freed")
+
+    def check_peer(self, peer: int, *, wildcard_ok: bool = False) -> None:
+        if peer == C.PROC_NULL:
+            return
+        if wildcard_ok and peer == C.ANY_SOURCE:
+            return
+        if not 0 <= peer < self.peer_group().size:
+            raise InvalidArgumentError(
+                f"peer rank {peer} out of range for {self.name} "
+                f"(size {self.peer_group().size})")
+
+    # -- p2p queues ---------------------------------------------------------
+
+    def posted_queue(self, world_rank: int) -> deque:
+        q = self._posted.get(world_rank)
+        if q is None:
+            q = self._posted[world_rank] = deque()
+        return q
+
+    def unexpected_queue(self, world_rank: int) -> deque:
+        q = self._unexpected.get(world_rank)
+        if q is None:
+            q = self._unexpected[world_rank] = deque()
+        return q
+
+    # -- collective sequencing ----------------------------------------------
+
+    def join_collective(self, world_rank: int, op: str,
+                        finalize: Callable[[CollGathering, "Comm"], None],
+                        payload: Any, arrive_time: float,
+                        future: Future,
+                        check_args: Any = None) -> CollGathering:
+        """Register *world_rank*'s participation in its next collective.
+
+        Returns the gathering; when the last member joins, ``finalize`` is
+        invoked (by this call) to compute results and resolve all futures.
+        """
+        idx = self._coll_seq.get(world_rank, 0)
+        self._coll_seq[world_rank] = idx + 1
+        g = self._colls.get(idx)
+        if g is None:
+            g = self._colls[idx] = CollGathering(op, finalize, check_args)
+        else:
+            if g.op != op:
+                raise CollectiveMismatchError(
+                    f"{self.name}: rank {world_rank} called {op} while "
+                    f"others called {g.op} (collective #{idx})")
+            if g.check_args is not None and check_args is not None \
+                    and g.check_args != check_args:
+                raise CollectiveMismatchError(
+                    f"{self.name}: mismatched arguments in collective {op} "
+                    f"#{idx}: {g.check_args!r} vs {check_args!r}")
+        g.arrived[world_rank] = (payload, arrive_time)
+        g.futures[world_rank] = future
+        expected = self.group.size
+        if self.remote_group is not None:
+            # Inter-communicator collectives involve both groups.
+            expected += self.remote_group.size
+        if len(g.arrived) == expected:
+            del self._colls[idx]
+            g.finalize(g, self)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Comm {self.name} cid={self.cid} size={self.size} {self.kind}>"

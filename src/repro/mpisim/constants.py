@@ -1,0 +1,40 @@
+"""Wire-level constants mirroring the MPI standard's special values.
+
+The numeric values are chosen to be distinct from any valid rank/tag so that
+accidental use as a real rank is caught by validation, not silently matched.
+"""
+
+from __future__ import annotations
+
+# Special process ranks -------------------------------------------------------
+PROC_NULL = -1
+ANY_SOURCE = -2
+ROOT = -3  # used on the root side of inter-communicator collectives
+UNDEFINED = -32766  # MPI_UNDEFINED: e.g. comm_split color for "not a member"
+
+# Tags -------------------------------------------------------------------------
+ANY_TAG = -4
+TAG_UB = 32767
+
+# Status handling ---------------------------------------------------------------
+STATUS_IGNORE = None  # pass as the status argument to skip status creation
+STATUSES_IGNORE = None
+
+# Result codes (the simulator raises on errors, but statuses carry MPI_ERROR)
+SUCCESS = 0
+
+# Maximum object-name length, mirroring MPI_MAX_OBJECT_NAME
+MAX_OBJECT_NAME = 128
+
+# Comparison results for MPI_Comm_compare / MPI_Group_compare
+IDENT = 0
+CONGRUENT = 1
+SIMILAR = 2
+UNEQUAL = 3
+
+# Thread levels (the simulator supports SINGLE/FUNNELED semantics only,
+# matching the paper's note that Pilgrim does not support THREAD_MULTIPLE).
+THREAD_SINGLE = 0
+THREAD_FUNNELED = 1
+THREAD_SERIALIZED = 2
+THREAD_MULTIPLE = 3

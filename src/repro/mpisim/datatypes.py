@@ -1,0 +1,218 @@
+"""MPI datatypes for the simulator.
+
+Both builtin types (``MPI_INT``-style singletons) and derived types
+(contiguous / vector / indexed / struct) are supported.  Derived types keep
+their *constructor recipe* because the tracer must be able to record the
+full argument list of ``MPI_Type_vector`` etc. and later associate uses of
+the committed type with its creation call — that association is one of the
+"near lossless" properties the paper calls out (§3.3).
+
+Datatype handles are rank-local small integers handed out by the owning
+rank's :class:`DatatypeTable`; builtins share negative handles across all
+ranks, mirroring how MPI predefined handles are globally valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .errors import InvalidArgumentError, InvalidHandleError
+
+
+@dataclass(eq=False)
+class Datatype:
+    """A (possibly derived) MPI datatype.
+
+    Attributes:
+        name: debug name, e.g. ``"MPI_INT"`` or ``"vector(4,2,8,MPI_DOUBLE)"``.
+        size: number of significant bytes (sum of block sizes).
+        extent: span from first to last byte plus alignment padding.
+        handle: rank-local handle integer (negative for builtins).
+        combiner: how the type was built (``"named"``, ``"contiguous"``,
+            ``"vector"``, ``"indexed"``, ``"struct"``, ``"hvector"``).
+        recipe: the constructor argument tuple, for trace recording.
+        base_handles: handles of the constituent types.
+    """
+
+    name: str
+    size: int
+    extent: int
+    handle: int
+    combiner: str = "named"
+    recipe: tuple = ()
+    base_handles: tuple = ()
+    committed: bool = False
+    freed: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Datatype {self.name} size={self.size} h={self.handle}>"
+
+    @property
+    def is_builtin(self) -> bool:
+        return self.combiner == "named"
+
+    def check_usable(self) -> None:
+        if self.freed:
+            raise InvalidHandleError(f"datatype {self.name} was freed")
+        if not self.is_builtin and not self.committed:
+            raise InvalidArgumentError(
+                f"derived datatype {self.name} used before MPI_Type_commit"
+            )
+
+
+def _builtin(name: str, size: int, handle: int) -> Datatype:
+    return Datatype(name=name, size=size, extent=size, handle=handle,
+                    combiner="named", committed=True)
+
+
+# Predefined types. Handles are negative and stable across runs so that the
+# tracer's symbolic encoding of a builtin is identical on every rank.
+BYTE = _builtin("MPI_BYTE", 1, -1)
+CHAR = _builtin("MPI_CHAR", 1, -2)
+INT = _builtin("MPI_INT", 4, -3)
+LONG = _builtin("MPI_LONG", 8, -4)
+FLOAT = _builtin("MPI_FLOAT", 4, -5)
+DOUBLE = _builtin("MPI_DOUBLE", 8, -6)
+UNSIGNED = _builtin("MPI_UNSIGNED", 4, -7)
+UNSIGNED_LONG = _builtin("MPI_UNSIGNED_LONG", 8, -8)
+SHORT = _builtin("MPI_SHORT", 2, -9)
+INT64 = _builtin("MPI_INT64_T", 8, -10)
+UINT64 = _builtin("MPI_UINT64_T", 8, -11)
+COMPLEX = _builtin("MPI_COMPLEX", 8, -12)
+DOUBLE_COMPLEX = _builtin("MPI_DOUBLE_COMPLEX", 16, -13)
+PACKED = _builtin("MPI_PACKED", 1, -14)
+
+BUILTINS: dict[int, Datatype] = {
+    t.handle: t
+    for t in (BYTE, CHAR, INT, LONG, FLOAT, DOUBLE, UNSIGNED, UNSIGNED_LONG,
+              SHORT, INT64, UINT64, COMPLEX, DOUBLE_COMPLEX, PACKED)
+}
+
+
+class DatatypeTable:
+    """Per-rank registry of derived datatypes.
+
+    Mirrors the MPI model in which handles are process-local.  Regular SPMD
+    codes create derived types in the same order on every rank, so handle
+    sequences — and therefore Pilgrim's symbolic ids — align across ranks,
+    which is exactly the property §3.3 relies on for inter-process
+    compression.
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[int, Datatype] = {}
+        self._next_handle = 1
+
+    def lookup(self, handle: int) -> Datatype:
+        if handle < 0:
+            try:
+                return BUILTINS[handle]
+            except KeyError:
+                raise InvalidHandleError(f"unknown builtin datatype handle {handle}")
+        try:
+            dt = self._types[handle]
+        except KeyError:
+            raise InvalidHandleError(f"unknown datatype handle {handle}")
+        return dt
+
+    def _register(self, dt: Datatype) -> Datatype:
+        dt.handle = self._next_handle
+        self._next_handle += 1
+        self._types[dt.handle] = dt
+        return dt
+
+    # -- constructors ------------------------------------------------------
+
+    def contiguous(self, count: int, base: Datatype) -> Datatype:
+        if count < 0:
+            raise InvalidArgumentError(f"contiguous count {count} < 0")
+        base.check_usable()
+        return self._register(Datatype(
+            name=f"contiguous({count},{base.name})",
+            size=count * base.size,
+            extent=count * base.extent,
+            handle=0,
+            combiner="contiguous",
+            recipe=(count,),
+            base_handles=(base.handle,),
+        ))
+
+    def vector(self, count: int, blocklength: int, stride: int,
+               base: Datatype) -> Datatype:
+        if count < 0 or blocklength < 0:
+            raise InvalidArgumentError("vector count/blocklength must be >= 0")
+        base.check_usable()
+        if count == 0:
+            extent = 0
+        else:
+            span = ((count - 1) * stride + blocklength) * base.extent
+            extent = max(span, blocklength * base.extent)
+        return self._register(Datatype(
+            name=f"vector({count},{blocklength},{stride},{base.name})",
+            size=count * blocklength * base.size,
+            extent=extent,
+            handle=0,
+            combiner="vector",
+            recipe=(count, blocklength, stride),
+            base_handles=(base.handle,),
+        ))
+
+    def indexed(self, blocklengths: Sequence[int], displacements: Sequence[int],
+                base: Datatype) -> Datatype:
+        if len(blocklengths) != len(displacements):
+            raise InvalidArgumentError("indexed blocklengths/displacements mismatch")
+        if any(b < 0 for b in blocklengths):
+            raise InvalidArgumentError("indexed blocklength < 0")
+        base.check_usable()
+        size = sum(blocklengths) * base.size
+        if blocklengths:
+            extent = max((d + b) * base.extent
+                         for d, b in zip(displacements, blocklengths))
+            extent = max(extent, 0)
+        else:
+            extent = 0
+        return self._register(Datatype(
+            name=f"indexed({len(blocklengths)},{base.name})",
+            size=size,
+            extent=extent,
+            handle=0,
+            combiner="indexed",
+            recipe=(tuple(blocklengths), tuple(displacements)),
+            base_handles=(base.handle,),
+        ))
+
+    def struct(self, blocklengths: Sequence[int], displacements: Sequence[int],
+               types: Sequence[Datatype]) -> Datatype:
+        if not (len(blocklengths) == len(displacements) == len(types)):
+            raise InvalidArgumentError("struct argument arrays must have equal length")
+        for t in types:
+            t.check_usable()
+        size = sum(b * t.size for b, t in zip(blocklengths, types))
+        extent = 0
+        for b, d, t in zip(blocklengths, displacements, types):
+            extent = max(extent, d + b * t.extent)
+        return self._register(Datatype(
+            name=f"struct({len(types)})",
+            size=size,
+            extent=extent,
+            handle=0,
+            combiner="struct",
+            recipe=(tuple(blocklengths), tuple(displacements)),
+            base_handles=tuple(t.handle for t in types),
+        ))
+
+    def commit(self, dt: Datatype) -> None:
+        if dt.freed:
+            raise InvalidHandleError("commit of a freed datatype")
+        dt.committed = True
+
+    def free(self, dt: Datatype) -> None:
+        if dt.is_builtin:
+            raise InvalidHandleError("cannot free a builtin datatype")
+        if dt.freed:
+            raise InvalidHandleError("double free of datatype")
+        dt.freed = True
+        # Handles are NOT recycled here: MPI permits pending operations to
+        # keep using the type.  Pilgrim recycles *symbolic ids*, which is a
+        # tracer-side pool (see repro.core.symbolic), not a runtime concern.

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the simulated MPI runtime.
+
+The simulator is strict: misuse that a real MPI library would flag as an
+error (or silently corrupt) raises a Python exception carrying enough
+context to debug the offending rank program.
+"""
+
+from __future__ import annotations
+
+
+class MpiSimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class InvalidHandleError(MpiSimError):
+    """A freed, foreign, or otherwise invalid handle was used in a call."""
+
+
+class InvalidArgumentError(MpiSimError):
+    """An argument is out of range (negative count, bad rank, bad tag, ...)."""
+
+
+class TruncationError(MpiSimError):
+    """A received message is longer than the posted receive buffer."""
+
+
+class CommMismatchError(MpiSimError):
+    """An operation mixed handles belonging to different communicators."""
+
+
+class CollectiveMismatchError(MpiSimError):
+    """Ranks of a communicator disagree on the collective being performed.
+
+    MPI requires every member of a communicator to invoke the same sequence
+    of collective operations on it.  The simulator checks the operation name
+    and (where the standard requires it) the signature-relevant arguments at
+    the rendezvous point and raises this error on divergence.
+    """
+
+
+class DeadlockError(MpiSimError):
+    """No rank is runnable but at least one has not finished.
+
+    The message lists each blocked rank together with a human-readable
+    description of the operation it is waiting on, which is usually enough
+    to spot mismatched sends/receives or a collective that only part of the
+    communicator entered.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        lines = [f"deadlock: {len(blocked)} rank(s) blocked with no runnable work"]
+        for rank in sorted(blocked):
+            lines.append(f"  rank {rank}: waiting on {blocked[rank]}")
+        super().__init__("\n".join(lines))
+
+
+class RankProgramError(MpiSimError):
+    """A rank program raised; wraps the original exception with rank context."""
+
+    def __init__(self, rank: int, original: BaseException):
+        self.rank = rank
+        self.original = original
+        super().__init__(f"rank {rank} raised {type(original).__name__}: {original}")

@@ -1,0 +1,58 @@
+"""The synchronisation primitive connecting rank coroutines to the scheduler.
+
+A rank program is a Python generator.  Whenever it must block it yields a
+:class:`Future`; the scheduler parks the rank until the future resolves and
+then resumes the generator with the future's value.  Everything blocking in
+the simulator — receives, waits, collectives — bottoms out in a future.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+_UNSET = object()
+
+
+class Future:
+    """A one-shot resolvable value with waiters and callbacks."""
+
+    __slots__ = ("_value", "waiters", "callbacks", "desc")
+
+    def __init__(self, desc: str = "?"):
+        self._value: Any = _UNSET
+        #: rank contexts parked on this future (managed by the scheduler)
+        self.waiters: list = []
+        #: callbacks fired on resolution, e.g. wait-any aggregation
+        self.callbacks: list[Callable[["Future"], None]] = []
+        #: human-readable description, surfaced in deadlock reports
+        self.desc = desc
+
+    @property
+    def done(self) -> bool:
+        return self._value is not _UNSET
+
+    @property
+    def value(self) -> Any:
+        assert self._value is not _UNSET, "future read before resolution"
+        return self._value
+
+    def resolve(self, value: Any = None) -> list:
+        """Resolve and return the rank contexts to wake (scheduler enqueues)."""
+        assert self._value is _UNSET, f"double resolve of future {self.desc}"
+        self._value = value
+        woken = self.waiters
+        self.waiters = []
+        for cb in self.callbacks:
+            cb(self)
+        self.callbacks = []
+        return woken
+
+    def add_callback(self, cb: Callable[["Future"], None]) -> None:
+        if self.done:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else f"pending({len(self.waiters)} waiters)"
+        return f"<Future {self.desc} {state}>"

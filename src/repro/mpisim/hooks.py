@@ -1,0 +1,33 @@
+"""Tracer hook protocol.
+
+A tracer attached to the simulator plays the role PMPI interposition plays
+for the real Pilgrim: it observes every MPI call (with all inputs and
+outputs and virtual entry/exit timestamps) and every memory-management
+call.  Hooks are synchronous — time the tracer spends inside a hook is
+exactly the "intra-process compression" overhead of Fig 7/8, and the
+harness measures it with real CPU timers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class TracerHooks:
+    """No-op base class; tracers override what they need."""
+
+    def on_run_start(self, sim) -> None:
+        """Called once before any rank executes (MPI_Init time)."""
+
+    def on_call(self, rank: int, fname: str, args: dict[str, Any],
+                t0: float, t1: float) -> None:
+        """One MPI call on one rank: *args* holds every parameter (inputs
+        and outputs; direction metadata lives in ``repro.mpisim.funcs``)."""
+
+    def on_mem(self, rank: int, fname: str, args: dict[str, Any],
+               result: Any, t: float) -> None:
+        """A memory-management interception (malloc/free/cudaMalloc/...)."""
+
+    def on_run_end(self, sim) -> None:
+        """Called after every rank finished (MPI_Finalize time); tracers
+        perform their inter-process compression here."""

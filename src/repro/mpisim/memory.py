@@ -1,0 +1,131 @@
+"""Simulated per-rank heap (and device heap).
+
+Pilgrim intercepts ``malloc``/``calloc``/``realloc``/``free`` and the CUDA
+allocators to map buffer pointers used in MPI calls back to the allocation
+that created them (§3.3.3).  Since we have no process address space of our
+own to observe, each simulated rank gets a deterministic heap: a bump
+allocator with a first-fit free list.  Two properties matter and are
+preserved by construction:
+
+* pointers are plain integers, and pointer arithmetic inside a segment
+  works (``addr + displacement`` still falls inside the segment), and
+* ranks running the same allocation sequence produce the same addresses,
+  which is what lets Pilgrim's symbolic buffer ids coincide across ranks
+  and feed inter-process compression.
+
+Addresses below :data:`HEAP_BASE` are treated as "stack" addresses — the
+paper assigns those an id on first touch with a conservative 1-byte size;
+the tracer handles that case (see ``repro.core.tracer``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import InvalidArgumentError, InvalidHandleError
+
+HEAP_BASE = 0x100000          # 1 MiB: everything above is heap
+DEVICE_BASE = 0x40000000000   # device allocations live far away
+_ALIGN = 16
+
+
+@dataclass
+class Allocation:
+    addr: int
+    size: int
+    device: int  # -1 host, >=0 device ordinal
+    freed: bool = False
+
+
+class RankHeap:
+    """Deterministic simulated heap of a single rank."""
+
+    def __init__(self) -> None:
+        self._brk = HEAP_BASE
+        self._device_brk = DEVICE_BASE
+        self._live: dict[int, Allocation] = {}
+        # free list: size-bucketed LIFO reuse so that malloc/free loops
+        # return the same address every iteration (as glibc does in the
+        # common case, and as Pilgrim's id-reuse behaviour expects).
+        self._free: dict[int, list[int]] = {}
+
+    # -- host ----------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        if size < 0:
+            raise InvalidArgumentError(f"malloc of negative size {size}")
+        size = max(size, 1)
+        rounded = (size + _ALIGN - 1) // _ALIGN * _ALIGN
+        bucket = self._free.get(rounded)
+        if bucket:
+            addr = bucket.pop()
+        else:
+            addr = self._brk
+            self._brk += rounded
+        self._live[addr] = Allocation(addr, size, device=-1)
+        return addr
+
+    def calloc(self, nmemb: int, size: int) -> int:
+        return self.malloc(nmemb * size)
+
+    def realloc(self, addr: int, size: int) -> int:
+        if addr == 0:
+            return self.malloc(size)
+        old = self._lookup(addr)
+        self.free(addr)
+        return self.malloc(size)
+
+    def free(self, addr: int) -> Allocation:
+        if addr == 0:
+            raise InvalidArgumentError("free(NULL) — the simulator is strict")
+        alloc = self._lookup(addr)
+        alloc.freed = True
+        del self._live[addr]
+        rounded = (alloc.size + _ALIGN - 1) // _ALIGN * _ALIGN
+        self._free.setdefault(rounded, []).append(addr)
+        return alloc
+
+    # -- device ---------------------------------------------------------------
+
+    def cuda_malloc(self, size: int, device: int = 0) -> int:
+        if size < 0:
+            raise InvalidArgumentError(f"cudaMalloc of negative size {size}")
+        size = max(size, 1)
+        rounded = (size + _ALIGN - 1) // _ALIGN * _ALIGN
+        addr = self._device_brk
+        self._device_brk += rounded
+        self._live[addr] = Allocation(addr, size, device=device)
+        return addr
+
+    def cuda_free(self, addr: int) -> Allocation:
+        alloc = self._lookup(addr)
+        if alloc.device < 0:
+            raise InvalidHandleError(f"cudaFree of host pointer {addr:#x}")
+        alloc.freed = True
+        del self._live[addr]
+        return alloc
+
+    # -- queries ----------------------------------------------------------------
+
+    def _lookup(self, addr: int) -> Allocation:
+        alloc = self._live.get(addr)
+        if alloc is None:
+            raise InvalidHandleError(f"free/realloc of unknown pointer {addr:#x}")
+        return alloc
+
+    def containing(self, addr: int) -> Optional[Allocation]:
+        """The live allocation containing *addr*, if any (linear reference
+        implementation; the tracer keeps its own AVL tree for O(log n))."""
+        for alloc in self._live.values():
+            if alloc.addr <= addr < alloc.addr + alloc.size:
+                return alloc
+        return None
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(a.size for a in self._live.values())

@@ -1,0 +1,65 @@
+"""Reduction operations (``MPI_Op``).
+
+Payloads in the simulator are ordinary Python values (numbers, tuples or
+lists of numbers, or ``None`` when a workload sends metadata only).
+Reductions operate elementwise on sequences, mirroring MPI's typed-array
+semantics, and propagate ``None`` so metadata-only workloads can still use
+``allreduce`` purely for its synchronisation and trace footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Op:
+    """A named, commutative reduction operator."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    handle: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Op {self.name}>"
+
+
+def _lift(f: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    """Apply *f* scalar-wise, elementwise over sequences, None-propagating."""
+
+    def apply(a: Any, b: Any) -> Any:
+        if a is None or b is None:
+            return None
+        if isinstance(a, (list, tuple)):
+            out = [apply(x, y) for x, y in zip(a, b)]
+            return tuple(out) if isinstance(a, tuple) else out
+        return f(a, b)
+
+    return apply
+
+
+SUM = Op("MPI_SUM", _lift(lambda a, b: a + b), -1)
+PROD = Op("MPI_PROD", _lift(lambda a, b: a * b), -2)
+MAX = Op("MPI_MAX", _lift(max), -3)
+MIN = Op("MPI_MIN", _lift(min), -4)
+LAND = Op("MPI_LAND", _lift(lambda a, b: bool(a) and bool(b)), -5)
+LOR = Op("MPI_LOR", _lift(lambda a, b: bool(a) or bool(b)), -6)
+BAND = Op("MPI_BAND", _lift(lambda a, b: a & b), -7)
+BOR = Op("MPI_BOR", _lift(lambda a, b: a | b), -8)
+BXOR = Op("MPI_BXOR", _lift(lambda a, b: a ^ b), -9)
+MAXLOC = Op("MPI_MAXLOC", _lift(max), -10)   # payloads are (value, loc) tuples
+MINLOC = Op("MPI_MINLOC", _lift(min), -11)
+
+ALL_OPS = (SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR, BXOR, MAXLOC, MINLOC)
+BY_NAME = {op.name: op for op in ALL_OPS}
+
+
+def reduce_payloads(op: Op, payloads: list) -> Any:
+    """Fold *payloads* (ordered by rank, per the MPI reduction order rule)."""
+    if not payloads:
+        return None
+    acc = payloads[0]
+    for p in payloads[1:]:
+        acc = op.fn(acc, p)
+    return acc

@@ -1,0 +1,120 @@
+"""Cooperative rank scheduler.
+
+Every simulated rank is a Python generator.  The scheduler drives runnable
+ranks round-robin; a rank that must block yields a
+:class:`~repro.mpisim.future.Future` and is parked until some other rank's
+progress resolves it.  All blocking therefore reduces to explicit dataflow,
+which gives us exact deadlock detection for free: if the ready queue drains
+while ranks remain unfinished, the program is deadlocked and we can report
+precisely which operation each rank is stuck in.
+
+The design scales to tens of thousands of ranks (a generator is ~200 bytes)
+— this is what lets the MILC experiment (Fig 9) run at paper-like process
+counts where one OS thread per rank would be infeasible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from .clock import RankClock
+from .errors import DeadlockError, RankProgramError
+from .future import Future
+
+
+class RankContext:
+    """Execution state of one simulated rank."""
+
+    __slots__ = ("rank", "gen", "finished", "clock", "waiting_on")
+
+    def __init__(self, rank: int, gen: Generator, clock: RankClock):
+        self.rank = rank
+        self.gen = gen
+        self.finished = False
+        self.clock = clock
+        self.waiting_on: Optional[Future] = None
+
+
+class Scheduler:
+    """Round-robin driver over rank generators."""
+
+    def __init__(self, spin_limit: int = 2_000_000) -> None:
+        self._ready: deque[tuple[RankContext, object]] = deque()
+        self.contexts: list[RankContext] = []
+        #: total number of scheduler resume steps (a cheap progress metric)
+        self.steps = 0
+        #: steps at the time of the last future resolution; used to detect
+        #: livelock (Test* spin loops that can never be satisfied)
+        self._last_progress = 0
+        self._spin_limit = spin_limit
+
+    # -- wiring ----------------------------------------------------------------
+
+    def add_rank(self, ctx: RankContext) -> None:
+        self.contexts.append(ctx)
+        self._ready.append((ctx, None))
+
+    def resolve(self, future: Future, value=None) -> None:
+        """Resolve a future and make its waiters runnable."""
+        self._last_progress = self.steps
+        for ctx in future.resolve(value):
+            ctx.waiting_on = None
+            self._ready.append((ctx, future.value))
+
+    def complete_request(self, req, status, when: float, value=None) -> None:
+        """Complete a request (see Request.complete) and wake its waiters."""
+        self._last_progress = self.steps
+        for ctx in req.complete(status, when, value):
+            ctx.waiting_on = None
+            self._ready.append((ctx, req.value))
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run until every rank finishes; raise on deadlock or rank error."""
+        ready = self._ready
+        while ready:
+            ctx, value = ready.popleft()
+            self._drive(ctx, value)
+            if self.steps - self._last_progress > self._spin_limit:
+                blocked = {c.rank: "Test*/Iprobe spin loop (livelock)"
+                           for c in self.contexts if not c.finished}
+                raise DeadlockError(blocked)
+        unfinished = [c for c in self.contexts if not c.finished]
+        if unfinished:
+            blocked = {
+                c.rank: (c.waiting_on.desc if c.waiting_on is not None
+                         else "<not scheduled>")
+                for c in unfinished
+            }
+            raise DeadlockError(blocked)
+
+    def _drive(self, ctx: RankContext, value) -> None:
+        """Resume one rank, fast-pathing through already-resolved futures."""
+        gen = ctx.gen
+        while True:
+            self.steps += 1
+            try:
+                fut = gen.send(value)
+            except StopIteration:
+                ctx.finished = True
+                self._last_progress = self.steps
+                return
+            except DeadlockError:
+                raise
+            except RankProgramError:
+                raise
+            except Exception as exc:  # surface with rank context
+                raise RankProgramError(ctx.rank, exc) from exc
+            if fut is None:
+                # Cooperative yield (Test*/Iprobe spin loops): requeue at
+                # the tail so every other runnable rank gets a turn first.
+                self._ready.append((ctx, None))
+                return
+            if fut.done:
+                value = fut.value
+                continue
+            fut.waiters.append(ctx)
+            ctx.waiting_on = fut
+            return

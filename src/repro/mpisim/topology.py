@@ -1,0 +1,118 @@
+"""Cartesian virtual topologies (``MPI_Cart_*`` and ``MPI_Dims_create``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from . import constants as C
+from .errors import InvalidArgumentError
+
+
+@dataclass(frozen=True)
+class CartTopology:
+    """Cartesian grid attached to a communicator by ``MPI_Cart_create``."""
+
+    dims: tuple[int, ...]
+    periods: tuple[bool, ...]
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def nnodes(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Row-major coordinates of a comm rank (MPI's ordering)."""
+        if not 0 <= rank < self.nnodes:
+            raise InvalidArgumentError(f"cart rank {rank} out of range")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Comm rank at *coords*; periodic wrap where allowed; PROC_NULL if
+        off a non-periodic edge."""
+        if len(coords) != self.ndims:
+            raise InvalidArgumentError("coords dimensionality mismatch")
+        rank = 0
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if not 0 <= c < d:
+                if p:
+                    c %= d
+                else:
+                    return C.PROC_NULL
+            rank = rank * d + c
+        return rank
+
+    def shift(self, rank: int, direction: int, disp: int) -> tuple[int, int]:
+        """``MPI_Cart_shift``: (source, destination) comm ranks."""
+        if not 0 <= direction < self.ndims:
+            raise InvalidArgumentError(f"cart shift direction {direction}")
+        coords = list(self.coords_of(rank))
+        orig = coords[direction]
+        coords[direction] = orig + disp
+        dest = self.rank_of(coords)
+        coords[direction] = orig - disp
+        src = self.rank_of(coords)
+        return src, dest
+
+
+def dims_create(nnodes: int, ndims: int,
+                dims: Sequence[int] | None = None) -> tuple[int, ...]:
+    """``MPI_Dims_create``: balanced factorisation of *nnodes*.
+
+    Entries already set (> 0) in *dims* are preserved; zeros are filled with
+    factors chosen as close to each other as possible, in non-increasing
+    order — the standard's behaviour.
+    """
+    out = list(dims) if dims is not None else [0] * ndims
+    if len(out) != ndims:
+        raise InvalidArgumentError("dims length != ndims")
+    fixed = 1
+    free_idx = [i for i, d in enumerate(out) if d == 0]
+    for d in out:
+        if d < 0:
+            raise InvalidArgumentError(f"negative dim {d}")
+        if d > 0:
+            fixed *= d
+    if not free_idx:
+        if fixed != nnodes:
+            raise InvalidArgumentError(
+                f"dims product {fixed} != nnodes {nnodes}")
+        return tuple(out)
+    if nnodes % fixed != 0:
+        raise InvalidArgumentError(
+            f"nnodes {nnodes} not divisible by fixed dims product {fixed}")
+    remaining = nnodes // fixed
+    # Greedy balanced factorisation: repeatedly peel the factor that keeps
+    # the assignment as square as possible.
+    nfree = len(free_idx)
+    factors = _prime_factors(remaining)
+    parts = [1] * nfree
+    for f in sorted(factors, reverse=True):
+        parts[parts.index(min(parts))] *= f
+    parts.sort(reverse=True)
+    for i, p in zip(free_idx, parts):
+        out[i] = p
+    return tuple(out)
+
+
+def _prime_factors(n: int) -> list[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors

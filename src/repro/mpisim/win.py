@@ -1,0 +1,94 @@
+"""One-sided communication windows (``MPI_Win``).
+
+A :class:`Win` is created collectively (like a communicator) and exposes
+each member's buffer for remote ``Put``/``Get``/``Accumulate``.  Epochs
+are modelled faithfully enough for tracing semantics:
+
+* **active target**: ``MPI_Win_fence`` is a collective barrier; RMA
+  operations issued between fences are queued and take effect at the
+  closing fence (their payloads land in the target's window memory).
+* **passive target**: ``MPI_Win_lock``/``MPI_Win_unlock`` acquire an
+  exclusive or shared per-target lock (future-based, so contention
+  actually blocks); operations apply at unlock time.
+
+Payloads are optional, as everywhere in the simulator: metadata-only
+workloads exercise identical code paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from .errors import InvalidArgumentError, InvalidHandleError
+
+LOCK_EXCLUSIVE = 1
+LOCK_SHARED = 2
+
+
+class Win:
+    """A window object, shared by every member rank (like Comm)."""
+
+    __slots__ = ("wid", "comm", "bases", "sizes", "disp_units", "name",
+                 "freed", "fence_count", "_pending", "_locks", "memory",
+                 "sync_comm")
+
+    def __init__(self, wid: int, comm, bases: dict[int, int],
+                 sizes: dict[int, int], disp_units: dict[int, int]):
+        self.wid = wid
+        self.comm = comm
+        #: comm rank -> exposed base address / size / displacement unit
+        self.bases = bases
+        self.sizes = sizes
+        self.disp_units = disp_units
+        self.name = f"win#{wid}"
+        self.freed = False
+        self.fence_count = 0
+        #: per target comm rank: queued (origin, op, disp, value) effects
+        self._pending: dict[int, list[tuple]] = {}
+        #: per target comm rank: (mode, holders, wait queue of futures)
+        self._locks: dict[int, dict] = {}
+        #: per comm rank: {displacement: value} — the window's contents
+        self.memory: dict[int, dict[int, Any]] = {
+            r: {} for r in bases}
+        #: hidden communicator carrying the window's OWN collective
+        #: ordering (MPI sequences window synchronisation independently of
+        #: collectives on the creating communicator); set at creation
+        self.sync_comm = None
+
+    def check_usable(self) -> None:
+        if self.freed:
+            raise InvalidHandleError(f"{self.name} was freed")
+
+    def check_target(self, target: int) -> None:
+        if target not in self.bases:
+            raise InvalidArgumentError(
+                f"target rank {target} not in {self.name}")
+
+    # -- queued effects -------------------------------------------------------------
+
+    def queue_effect(self, target: int, effect: tuple) -> None:
+        self._pending.setdefault(target, []).append(effect)
+
+    def apply_effects(self, target: Optional[int] = None) -> int:
+        """Apply queued effects (all targets, or one); returns count."""
+        targets = [target] if target is not None else list(self._pending)
+        applied = 0
+        for t in targets:
+            for origin, op, disp, value in self._pending.pop(t, ()):
+                mem = self.memory[t]
+                if op == "put":
+                    mem[disp] = value
+                elif op == "acc" and value is not None:
+                    mem[disp] = (mem.get(disp, 0) or 0) + value
+                applied += 1
+        return applied
+
+    # -- passive-target locks ---------------------------------------------------------
+
+    def lock_state(self, target: int) -> dict:
+        st = self._locks.get(target)
+        if st is None:
+            st = self._locks[target] = {"mode": 0, "holders": set(),
+                                        "waiters": deque()}
+        return st

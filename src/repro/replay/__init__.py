@@ -1,0 +1,15 @@
+"""``repro.replay`` — trace replay and mini-app generation (paper §6).
+
+* :func:`replay_trace` — re-execute a Pilgrim trace on a fresh simulated
+  world, completing non-blocking operations in the recorded order.
+* :func:`generate_miniapp` — emit a standalone Python proxy program with
+  the same communication pattern as the trace (the paper's planned
+  "mini-app generator").
+"""
+
+from .codegen import generate_miniapp, load_miniapp
+from .engine import (RankReplayer, ReplayState, replay_trace,
+                     structurally_equal)
+
+__all__ = ["RankReplayer", "ReplayState", "generate_miniapp",
+           "load_miniapp", "replay_trace", "structurally_equal"]

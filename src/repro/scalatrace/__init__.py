@@ -1,0 +1,16 @@
+"""``repro.scalatrace`` — the ScalaTrace-style baseline tracer.
+
+Implements the comparison system of the paper's evaluation at the design
+fidelity of Table 1: RSD/PRSD intra-process loop compression, partial
+function/parameter coverage, single request-id pool, and identical-trace
+inter-process merging.  See :mod:`repro.scalatrace.tracer` for the exact
+modelled design points.
+"""
+
+from .recorder import RecorderResult, RecorderTracer
+from .rsd import RSDCompressor, expand_entries
+from .tracer import SCALATRACE_RECORDED, UNRECORDED, ScalaTraceResult, ScalaTraceTracer
+
+__all__ = ["RSDCompressor", "RecorderResult", "RecorderTracer",
+           "SCALATRACE_RECORDED", "ScalaTraceResult", "ScalaTraceTracer",
+           "UNRECORDED", "expand_entries"]

@@ -1,0 +1,22 @@
+"""``repro.workloads`` — the evaluation codes (Table 2), as communication
+skeletons over the simulated MPI runtime.
+
+* benchmarks: 2D/3D stencils (:mod:`.stencil`), OSU micro-benchmarks
+  (:mod:`.osu`)
+* mini apps: NAS Parallel Benchmarks IS/MG/CG/LU/BT/SP (:mod:`.npb`)
+* production apps: FLASH Sedov/Cellular/StirTurb (:mod:`.flash`, with the
+  PARAMESH-style AMR substrate in :mod:`.amr`) and MILC su3_rmd
+  (:mod:`.milc`)
+
+Use :func:`repro.workloads.make` to instantiate by name::
+
+    wl = make("npb_mg", nprocs=64, iters=8)
+    wl.run(seed=1, tracer=PilgrimTracer())
+"""
+
+from . import flash, milc, npb, osu, stencil  # noqa: F401  (register all)
+from .amr import Block, MortonTree
+from .base import REGISTRY, Workload, grid_partition, make
+
+__all__ = ["Block", "MortonTree", "REGISTRY", "Workload", "grid_partition",
+           "make"]

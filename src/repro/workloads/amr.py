@@ -1,0 +1,160 @@
+"""PARAMESH-style adaptive mesh refinement substrate (§4.3, Cellular).
+
+FLASH's Cellular problem uses PARAMESH: the compute domain is a hierarchy
+of sub-grid blocks held in an octree, sorted in Morton order to compute a
+load-balanced contiguous partition; at each refinement phase new child
+blocks appear and blocks migrate between processes to rebalance.  The
+communication pattern (who exchanges guard cells with whom, which blocks
+move where) changes at every refinement — which is exactly why the
+Cellular trace keeps growing with iterations (Fig 6e).
+
+This module implements that substrate: a Morton-ordered block octree
+with deterministic, seed-driven refinement and contiguous partitioning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator
+
+
+def _interleave3(x: int, y: int, z: int, level: int) -> int:
+    """Morton key: bit-interleave three *level*-bit coordinates."""
+    key = 0
+    for b in range(level):
+        key |= ((x >> b) & 1) << (3 * b + 2)
+        key |= ((y >> b) & 1) << (3 * b + 1)
+        key |= ((z >> b) & 1) << (3 * b)
+    return key
+
+
+@dataclass(frozen=True)
+class Block:
+    """One leaf block of the octree."""
+
+    level: int
+    x: int
+    y: int
+    z: int
+
+    @property
+    def morton(self) -> tuple[int, int]:
+        # sort by (key at own depth scaled to a common depth, level):
+        # children sort adjacent to (and after) their parent's position
+        return (_interleave3(self.x, self.y, self.z, self.level)
+                << (3 * (MortonTree.MAX_LEVEL - self.level)), self.level)
+
+    def children(self) -> list["Block"]:
+        lx, ly, lz = self.x * 2, self.y * 2, self.z * 2
+        return [Block(self.level + 1, lx + dx, ly + dy, lz + dz)
+                for dx in (0, 1) for dy in (0, 1) for dz in (0, 1)]
+
+    def face_neighbors(self) -> Iterator[tuple[int, int, int, int]]:
+        """Same-level face-neighbour coordinates (level, x, y, z),
+        periodic within the level's extent."""
+        n = 1 << self.level
+        for d, (dx, dy, dz) in enumerate(((1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                                          (0, -1, 0), (0, 0, 1), (0, 0, -1))):
+            yield (self.level, (self.x + dx) % n, (self.y + dy) % n,
+                   (self.z + dz) % n)
+
+
+class MortonTree:
+    """A block octree with Morton-ordered balanced partitioning."""
+
+    MAX_LEVEL = 10
+
+    def __init__(self, base_level: int = 1, seed: int = 0):
+        self.seed = seed
+        n = 1 << base_level
+        self._leaves: set[Block] = {
+            Block(base_level, x, y, z)
+            for x in range(n) for y in range(n) for z in range(n)}
+        self.refinements = 0
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._leaves)
+
+    def leaves_sorted(self) -> list[Block]:
+        return sorted(self._leaves, key=lambda b: b.morton)
+
+    def partition(self, nprocs: int) -> dict[Block, int]:
+        """Contiguous Morton-order split into near-equal chunks."""
+        blocks = self.leaves_sorted()
+        owner: dict[Block, int] = {}
+        n = len(blocks)
+        for i, b in enumerate(blocks):
+            owner[b] = min(i * nprocs // max(n, 1), nprocs - 1)
+        return owner
+
+    def block_neighbors(self, block: Block) -> list[Block]:
+        """Leaf blocks adjacent to *block* (same, coarser, or finer)."""
+        out = []
+        leaves = self._leaves
+        for lev, x, y, z in block.face_neighbors():
+            cand = Block(lev, x, y, z)
+            if cand in leaves:
+                out.append(cand)
+                continue
+            # coarser neighbour?
+            cl, cx, cy, cz = lev, x, y, z
+            found = False
+            while cl > 0:
+                cl, cx, cy, cz = cl - 1, cx // 2, cy // 2, cz // 2
+                coarse = Block(cl, cx, cy, cz)
+                if coarse in leaves:
+                    out.append(coarse)
+                    found = True
+                    break
+            if found:
+                continue
+            # finer neighbours: the face-adjacent children one level down
+            for child in cand.children():
+                if child in leaves:
+                    out.append(child)
+        return out
+
+    # -- refinement ------------------------------------------------------------------------
+
+    def refine_step(self, fraction: float = 0.12,
+                    max_refine: int = 200) -> int:
+        """One refinement phase: a deterministic pseudo-random subset of
+        leaf blocks (biased toward an expanding front, like a burning
+        cellular detonation) is split into children.  The count per phase
+        is capped at *max_refine* — a detonation front is a surface, so
+        the number of blocks flagged per step is bounded, not
+        proportional to the (growing) volume.  Returns the number of
+        blocks refined."""
+        self.refinements += 1
+        chosen = []
+        for b in self.leaves_sorted():
+            if b.level >= self.MAX_LEVEL:
+                continue
+            h = hashlib.blake2b(
+                f"{self.seed}:{self.refinements}:{b.level}:{b.x}:{b.y}:{b.z}"
+                .encode(), digest_size=4)
+            u = int.from_bytes(h.digest(), "little") / 2 ** 32
+            # the expanding-front bias: low-coordinate blocks refine first,
+            # later phases reach deeper into the domain
+            front = (b.x + b.y + b.z) / (3 * (1 << b.level))
+            if u < fraction and front < 0.25 + 0.15 * self.refinements:
+                chosen.append(b)
+                if len(chosen) >= max_refine:
+                    break
+        for b in chosen:
+            self._leaves.discard(b)
+            self._leaves.update(b.children())
+        return len(chosen)
+
+    def check_invariants(self) -> None:
+        """No leaf may be an ancestor of another leaf (tests)."""
+        for b in self._leaves:
+            lev, x, y, z = b.level, b.x, b.y, b.z
+            while lev > 0:
+                lev, x, y, z = lev - 1, x // 2, y // 2, z // 2
+                assert Block(lev, x, y, z) not in self._leaves, \
+                    f"leaf {b} has leaf ancestor at level {lev}"

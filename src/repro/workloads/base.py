@@ -1,0 +1,64 @@
+"""Workload scaffolding shared by all benchmark programs.
+
+A *workload* is a factory returning a rank program (a generator function
+taking the :class:`repro.mpisim.RankAPI`).  Factories are registered so
+the benchmark harness can enumerate them by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..mpisim import NetworkModel, SimMPI
+from ..mpisim.hooks import TracerHooks
+
+Program = Callable
+
+
+@dataclass
+class Workload:
+    """A runnable configuration: program + process count + metadata."""
+
+    name: str
+    nprocs: int
+    program: Program
+    params: dict = field(default_factory=dict)
+
+    def run(self, *, seed: int = 0, tracer: Optional[TracerHooks] = None,
+            noise: float = 0.05, net: Optional[NetworkModel] = None,
+            node_size: int = 16):
+        """Execute on a fresh simulator; returns the RunResult."""
+        sim = SimMPI(self.nprocs, seed=seed, tracer=tracer, noise=noise,
+                     net=net, node_size=node_size)
+        return sim.run(self.program)
+
+
+#: global registry: name -> factory(nprocs, **params) -> Workload
+REGISTRY: dict[str, Callable[..., Workload]] = {}
+
+
+def register(name: str):
+    def deco(factory):
+        REGISTRY[name] = factory
+        factory.workload_name = name
+        return factory
+    return deco
+
+
+def make(name: str, nprocs: int, **params) -> Workload:
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"known: {sorted(REGISTRY)}") from None
+    return factory(nprocs, **params)
+
+
+def grid_partition(total: int, parts: int, index: int) -> int:
+    """Cells owned by partition *index* when *total* cells are split into
+    *parts* near-equal chunks (the first ``total % parts`` get one extra).
+    This uneven split is what makes per-rank message sizes differ in the
+    BT/SP-style multi-partition codes."""
+    base, rem = divmod(total, parts)
+    return base + (1 if index < rem else 0)

@@ -1,0 +1,119 @@
+"""MILC su3_rmd (clover_dynamical) communication skeleton (§4.3, Fig 9).
+
+Lattice QCD on a 4D space-time torus: the rank grid is a 4D
+decomposition, and each molecular-dynamics step runs conjugate-gradient
+solver iterations whose dominant communication is the dslash operator —
+eight-direction nearest-neighbour halo exchanges (Isend/Irecv/Waitall)
+interleaved with frequent global dot-product all-reduces.
+
+Scaling behaviour, matching the paper's observations:
+
+* **weak scaling** (fixed local lattice): every rank's message sizes are
+  identical at any P, so the signature/grammar population is constant —
+  the paper saw 27 unique grammars and a flat 627KB at 16K ranks.
+* **strong scaling** (fixed global lattice): the local lattice dims — and
+  with them the per-direction message sizes — change with the
+  decomposition, producing staged growth (27 → 54 → 108 unique grammars
+  in the paper as the partition geometry crosses thresholds).
+"""
+
+from __future__ import annotations
+
+from ..mpisim import constants as C
+from ..mpisim import datatypes as dt
+from ..mpisim import ops
+from ..mpisim.topology import dims_create
+from .base import Workload, grid_partition, register
+
+#: su3 matrix-vector payload bytes per site (3 complex doubles)
+SITE_BYTES = 48
+
+
+@register("milc_su3_rmd")
+def milc_su3_rmd(nprocs: int, *, steps: int = 4, cg_iters: int = 10,
+                 global_dims: tuple = (), local_dims: tuple = (),
+                 ) -> Workload:
+    """su3_rmd skeleton.
+
+    Pass ``global_dims`` for strong scaling (global lattice fixed, local
+    = global/decomposition) or ``local_dims`` for weak scaling (local
+    lattice fixed).  Defaults to weak scaling with a 8^3x16 local
+    lattice.
+    """
+    pdims = dims_create(nprocs, 4)
+    mode = "strong" if global_dims else "weak"
+
+    def local_dims_of(coords: tuple[int, ...]) -> tuple[int, ...]:
+        if global_dims:
+            # strong scaling: when the partition does not divide the
+            # global lattice evenly, low-coordinate ranks get one extra
+            # site per dimension — this is what creates the paper's
+            # staged unique-grammar growth (27 -> 54 -> 108): message
+            # sizes become coordinate-dependent at uneven geometries
+            return tuple(max(grid_partition(g, p, c), 1)
+                         for g, p, c in zip(global_dims, pdims, coords))
+        return tuple(local_dims) if local_dims else (8, 8, 8, 16)
+
+    def program(m):
+        me = m.comm_rank()
+        # 4D coordinates, row-major like dims_create/cart ordering
+        rem = me
+        coords = []
+        for d in reversed(pdims):
+            coords.append(rem % d)
+            rem //= d
+        coords = tuple(reversed(coords))
+        local = local_dims_of(coords)
+        vol = 1
+        for d in local:
+            vol *= d
+        # per-direction halo size = volume of the orthogonal 3D slice
+        face_elems = [max(vol // local[d], 1) * SITE_BYTES // 8
+                      for d in range(4)]
+
+        def neighbor(d, s):
+            c = list(coords)
+            c[d] = (c[d] + s) % pdims[d]
+            r = 0
+            for dim, x in zip(pdims, c):
+                r = r * dim + x
+            return r
+
+        nbrs = [(d, s, neighbor(d, s)) for d in range(4) for s in (-1, +1)]
+        max_face = max(face_elems)
+        sbuf = m.malloc(8 * max_face * 8)
+        rbuf = m.malloc(8 * max_face * 8)
+
+        def dslash():
+            reqs = []
+            for k, (d, s, nb) in enumerate(nbrs):
+                if pdims[d] == 1:
+                    continue  # self-neighbour: MILC skips the gather
+                # the halo arriving from (d, s) was sent in (d, -s) = k^1
+                reqs.append(m.irecv(rbuf + k * max_face * 8, face_elems[d],
+                                    dt.DOUBLE, source=nb, tag=20080 + (k ^ 1)))
+            for k, (d, s, nb) in enumerate(nbrs):
+                if pdims[d] == 1:
+                    continue
+                reqs.append(m.isend(sbuf + k * max_face * 8, face_elems[d],
+                                    dt.DOUBLE, dest=nb, tag=20080 + k))
+            yield from m.waitall(reqs)
+            m.compute(1e-8 * vol)
+
+        for _step in range(steps):
+            # refresh momenta: global sum over the lattice
+            yield from m.allreduce(sbuf, rbuf, 4, dt.DOUBLE, ops.SUM)
+            for _cg in range(cg_iters):
+                yield from dslash()
+                # CG dot products: two all-reduces per solver iteration
+                yield from m.allreduce(sbuf, rbuf, 1, dt.DOUBLE, ops.SUM)
+                yield from m.allreduce(sbuf, rbuf, 1, dt.DOUBLE, ops.SUM)
+            # plaquette measurement
+            yield from m.allreduce(sbuf, rbuf, 2, dt.DOUBLE, ops.SUM)
+        m.free(sbuf)
+        m.free(rbuf)
+
+    return Workload("milc_su3_rmd", nprocs, program,
+                    dict(steps=steps, cg_iters=cg_iters, mode=mode,
+                         pdims=pdims, global_dims=tuple(global_dims),
+                         local_dims=tuple(local_dims)))

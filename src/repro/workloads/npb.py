@@ -1,0 +1,289 @@
+"""NAS Parallel Benchmark communication skeletons (Fig 5, Fig 10).
+
+Each skeleton reproduces the published communication structure of the
+class-C benchmark — the properties that determine how its trace
+compresses:
+
+* **IS** — bucket sort: an ``MPI_Alltoall`` of bucket counts followed by
+  an ``MPI_Alltoallv`` whose count arrays differ per rank (key
+  distribution) and whose length grows with P.  This is the worst case
+  for whole-trace replication (ScalaTrace superlinear, Fig 5) while
+  Pilgrim pays one CST entry per rank.
+* **MG** — V-cycles: ghost exchange at every grid level with stride-2^k
+  neighbours; at coarse levels only ranks aligned to the stride stay
+  active, so the number of activity classes grows with log P.
+* **CG** — row-wise reduce ladders with XOR partners (distance ±2^k
+  depending on the rank's bit pattern): few signatures, but per-rank
+  grammars follow the rank's bit pattern.
+* **LU** — SSOR wavefront: blocking north/west receives then south/east
+  sends, perfectly rank-relative — the one benchmark where ScalaTrace
+  also stays flat (Fig 5, LU panel).
+* **BT/SP** — ADI sweeps on a √P×√P grid with *uneven* cell sizes (the
+  multi-partition split of a grid that does not divide evenly), so
+  message counts depend on the rank's row/column.
+
+Iteration counts default to paper-shaped but laptop-scaled values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from ..mpisim import constants as C
+from ..mpisim import datatypes as dt
+from ..mpisim import ops
+from ..mpisim.errors import InvalidArgumentError
+from ..mpisim.topology import dims_create
+from .base import Workload, grid_partition, register
+
+
+def _hash_u32(*vals: int) -> int:
+    h = hashlib.blake2b(repr(vals).encode(), digest_size=4)
+    return int.from_bytes(h.digest(), "little")
+
+
+# ---------------------------------------------------------------------------- IS
+
+@register("npb_is")
+def npb_is(nprocs: int, *, iters: int = 10, total_keys: int = 1 << 20
+           ) -> Workload:
+    """Integer Sort: bucketed key exchange."""
+
+    def program(m):
+        me = m.comm_rank()
+        n = m.comm_size()
+        keys_per = total_keys // n
+        kbuf = m.malloc(keys_per * 4)
+        rbuf = m.malloc(2 * keys_per * 4)
+        cbuf = m.malloc(n * 4)
+        # per-rank bucket distribution: near-uniform with deterministic
+        # per-rank jitter, stable across iterations (same keys each round)
+        counts = []
+        for dst in range(n):
+            jitter = _hash_u32(me, dst, n) % max(keys_per // (8 * n), 1) \
+                if n > 1 else 0
+            counts.append(keys_per // n + jitter)
+        displs = [0] * n
+        for i in range(1, n):
+            displs[i] = displs[i - 1] + counts[i - 1]
+        for _ in range(iters):
+            m.compute(5e-9 * keys_per)
+            # exchange bucket sizes, then the keys
+            yield from m.alltoall(cbuf, 1, dt.INT, cbuf, 1, dt.INT)
+            yield from m.alltoallv(kbuf, counts, displs, dt.INT,
+                                   rbuf, counts, displs, dt.INT)
+            yield from m.allreduce(cbuf, cbuf, 1, dt.INT, ops.SUM)
+        # full verification
+        yield from m.allreduce(cbuf, cbuf, 1, dt.INT, ops.SUM)
+
+    return Workload("npb_is", nprocs, program, dict(iters=iters))
+
+
+# ---------------------------------------------------------------------------- MG
+
+@register("npb_mg")
+def npb_mg(nprocs: int, *, iters: int = 8, base_elems: int = 4096
+           ) -> Workload:
+    """MultiGrid V-cycles with per-level ghost exchange."""
+    px, py, pz = dims_create(nprocs, 3)
+    nlevels = max(2, int(math.log2(max(nprocs, 2))) + 2)
+
+    def program(m):
+        me = m.comm_rank()
+        cz = me % pz
+        cy = (me // pz) % py
+        cx = me // (py * pz)
+        coords = (cx, cy, cz)
+        pdims = (px, py, pz)
+        nbytes = base_elems * dt.DOUBLE.size
+        sbuf = m.malloc(6 * nbytes)
+        rbuf = m.malloc(6 * nbytes)
+
+        def level_exchange(lev):
+            stride = 1 << lev
+            # only ranks aligned to the level stride stay active
+            if any(c % stride for c in coords):
+                return
+            elems = max(base_elems >> lev, 8)
+            reqs = []
+            k = 0
+            for d in range(3):
+                for s in (-stride, +stride):
+                    c = list(coords)
+                    c[d] = (c[d] + s) % pdims[d] if pdims[d] > 1 else c[d]
+                    nb = (c[0] * py + c[1]) * pz + c[2]
+                    if nb == me:
+                        nb = C.PROC_NULL
+                    reqs.append(m.irecv(rbuf + k * nbytes, elems, dt.DOUBLE,
+                                        source=nb, tag=20100 + lev))
+                    reqs.append(m.isend(sbuf + k * nbytes, elems, dt.DOUBLE,
+                                        dest=nb, tag=20100 + lev))
+                    k += 1
+            return reqs
+
+        max_active = max(l for l in range(nlevels)
+                         if (1 << l) <= max(px, py, pz)) + 1
+        for _ in range(iters):
+            # down-sweep then up-sweep of the V-cycle
+            for lev in list(range(max_active)) + \
+                    list(range(max_active - 2, -1, -1)):
+                m.compute(1e-6 * (base_elems >> min(lev, 10)))
+                reqs = level_exchange(lev)
+                if reqs:
+                    yield from m.waitall(reqs)
+            yield from m.allreduce(sbuf, rbuf, 1, dt.DOUBLE, ops.SUM)
+        m.free(sbuf)
+        m.free(rbuf)
+
+    return Workload("npb_mg", nprocs, program, dict(iters=iters))
+
+
+# ---------------------------------------------------------------------------- CG
+
+@register("npb_cg")
+def npb_cg(nprocs: int, *, iters: int = 15, row_elems: int = 2048
+           ) -> Workload:
+    """Conjugate Gradient: XOR-partner reduce ladders per row."""
+    if nprocs & (nprocs - 1):
+        raise InvalidArgumentError("npb_cg needs a power-of-two rank count")
+    # NPB CG: num_proc_cols >= num_proc_rows, both powers of two
+    log_p = int(math.log2(nprocs))
+    npcols = 1 << ((log_p + 1) // 2)
+    nprows = nprocs // npcols
+
+    def program(m):
+        me = m.comm_rank()
+        col = me % npcols
+        buf = m.malloc(row_elems * 8)
+        rbuf = m.malloc(row_elems * 8)
+        for _ in range(iters):
+            m.compute(2e-6 * row_elems)
+            # reduce ladder across the row: partner = me XOR 2^k (in cols)
+            for k in range(int(math.log2(npcols))):
+                partner = me ^ (1 << k)
+                rr = m.irecv(rbuf, row_elems, dt.DOUBLE, source=partner,
+                             tag=20010 + k)
+                yield from m.send(buf, row_elems, dt.DOUBLE, dest=partner,
+                                  tag=20010 + k)
+                yield from m.wait(rr)
+            # two inner products per iteration
+            yield from m.allreduce(buf, rbuf, 1, dt.DOUBLE, ops.SUM)
+            yield from m.allreduce(buf, rbuf, 1, dt.DOUBLE, ops.SUM)
+        m.free(buf)
+        m.free(rbuf)
+
+    return Workload("npb_cg", nprocs, program,
+                    dict(iters=iters, nprows=nprows, npcols=npcols))
+
+
+# ---------------------------------------------------------------------------- LU
+
+@register("npb_lu")
+def npb_lu(nprocs: int, *, iters: int = 12, face_elems: int = 1024
+           ) -> Workload:
+    """LU: SSOR wavefront pipelining on a 2D grid."""
+    px, py = dims_create(nprocs, 2)
+
+    def program(m):
+        me = m.comm_rank()
+        row, col = divmod(me, py)
+        north = me - py if row > 0 else C.PROC_NULL
+        south = me + py if row < px - 1 else C.PROC_NULL
+        west = me - 1 if col > 0 else C.PROC_NULL
+        east = me + 1 if col < py - 1 else C.PROC_NULL
+        buf = m.malloc(4 * face_elems * 8)
+
+        def sweep(frm_a, frm_b, to_a, to_b, tag):
+            # blocking receives from the upstream wavefront, compute,
+            # then sends downstream — LU's signature pipelined pattern
+            if frm_a != C.PROC_NULL:
+                yield from m.recv(buf, face_elems, dt.DOUBLE, source=frm_a,
+                                  tag=tag)
+            if frm_b != C.PROC_NULL:
+                yield from m.recv(buf, face_elems, dt.DOUBLE, source=frm_b,
+                                  tag=tag)
+            m.compute(1e-6 * face_elems)
+            if to_a != C.PROC_NULL:
+                yield from m.send(buf, face_elems, dt.DOUBLE, dest=to_a,
+                                  tag=tag)
+            if to_b != C.PROC_NULL:
+                yield from m.send(buf, face_elems, dt.DOUBLE, dest=to_b,
+                                  tag=tag)
+
+        for it in range(iters):
+            yield from sweep(north, west, south, east, 20021)   # lower
+            yield from sweep(south, east, north, west, 20022)   # upper
+            if it % 5 == 0:
+                yield from m.allreduce(buf, buf, 5, dt.DOUBLE, ops.SUM)
+        yield from m.allreduce(buf, buf, 5, dt.DOUBLE, ops.MAX)
+        m.free(buf)
+
+    return Workload("npb_lu", nprocs, program, dict(iters=iters))
+
+
+# ---------------------------------------------------------------------------- BT / SP
+
+def _adi_program(nprocs: int, iters: int, grid_n: int, sync_every: int):
+    p = math.isqrt(nprocs)
+    if p * p != nprocs:
+        raise InvalidArgumentError("BT/SP need a square number of ranks")
+
+    def cell_dims(row: int, col: int) -> tuple[int, int, int]:
+        # uneven multi-partition cell sizes: message counts depend on the
+        # rank's position when grid_n % p != 0
+        return (grid_partition(grid_n, p, row),
+                grid_partition(grid_n, p, col),
+                max(grid_n // p, 1))
+
+    def program(m):
+        me = m.comm_rank()
+        row, col = divmod(me, p)
+        nx, ny, nz = cell_dims(row, col)
+        buf = m.malloc(grid_n * grid_n * 8)
+
+        def face_elems(r: int, c: int, d: int) -> int:
+            fx, fy, fz = cell_dims(r, c)
+            return max((fy * fz, fx * fz, fx * fy)[d], 1)
+
+        def face_exchange(dr, dc, d, tag):
+            succ = ((row + dr) % p) * p + (col + dc) % p
+            pred_r, pred_c = (row - dr) % p, (col - dc) % p
+            pred = pred_r * p + pred_c
+            # the incoming face is sized by the *sender's* cell dims
+            reqs = [m.irecv(buf, face_elems(pred_r, pred_c, d), dt.DOUBLE,
+                            source=pred, tag=tag),
+                    m.isend(buf, face_elems(row, col, d), dt.DOUBLE,
+                            dest=succ, tag=tag)]
+            return reqs
+
+        for it in range(iters):
+            # x, y, z solve sweeps — each a ring exchange with sizes
+            # depending on the orthogonal cell dimensions
+            for d, (dr, dc) in enumerate(((0, 1), (1, 0), (1, 1))):
+                m.compute(2e-7 * face_elems(row, col, d))
+                reqs = face_exchange(dr, dc, d, 20030 + d)
+                yield from m.waitall(reqs)
+            if it % sync_every == 0:
+                yield from m.allreduce(buf, buf, 5, dt.DOUBLE, ops.SUM)
+        yield from m.allreduce(buf, buf, 5, dt.DOUBLE, ops.MAX)
+        m.free(buf)
+
+    return program
+
+
+@register("npb_bt")
+def npb_bt(nprocs: int, *, iters: int = 12, grid_n: int = 162) -> Workload:
+    return Workload("npb_bt", nprocs,
+                    _adi_program(nprocs, iters, grid_n, sync_every=5),
+                    dict(iters=iters, grid_n=grid_n))
+
+
+@register("npb_sp")
+def npb_sp(nprocs: int, *, iters: int = 16, grid_n: int = 162) -> Workload:
+    return Workload("npb_sp", nprocs,
+                    _adi_program(nprocs, iters, grid_n, sync_every=1),
+                    dict(iters=iters, grid_n=grid_n))
+
+
+NPB_ALL = ("npb_is", "npb_mg", "npb_cg", "npb_lu", "npb_bt", "npb_sp")

@@ -1,0 +1,218 @@
+"""OSU Micro-Benchmark proxies (§4.1).
+
+The paper ran all OSU micro-benchmarks (except the multi-threaded
+latency test, which Pilgrim does not support) and found every trace
+compresses to a few kilobytes.  Each proxy below follows the published
+structure of the corresponding OSU program: a message-size sweep with a
+fixed iteration count per size, warm-up rounds, and a final result
+reduction/print — the exact call mix a tracer sees.
+"""
+
+from __future__ import annotations
+
+from ..mpisim import constants as C
+from ..mpisim import datatypes as dt
+from ..mpisim import ops
+from ..mpisim.errors import InvalidArgumentError
+from .base import Workload, register
+
+#: message sizes swept (bytes) — OSU's powers of two, scaled down
+SIZES = tuple(2 ** k for k in range(0, 17, 2))
+
+
+def _check_pairs(nprocs: int) -> None:
+    if nprocs < 2 or nprocs % 2:
+        raise InvalidArgumentError(
+            "OSU point-to-point benchmarks need an even number of ranks")
+
+
+@register("osu_latency")
+def osu_latency(nprocs: int, *, iters: int = 20, skip: int = 2) -> Workload:
+    """Ping-pong between ranks 0 and 1 (extra ranks idle at barriers)."""
+
+    def program(m):
+        me = m.comm_rank()
+        buf = m.malloc(SIZES[-1])
+        for size in SIZES:
+            yield from m.barrier()
+            for it in range(iters + skip):
+                if me == 0:
+                    yield from m.send(buf, size, dt.BYTE, dest=1, tag=20001)
+                    _ = yield from m.recv(buf, size, dt.BYTE, source=1, tag=20001)
+                elif me == 1:
+                    _ = yield from m.recv(buf, size, dt.BYTE, source=0, tag=20001)
+                    yield from m.send(buf, size, dt.BYTE, dest=0, tag=20001)
+                m.compute(1e-7)
+        m.free(buf)
+        yield from m.barrier()
+
+    return Workload("osu_latency", nprocs, program, dict(iters=iters))
+
+
+@register("osu_bw")
+def osu_bw(nprocs: int, *, iters: int = 10, window: int = 16) -> Workload:
+    """Bandwidth: rank 0 streams a window of isends, rank 1 irecvs,
+    handshake reply per window."""
+
+    def program(m):
+        me = m.comm_rank()
+        buf = m.malloc(SIZES[-1])
+        ack = m.malloc(8)
+        for size in SIZES:
+            yield from m.barrier()
+            for _ in range(iters):
+                if me == 0:
+                    reqs = [m.isend(buf, size, dt.BYTE, dest=1, tag=20002)
+                            for _ in range(window)]
+                    yield from m.waitall(reqs)
+                    _ = yield from m.recv(ack, 4, dt.BYTE, source=1, tag=20003)
+                elif me == 1:
+                    reqs = [m.irecv(buf, size, dt.BYTE, source=0, tag=20002)
+                            for _ in range(window)]
+                    yield from m.waitall(reqs)
+                    yield from m.send(ack, 4, dt.BYTE, dest=0, tag=20003)
+        m.free(ack)
+        m.free(buf)
+        yield from m.barrier()
+
+    return Workload("osu_bw", nprocs, program, dict(iters=iters,
+                                                    window=window))
+
+
+@register("osu_bibw")
+def osu_bibw(nprocs: int, *, iters: int = 10, window: int = 8) -> Workload:
+    """Bidirectional bandwidth: both ranks stream windows simultaneously."""
+
+    def program(m):
+        me = m.comm_rank()
+        buf = m.malloc(SIZES[-1])
+        for size in SIZES:
+            yield from m.barrier()
+            for _ in range(iters):
+                if me in (0, 1):
+                    peer = 1 - me
+                    reqs = [m.irecv(buf, size, dt.BYTE, source=peer, tag=20004)
+                            for _ in range(window)]
+                    reqs += [m.isend(buf, size, dt.BYTE, dest=peer, tag=20004)
+                             for _ in range(window)]
+                    yield from m.waitall(reqs)
+        m.free(buf)
+        yield from m.barrier()
+
+    return Workload("osu_bibw", nprocs, program, dict(iters=iters,
+                                                      window=window))
+
+
+@register("osu_multi_lat")
+def osu_multi_lat(nprocs: int, *, iters: int = 10) -> Workload:
+    """Multi-pair latency: rank i of the low half pairs with i + P/2."""
+    _check_pairs(nprocs)
+
+    def program(m):
+        me = m.comm_rank()
+        n = m.comm_size()
+        half = n // 2
+        buf = m.malloc(SIZES[-1])
+        for size in SIZES:
+            yield from m.barrier()
+            for _ in range(iters):
+                if me < half:
+                    yield from m.send(buf, size, dt.BYTE, dest=me + half,
+                                      tag=20005)
+                    _ = yield from m.recv(buf, size, dt.BYTE,
+                                          source=me + half, tag=20005)
+                else:
+                    _ = yield from m.recv(buf, size, dt.BYTE,
+                                          source=me - half, tag=20005)
+                    yield from m.send(buf, size, dt.BYTE, dest=me - half,
+                                      tag=20005)
+        m.free(buf)
+        yield from m.barrier()
+
+    return Workload("osu_multi_lat", nprocs, program, dict(iters=iters))
+
+
+@register("osu_put_latency")
+def osu_put_latency(nprocs: int, *, iters: int = 10) -> Workload:
+    """One-sided put latency (osu_put_latency): fence-bounded epochs."""
+    _check_pairs(nprocs)
+
+    def program(m):
+        me = m.comm_rank()
+        base, win = yield from m.win_allocate(SIZES[-1], 1)
+        for size in SIZES:
+            for _ in range(iters):
+                yield from m.win_fence(win)
+                if me == 0:
+                    m.put(base, size, dt.BYTE, 1, 0, size, dt.BYTE, win)
+                yield from m.win_fence(win)
+        yield from m.win_free(win)
+
+    return Workload("osu_put_latency", nprocs, program, dict(iters=iters))
+
+
+@register("osu_get_latency")
+def osu_get_latency(nprocs: int, *, iters: int = 10) -> Workload:
+    """One-sided get latency with passive-target lock/unlock epochs."""
+    _check_pairs(nprocs)
+    from ..mpisim.win import LOCK_SHARED
+
+    def program(m):
+        me = m.comm_rank()
+        base, win = yield from m.win_allocate(SIZES[-1], 1)
+        yield from m.barrier()
+        for size in SIZES:
+            for _ in range(iters):
+                if me == 0:
+                    yield from m.win_lock(LOCK_SHARED, 1, win)
+                    m.get(base, size, dt.BYTE, 1, 0, size, dt.BYTE, win)
+                    m.win_unlock(1, win)
+            yield from m.barrier()
+        yield from m.win_free(win)
+
+    return Workload("osu_get_latency", nprocs, program, dict(iters=iters))
+
+
+def _collective_proxy(name: str, coll: str):
+    @register(name)
+    def factory(nprocs: int, *, iters: int = 10) -> Workload:
+        def program(m):
+            buf = m.malloc(2 * SIZES[-1])
+            rbuf = m.malloc(2 * SIZES[-1])
+            for size in SIZES:
+                yield from m.barrier()
+                for _ in range(iters):
+                    count = max(size // dt.DOUBLE.size, 1)
+                    if coll == "allreduce":
+                        yield from m.allreduce(buf, rbuf, count, dt.DOUBLE,
+                                               ops.SUM)
+                    elif coll == "bcast":
+                        yield from m.bcast(buf, count, dt.DOUBLE, root=0)
+                    elif coll == "alltoall":
+                        yield from m.alltoall(buf, 1, dt.DOUBLE, rbuf, 1,
+                                              dt.DOUBLE)
+                    elif coll == "allgather":
+                        yield from m.allgather(buf, 1, dt.DOUBLE, rbuf, 1,
+                                               dt.DOUBLE)
+                    elif coll == "reduce":
+                        yield from m.reduce(buf, rbuf, count, dt.DOUBLE,
+                                            ops.SUM, root=0)
+                    elif coll == "barrier":
+                        yield from m.barrier()
+                    m.compute(1e-7)
+            m.free(rbuf)
+            m.free(buf)
+            yield from m.barrier()
+
+        return Workload(name, nprocs, program, dict(iters=iters))
+
+    factory.__name__ = name
+    return factory
+
+
+osu_allreduce = _collective_proxy("osu_allreduce", "allreduce")
+osu_bcast = _collective_proxy("osu_bcast", "bcast")
+osu_alltoall = _collective_proxy("osu_alltoall", "alltoall")
+osu_allgather = _collective_proxy("osu_allgather", "allgather")
+osu_reduce = _collective_proxy("osu_reduce", "reduce")
+osu_barrier = _collective_proxy("osu_barrier", "barrier")

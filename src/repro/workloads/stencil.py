@@ -1,0 +1,157 @@
+"""The paper's §4.1 stencil benchmarks.
+
+* 2D 5-point stencil with **non-periodic** boundaries: on an M×N process
+  mesh (row-major, as in the paper: process *i* talks to *i±1*
+  horizontally and *i±N* vertically), boundary processes exchange with
+  ``MPI_PROC_NULL``.  There are 9 communication-pattern classes (4
+  corners, 4 edges, interior), all present from a 3×3 mesh on — so the
+  compressed trace must stop growing beyond 9 processes.
+* 3D 7-point stencil with **periodic** boundaries: at most 27 classes,
+  trace size flat beyond 27 processes.  (With full periodicity every
+  interior-style rank is identical; the distinct classes come from
+  self-wrapping when a dimension has <3 processes.)
+
+Both use ``MPI_Isend``/``MPI_Irecv``/``MPI_Waitall`` exactly as §4.1
+describes.
+"""
+
+from __future__ import annotations
+
+from ..mpisim import constants as C
+from ..mpisim import datatypes as dt
+from ..mpisim.topology import dims_create
+from .base import Workload, register
+
+
+def _neighbor_2d(me_x: int, me_y: int, dx: int, dy: int, px: int, py: int,
+                 periodic: bool) -> int:
+    x, y = me_x + dx, me_y + dy
+    if periodic:
+        x %= px
+        y %= py
+    elif not (0 <= x < px and 0 <= y < py):
+        return C.PROC_NULL
+    return x * py + y
+
+
+@register("stencil2d")
+def stencil2d(nprocs: int, *, iters: int = 50, msg_elems: int = 512,
+              periodic: bool = False, px: int = 0, py: int = 0) -> Workload:
+    """2D 5-point stencil (non-periodic by default, as in the paper)."""
+    if not (px and py):
+        px, py = dims_create(nprocs, 2)
+    assert px * py == nprocs
+
+    def program(m):
+        me = m.comm_rank()
+        n = m.comm_size()
+        mx, my = divmod(me, py)
+        nbrs = [
+            _neighbor_2d(mx, my, 0, -1, px, py, periodic),   # west  (i-1)
+            _neighbor_2d(mx, my, 0, +1, px, py, periodic),   # east  (i+1)
+            _neighbor_2d(mx, my, -1, 0, px, py, periodic),   # north (i-N)
+            _neighbor_2d(mx, my, +1, 0, px, py, periodic),   # south (i+N)
+        ]
+        nbytes = msg_elems * dt.DOUBLE.size
+        sbuf = m.malloc(4 * nbytes)
+        rbuf = m.malloc(4 * nbytes)
+        for _ in range(iters):
+            m.compute(2e-6 * msg_elems)
+            reqs = []
+            for k, nb in enumerate(nbrs):
+                # directions pair up as (0,1) and (2,3): the message we
+                # receive from neighbour k travels in direction k^1
+                reqs.append(m.irecv(rbuf + k * nbytes, msg_elems, dt.DOUBLE,
+                                    source=nb, tag=20000 + (k ^ 1)))
+            for k, nb in enumerate(nbrs):
+                reqs.append(m.isend(sbuf + k * nbytes, msg_elems, dt.DOUBLE,
+                                    dest=nb, tag=20000 + k))
+            yield from m.waitall(reqs)
+        m.free(sbuf)
+        m.free(rbuf)
+
+    return Workload("stencil2d", nprocs, program,
+                    dict(iters=iters, msg_elems=msg_elems, px=px, py=py,
+                         periodic=periodic))
+
+
+@register("stencil2d_rma")
+def stencil2d_rma(nprocs: int, *, iters: int = 50, msg_elems: int = 512,
+                  px: int = 0, py: int = 0) -> Workload:
+    """The 2D stencil re-expressed with one-sided halo exchange: each
+    rank Puts its faces into its neighbours' windows between fences.
+    Same 9 pattern classes as the p2p version — relative target ranks
+    make the RMA calls rank-independent too."""
+    if not (px and py):
+        px, py = dims_create(nprocs, 2)
+    assert px * py == nprocs
+
+    def program(m):
+        me = m.comm_rank()
+        mx, my = divmod(me, py)
+        nbrs = [
+            _neighbor_2d(mx, my, 0, -1, px, py, False),
+            _neighbor_2d(mx, my, 0, +1, px, py, False),
+            _neighbor_2d(mx, my, -1, 0, px, py, False),
+            _neighbor_2d(mx, my, +1, 0, px, py, False),
+        ]
+        nbytes = msg_elems * dt.DOUBLE.size
+        base, win = yield from m.win_allocate(4 * nbytes, dt.DOUBLE.size)
+        for _ in range(iters):
+            m.compute(2e-6 * msg_elems)
+            yield from m.win_fence(win)
+            for k, nb in enumerate(nbrs):
+                if nb != C.PROC_NULL:
+                    m.put(base + k * nbytes, msg_elems, dt.DOUBLE, nb,
+                          (k ^ 1) * msg_elems, msg_elems, dt.DOUBLE, win)
+            yield from m.win_fence(win)
+        yield from m.win_free(win)
+
+    return Workload("stencil2d_rma", nprocs, program,
+                    dict(iters=iters, msg_elems=msg_elems, px=px, py=py))
+
+
+@register("stencil3d")
+def stencil3d(nprocs: int, *, iters: int = 50, msg_elems: int = 512,
+              periodic: bool = True, dims: tuple = ()) -> Workload:
+    """3D 7-point stencil (periodic by default, as in the paper)."""
+    if not dims:
+        dims = dims_create(nprocs, 3)
+    px, py, pz = dims
+    assert px * py * pz == nprocs
+
+    def neighbor(cx, cy, cz, d, s):
+        c = [cx, cy, cz]
+        c[d] += s
+        if periodic:
+            c[d] %= dims[d]
+        elif not 0 <= c[d] < dims[d]:
+            return C.PROC_NULL
+        return (c[0] * py + c[1]) * pz + c[2]
+
+    def program(m):
+        me = m.comm_rank()
+        cz = me % pz
+        cy = (me // pz) % py
+        cx = me // (py * pz)
+        nbrs = [neighbor(cx, cy, cz, d, s)
+                for d in range(3) for s in (-1, +1)]
+        nbytes = msg_elems * dt.DOUBLE.size
+        sbuf = m.malloc(6 * nbytes)
+        rbuf = m.malloc(6 * nbytes)
+        for _ in range(iters):
+            m.compute(3e-6 * msg_elems)
+            reqs = []
+            for k, nb in enumerate(nbrs):
+                reqs.append(m.irecv(rbuf + k * nbytes, msg_elems, dt.DOUBLE,
+                                    source=nb, tag=20000 + (k ^ 1)))
+            for k, nb in enumerate(nbrs):
+                reqs.append(m.isend(sbuf + k * nbytes, msg_elems, dt.DOUBLE,
+                                    dest=nb, tag=20000 + k))
+            yield from m.waitall(reqs)
+        m.free(sbuf)
+        m.free(rbuf)
+
+    return Workload("stencil3d", nprocs, program,
+                    dict(iters=iters, msg_elems=msg_elems, dims=dims,
+                         periodic=periodic))

@@ -1,0 +1,32 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PilgrimTracer
+from repro.mpisim import SimMPI
+
+
+def run_program(nprocs: int, program, *, seed: int = 1, tracer=None,
+                noise: float = 0.0, **kw):
+    """Run a rank program on a fresh simulator; returns (sim, result)."""
+    sim = SimMPI(nprocs, seed=seed, tracer=tracer, noise=noise, **kw)
+    result = sim.run(program)
+    return sim, result
+
+
+def trace_program(nprocs: int, program, *, seed: int = 1, noise: float = 0.0,
+                  **tracer_kw):
+    """Run under a Pilgrim tracer; returns the tracer (result populated)."""
+    tracer = PilgrimTracer(**tracer_kw)
+    SimMPI(nprocs, seed=seed, tracer=tracer, noise=noise).run(program)
+    return tracer
+
+
+@pytest.fixture
+def two_ranks():
+    """Factory fixture for 2-rank programs."""
+    def runner(program, **kw):
+        return run_program(2, program, **kw)
+    return runner

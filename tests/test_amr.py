@@ -1,0 +1,110 @@
+"""Tests for the PARAMESH-style Morton-tree AMR substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.amr import Block, MortonTree
+
+
+class TestBlock:
+    def test_children_cover_parent(self):
+        b = Block(1, 0, 1, 0)
+        kids = b.children()
+        assert len(kids) == 8
+        assert all(k.level == 2 for k in kids)
+        assert {(k.x // 2, k.y // 2, k.z // 2) for k in kids} == {(0, 1, 0)}
+
+    def test_face_neighbors_periodic(self):
+        b = Block(1, 0, 0, 0)
+        nbrs = list(b.face_neighbors())
+        assert len(nbrs) == 6
+        assert (1, 1, 0, 0) in nbrs
+        # periodic wrap: -1 becomes extent-1
+        assert (1, 1, 0, 0) in nbrs  # +x and -x wrap to the same at n=2
+
+    def test_morton_orders_children_after_parent_position(self):
+        parent = Block(1, 0, 0, 0)
+        child = parent.children()[0]
+        other = Block(1, 1, 1, 1)
+        assert child.morton < other.morton
+
+
+class TestMortonTree:
+    def test_initial_block_count(self):
+        assert MortonTree(base_level=1).n_blocks == 8
+        assert MortonTree(base_level=2).n_blocks == 64
+
+    def test_refinement_grows_tree(self):
+        t = MortonTree(base_level=2, seed=3)
+        before = t.n_blocks
+        refined = t.refine_step()
+        # each refined block nets +7 leaves
+        assert t.n_blocks == before + 7 * refined
+        t.check_invariants()
+
+    def test_refinement_deterministic(self):
+        a, b = MortonTree(base_level=2, seed=5), MortonTree(base_level=2,
+                                                            seed=5)
+        for _ in range(3):
+            assert a.refine_step() == b.refine_step()
+        assert a.leaves_sorted() == b.leaves_sorted()
+
+    def test_refinement_seed_dependent(self):
+        a, b = MortonTree(base_level=2, seed=1), MortonTree(base_level=2,
+                                                            seed=2)
+        for _ in range(2):
+            a.refine_step()
+            b.refine_step()
+        assert a.leaves_sorted() != b.leaves_sorted()
+
+    def test_partition_contiguous_and_balanced(self):
+        t = MortonTree(base_level=2, seed=1)
+        t.refine_step()
+        owner = t.partition(8)
+        blocks = t.leaves_sorted()
+        owners = [owner[b] for b in blocks]
+        # contiguous: owner sequence is non-decreasing
+        assert owners == sorted(owners)
+        # balanced: counts within 1 block-chunk of each other
+        from collections import Counter
+        counts = Counter(owners)
+        assert max(counts.values()) - min(counts.values()) <= \
+            len(blocks) // 8 + 1
+
+    def test_all_ranks_get_work_when_enough_blocks(self):
+        t = MortonTree(base_level=2)
+        owner = t.partition(8)
+        assert set(owner.values()) == set(range(8))
+
+    def test_block_neighbors_symmetric_at_same_level(self):
+        t = MortonTree(base_level=2)
+        blocks = t.leaves_sorted()
+        b = blocks[10]
+        for nb in t.block_neighbors(b):
+            if nb.level == b.level:
+                assert b in t.block_neighbors(nb)
+
+    def test_block_neighbors_across_levels(self):
+        t = MortonTree(base_level=1, seed=0)
+        # refine one specific block manually
+        target = t.leaves_sorted()[0]
+        t._leaves.discard(target)
+        t._leaves.update(target.children())
+        t.check_invariants()
+        # a coarse neighbour of a fine block is found (and vice versa)
+        fine = target.children()[0]
+        nbrs = t.block_neighbors(fine)
+        assert any(nb.level < fine.level for nb in nbrs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 4))
+    def test_invariants_after_refinements(self, seed, rounds):
+        t = MortonTree(base_level=1, seed=seed)
+        for _ in range(rounds):
+            t.refine_step()
+        t.check_invariants()
+        # every neighbour of every leaf is itself a leaf
+        leaves = set(t.leaves_sorted())
+        for b in list(leaves)[:20]:
+            for nb in t.block_neighbors(b):
+                assert nb in leaves

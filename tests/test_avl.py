@@ -1,0 +1,111 @@
+"""Unit + property tests for the AVL interval tree (paper §3.3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.avl import IntervalTree
+
+
+def build(segs):
+    t = IntervalTree()
+    for addr, size, payload in segs:
+        t.insert(addr, size, payload)
+    return t
+
+
+class TestBasics:
+    def test_empty(self):
+        t = IntervalTree()
+        assert len(t) == 0
+        assert t.find_containing(100) is None
+        assert t.find_exact(100) is None
+
+    def test_single_segment_lookup(self):
+        t = build([(100, 10, "a")])
+        assert t.find_containing(100).payload == "a"
+        assert t.find_containing(109).payload == "a"
+        assert t.find_containing(110) is None
+        assert t.find_containing(99) is None
+
+    def test_exact_vs_containing(self):
+        t = build([(100, 10, "a")])
+        assert t.find_exact(100).payload == "a"
+        assert t.find_exact(105) is None
+        assert t.find_containing(105).payload == "a"
+
+    def test_duplicate_start_rejected(self):
+        t = build([(100, 10, "a")])
+        with pytest.raises(KeyError):
+            t.insert(100, 5, "b")
+
+    def test_remove_returns_payload(self):
+        t = build([(100, 10, "a"), (200, 5, "b")])
+        assert t.remove(100) == "a"
+        assert len(t) == 1
+        assert t.find_containing(105) is None
+        assert t.find_containing(202).payload == "b"
+
+    def test_remove_missing_raises(self):
+        t = build([(100, 10, "a")])
+        with pytest.raises(KeyError):
+            t.remove(50)
+
+    def test_items_sorted(self):
+        t = build([(300, 1, 3), (100, 1, 1), (200, 1, 2)])
+        assert [n.addr for n in t.items()] == [100, 200, 300]
+
+    def test_adjacent_segments_boundaries(self):
+        t = build([(100, 10, "a"), (110, 10, "b")])
+        assert t.find_containing(109).payload == "a"
+        assert t.find_containing(110).payload == "b"
+
+    def test_many_inserts_stay_balanced(self):
+        t = IntervalTree()
+        n = 1000
+        for i in range(n):  # ascending order = worst case for naive BST
+            t.insert(i * 16, 16, i)
+        t.check_invariants()
+        # height of an AVL tree is < 1.44 log2(n)
+        assert t._root.height <= 15
+        for i in (0, n // 2, n - 1):
+            assert t.find_containing(i * 16 + 7).payload == i
+
+    def test_remove_rebalances(self):
+        t = IntervalTree()
+        for i in range(200):
+            t.insert(i * 10, 10, i)
+        for i in range(0, 200, 2):
+            t.remove(i * 10)
+        t.check_invariants()
+        assert len(t) == 100
+        assert t.find_containing(15).payload == 1
+        assert t.find_containing(5) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 400), st.booleans()), max_size=120))
+def test_against_reference_model(operations):
+    """Differential test vs a dict reference (segments of fixed size 8,
+    aligned to 8, so they never overlap)."""
+    tree = IntervalTree()
+    ref: dict[int, int] = {}
+    for slot, is_insert in operations:
+        addr = slot * 8
+        if is_insert:
+            if addr in ref:
+                with pytest.raises(KeyError):
+                    tree.insert(addr, 8, slot)
+            else:
+                tree.insert(addr, 8, slot)
+                ref[addr] = slot
+        else:
+            if addr in ref:
+                assert tree.remove(addr) == ref.pop(addr)
+            else:
+                with pytest.raises(KeyError):
+                    tree.remove(addr)
+    tree.check_invariants()
+    assert len(tree) == len(ref)
+    for addr, payload in ref.items():
+        node = tree.find_containing(addr + 3)
+        assert node is not None and node.payload == payload

@@ -1,0 +1,257 @@
+"""Collective operation semantics: values, ordering, mismatch detection,
+non-blocking variants."""
+
+import pytest
+
+from conftest import run_program
+from repro.mpisim import (CollectiveMismatchError, SimMPI, constants as C,
+                          datatypes as dt, ops)
+from repro.mpisim.errors import RankProgramError
+
+
+class TestBarrier:
+    def test_synchronises_clocks(self):
+        def prog(m):
+            m.compute(1e-3 * (m.rank + 1))
+            yield from m.barrier()
+        sim, res = run_program(4, prog)
+        # after the barrier all clocks are (nearly) aligned
+        times = res.rank_times
+        assert max(times) - min(times) < 1e-4
+
+
+class TestValueSemantics:
+    def test_bcast(self):
+        def prog(m):
+            buf = m.malloc(8)
+            v = yield from m.bcast(buf, 1, dt.INT, root=2,
+                                   data=("secret" if m.rank == 2 else None))
+            assert v == "secret"
+        run_program(4, prog)
+
+    def test_reduce_only_root_gets_value(self):
+        def prog(m):
+            buf = m.malloc(8)
+            v = yield from m.reduce(buf, buf, 1, dt.INT, ops.SUM, root=1,
+                                    data=m.rank + 1)
+            if m.comm_rank() == 1:
+                assert v == 1 + 2 + 3 + 4
+            else:
+                assert v is None
+        run_program(4, prog)
+
+    @pytest.mark.parametrize("op,expect", [
+        (ops.SUM, 0 + 1 + 2 + 3), (ops.PROD, 0),
+        (ops.MAX, 3), (ops.MIN, 0),
+    ])
+    def test_allreduce_ops(self, op, expect):
+        def prog(m):
+            buf = m.malloc(8)
+            v = yield from m.allreduce(buf, buf, 1, dt.INT, op, data=m.rank)
+            assert v == expect
+        run_program(4, prog)
+
+    def test_allreduce_elementwise_sequences(self):
+        def prog(m):
+            buf = m.malloc(8)
+            v = yield from m.allreduce(buf, buf, 2, dt.INT, ops.SUM,
+                                       data=[m.rank, 1])
+            assert v == [sum(range(4)), 4]
+        run_program(4, prog)
+
+    def test_allreduce_none_payload(self):
+        def prog(m):
+            buf = m.malloc(8)
+            v = yield from m.allreduce(buf, buf, 1, dt.INT, ops.SUM)
+            assert v is None
+        run_program(4, prog)
+
+    def test_gather_scatter(self):
+        def prog(m):
+            buf = m.malloc(8)
+            g = yield from m.gather(buf, 1, dt.INT, buf, 1, dt.INT, root=0,
+                                    data=m.rank * 10)
+            if m.comm_rank() == 0:
+                assert g == [0, 10, 20, 30]
+                s = yield from m.scatter(buf, 1, dt.INT, buf, 1, dt.INT,
+                                         root=0, data=["a", "b", "c", "d"])
+            else:
+                assert g is None
+                s = yield from m.scatter(buf, 1, dt.INT, buf, 1, dt.INT,
+                                         root=0)
+            assert s == "abcd"[m.comm_rank()]
+        run_program(4, prog)
+
+    def test_allgather(self):
+        def prog(m):
+            buf = m.malloc(8)
+            v = yield from m.allgather(buf, 1, dt.INT, buf, 1, dt.INT,
+                                       data=m.rank ** 2)
+            assert v == [0, 1, 4, 9]
+        run_program(4, prog)
+
+    def test_alltoall(self):
+        def prog(m):
+            n = m.comm_size()
+            buf = m.malloc(8)
+            v = yield from m.alltoall(buf, 1, dt.INT, buf, 1, dt.INT,
+                                      data=[m.rank * 10 + j
+                                            for j in range(n)])
+            assert v == [j * 10 + m.rank for j in range(n)]
+        run_program(4, prog)
+
+    def test_scan_exscan(self):
+        def prog(m):
+            buf = m.malloc(8)
+            s = yield from m.scan(buf, buf, 1, dt.INT, ops.SUM,
+                                  data=m.rank + 1)
+            assert s == sum(range(1, m.rank + 2))
+            e = yield from m.exscan(buf, buf, 1, dt.INT, ops.SUM,
+                                    data=m.rank + 1)
+            if m.comm_rank() == 0:
+                assert e is None
+            else:
+                assert e == sum(range(1, m.rank + 1))
+        run_program(4, prog)
+
+    def test_reduce_scatter_block(self):
+        def prog(m):
+            n = m.comm_size()
+            buf = m.malloc(8)
+            v = yield from m.reduce_scatter_block(
+                buf, buf, 1, dt.INT, ops.SUM, data=[m.rank] * n)
+            assert v == sum(range(n))
+        run_program(4, prog)
+
+    def test_reduce_scatter_varcounts(self):
+        def prog(m):
+            buf = m.malloc(8)
+            data = list(range(6))  # same contribution from everyone
+            v = yield from m.reduce_scatter(buf, buf, [1, 2, 3], dt.INT,
+                                            ops.SUM, data=data)
+            n = 3
+            if m.comm_rank() == 0:
+                assert v == [0 * n]
+            elif m.comm_rank() == 1:
+                assert v == [1 * n, 2 * n]
+            else:
+                assert v == [3 * n, 4 * n, 5 * n]
+        run_program(3, prog)
+
+
+class TestOrderingAndMismatch:
+    def test_mismatched_collectives_detected(self):
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                yield from m.barrier()
+            else:
+                yield from m.bcast(buf, 1, dt.INT, root=0)
+        with pytest.raises((CollectiveMismatchError, RankProgramError)):
+            run_program(2, prog)
+
+    def test_mismatched_root_detected(self):
+        def prog(m):
+            buf = m.malloc(8)
+            yield from m.bcast(buf, 1, dt.INT, root=m.rank)
+        with pytest.raises((CollectiveMismatchError, RankProgramError)):
+            run_program(2, prog)
+
+    def test_sequence_of_collectives_keeps_order(self):
+        def prog(m):
+            buf = m.malloc(8)
+            for i in range(5):
+                v = yield from m.allreduce(buf, buf, 1, dt.INT, ops.SUM,
+                                           data=i)
+                assert v == i * m.comm_size()
+        run_program(3, prog)
+
+    def test_collectives_on_different_comms_independent(self):
+        def prog(m):
+            buf = m.malloc(8)
+            sub = yield from m.comm_split(color=m.rank % 2, key=m.rank)
+            # world collective interleaved with sub-comm collectives
+            v1 = yield from m.allreduce(buf, buf, 1, dt.INT, ops.SUM,
+                                        data=1, comm=sub)
+            v2 = yield from m.allreduce(buf, buf, 1, dt.INT, ops.SUM, data=1)
+            assert v1 == 2 and v2 == 4
+        run_program(4, prog)
+
+
+class TestNonBlockingCollectives:
+    def test_ibarrier(self):
+        def prog(m):
+            req = m.ibarrier()
+            st = yield from m.wait(req)
+            assert st is not None
+        run_program(3, prog)
+
+    def test_iallreduce_value_via_request(self):
+        def prog(m):
+            buf = m.malloc(8)
+            req = m.iallreduce(buf, buf, 1, dt.INT, ops.SUM, data=2)
+            yield from m.wait(req)
+            assert req.value == 2 * m.comm_size()
+        run_program(4, prog)
+
+    def test_ibcast(self):
+        def prog(m):
+            buf = m.malloc(8)
+            req = m.ibcast(buf, 1, dt.INT, root=0,
+                           data=("x" if m.rank == 0 else None))
+            yield from m.wait(req)
+            assert req.value == "x"
+        run_program(3, prog)
+
+    def test_overlap_with_p2p(self):
+        def prog(m):
+            buf = m.malloc(16)
+            req = m.iallreduce(buf, buf, 1, dt.INT, ops.SUM, data=1)
+            peer = 1 - m.rank
+            yield from m.send(buf, 1, dt.INT, dest=peer, tag=1)
+            _ = yield from m.recv(buf, 1, dt.INT, source=peer, tag=1)
+            yield from m.wait(req)
+            assert req.value == 2
+        run_program(2, prog)
+
+    def test_ialltoall(self):
+        def prog(m):
+            n = m.comm_size()
+            buf = m.malloc(8)
+            req = m.ialltoall(buf, 1, dt.INT, buf, 1, dt.INT,
+                              data=[m.rank] * n)
+            yield from m.wait(req)
+            assert req.value == list(range(n))
+        run_program(3, prog)
+
+
+class TestVectorCollectives:
+    def test_gatherv_scatterv_record_counts(self):
+        def prog(m):
+            buf = m.malloc(64)
+            counts = [1, 2, 3]
+            displs = [0, 1, 3]
+            g = yield from m.gatherv(buf, counts[m.rank], dt.INT, buf,
+                                     counts, displs, dt.INT, root=0,
+                                     data=m.rank)
+            if m.comm_rank() == 0:
+                assert g == [0, 1, 2]
+            v = yield from m.scatterv(buf, counts, displs, dt.INT, buf,
+                                      counts[m.rank], dt.INT, root=0,
+                                      data=(["a", "b", "c"] if m.rank == 0
+                                            else None))
+            assert v == "abc"[m.comm_rank()]
+        run_program(3, prog)
+
+    def test_alltoallv(self):
+        def prog(m):
+            n = m.comm_size()
+            buf = m.malloc(64)
+            counts = [1] * n
+            displs = list(range(n))
+            v = yield from m.alltoallv(buf, counts, displs, dt.INT, buf,
+                                       counts, displs, dt.INT,
+                                       data=[m.rank * 100 + j
+                                             for j in range(n)])
+            assert v == [j * 100 + m.rank for j in range(n)]
+        run_program(3, prog)

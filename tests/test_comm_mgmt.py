@@ -1,0 +1,229 @@
+"""Communicator management: split/dup/create/free, non-blocking dup,
+inter-communicators, Cartesian comms, and the id-agreement corner cases
+the paper highlights (§3.3.1)."""
+
+import pytest
+
+from conftest import run_program
+from repro.mpisim import SimMPI, constants as C, datatypes as dt, ops
+from repro.mpisim.errors import RankProgramError
+
+
+class TestSplit:
+    def test_split_groups_and_ranks(self):
+        def prog(m):
+            sub = yield from m.comm_split(color=m.rank % 2, key=m.rank)
+            assert m.comm_size(sub) == 2
+            assert m.comm_rank(sub) == m.rank // 2
+            yield from m.barrier(sub)
+        run_program(4, prog)
+
+    def test_split_key_reverses_order(self):
+        def prog(m):
+            sub = yield from m.comm_split(color=0, key=-m.rank)
+            assert m.comm_rank(sub) == m.comm_size() - 1 - m.rank
+        run_program(4, prog)
+
+    def test_split_undefined_gets_none(self):
+        def prog(m):
+            color = C.UNDEFINED if m.rank == 0 else 1
+            sub = yield from m.comm_split(color=color, key=0)
+            if m.rank == 0:
+                assert sub is None
+            else:
+                assert m.comm_size(sub) == 3
+        run_program(4, prog)
+
+    def test_same_subcomm_object_shared(self):
+        seen = {}
+
+        def prog(m):
+            sub = yield from m.comm_split(color=m.rank // 2, key=m.rank)
+            seen[m.rank] = sub
+            yield from m.barrier()
+        run_program(4, prog)
+        assert seen[0] is seen[1]
+        assert seen[2] is seen[3]
+        assert seen[0] is not seen[2]
+
+    def test_p2p_in_subcomm(self):
+        def prog(m):
+            sub = yield from m.comm_split(color=m.rank % 2, key=m.rank)
+            me = m.comm_rank(sub)
+            peer = 1 - me
+            buf = m.malloc(8)
+            data, st = yield from m.sendrecv(buf, 1, dt.INT, peer, 3,
+                                             buf, 1, dt.INT, peer, 3,
+                                             comm=sub, data=m.rank)
+            # partner in my sub-comm is rank +/- 2 in the world
+            assert data == (m.rank + 2) % 4 or data == (m.rank - 2) % 4
+        run_program(4, prog)
+
+    def test_split_type_by_node(self):
+        def prog(m):
+            sub = yield from m.comm_split_type()
+            assert m.comm_size(sub) == 2  # node_size=2 below
+            assert m.comm_rank(sub) == m.rank % 2
+        sim = SimMPI(4, seed=0, node_size=2)
+        sim.run(prog)
+
+
+class TestDup:
+    def test_dup_same_group_new_context(self):
+        def prog(m):
+            dup = yield from m.comm_dup()
+            assert m.comm_size(dup) == m.comm_size()
+            assert m.comm_rank(dup) == m.comm_rank()
+            assert dup is not m.world
+            assert m.comm_compare(m.world, dup) == C.CONGRUENT
+            # messages on dup do not match messages on world
+            yield from m.barrier(dup)
+        run_program(3, prog)
+
+    def test_idup_delivers_comm_at_wait(self):
+        """§3.3.1's hard case: non-blocking duplication; the new comm (and
+        its symbolic id) only exist once a Wait completes the request."""
+        def prog(m):
+            req = m.comm_idup()
+            # overlap something else with the pending duplication
+            yield from m.allreduce(0, 0, 1, dt.INT, ops.SUM, data=1)
+            yield from m.wait(req)
+            newcomm = req.value
+            assert m.comm_size(newcomm) == m.comm_size()
+            yield from m.barrier(newcomm)
+        run_program(4, prog)
+
+
+class TestCreateFree:
+    def test_comm_create_members_only(self):
+        def prog(m):
+            grp = m.comm_group().incl([0, 2])
+            sub = yield from m.comm_create(m.world, grp)
+            if m.rank in (0, 2):
+                assert m.comm_size(sub) == 2
+                yield from m.barrier(sub)
+            else:
+                assert sub is None
+        run_program(4, prog)
+
+    def test_comm_free_collective(self):
+        def prog(m):
+            dup = yield from m.comm_dup()
+            yield from m.barrier(dup)
+            m.comm_free(dup)
+            yield from m.barrier()  # world still usable
+        run_program(3, prog)
+
+    def test_freed_comm_unusable(self):
+        def prog(m):
+            dup = yield from m.comm_dup()
+            m.comm_free(dup)
+            yield from m.barrier(dup)
+        with pytest.raises(RankProgramError):
+            run_program(1, prog)
+
+
+class TestIntercomm:
+    @staticmethod
+    def _halves(m):
+        return (yield from m.comm_split(color=m.rank // 2, key=m.rank))
+
+    def test_create_query(self):
+        def prog(m):
+            half = yield from m.comm_split(color=m.rank // 2, key=m.rank)
+            remote_leader = 2 if m.rank < 2 else 0
+            ic = yield from m.intercomm_create(half, 0, m.world,
+                                               remote_leader, tag=5)
+            assert m.comm_test_inter(ic)
+            assert m.comm_size(ic) == 2
+            assert m.comm_remote_size(ic) == 2
+            assert m.comm_rank(ic) == m.rank % 2
+        run_program(4, prog)
+
+    def test_p2p_across_intercomm(self):
+        def prog(m):
+            half = yield from m.comm_split(color=m.rank // 2, key=m.rank)
+            remote_leader = 2 if m.rank < 2 else 0
+            ic = yield from m.intercomm_create(half, 0, m.world,
+                                               remote_leader, tag=5)
+            buf = m.malloc(8)
+            peer = m.rank % 2  # same local rank on the other side
+            data, _ = yield from m.sendrecv(buf, 1, dt.INT, peer, 1,
+                                            buf, 1, dt.INT, peer, 1,
+                                            comm=ic, data=m.rank)
+            assert data == (m.rank + 2) % 4
+        run_program(4, prog)
+
+    def test_merge_orders_by_high(self):
+        def prog(m):
+            half = yield from m.comm_split(color=m.rank // 2, key=m.rank)
+            remote_leader = 2 if m.rank < 2 else 0
+            ic = yield from m.intercomm_create(half, 0, m.world,
+                                               remote_leader, tag=5)
+            merged = yield from m.intercomm_merge(ic, high=(m.rank < 2))
+            assert m.comm_size(merged) == 4
+            # the high group comes second: ranks 2,3 first then 0,1
+            expected = {2: 0, 3: 1, 0: 2, 1: 3}[m.rank]
+            assert m.comm_rank(merged) == expected
+            yield from m.barrier(merged)
+        run_program(4, prog)
+
+
+class TestCartComm:
+    def test_cart_create_and_shift(self):
+        def prog(m):
+            cart = yield from m.cart_create(None, (2, 3), (False, True))
+            me = m.comm_rank(cart)
+            coords = m.cart_coords(cart, me)
+            assert m.cart_rank(cart, coords) == me
+            src, dst = m.cart_shift(cart, 1, 1)  # periodic dim
+            assert src != C.PROC_NULL and dst != C.PROC_NULL
+            src, dst = m.cart_shift(cart, 0, 1)  # non-periodic dim
+            if coords[0] == 1:
+                assert dst == C.PROC_NULL
+            yield from m.barrier(cart)
+        run_program(6, prog)
+
+    def test_cart_smaller_than_comm(self):
+        def prog(m):
+            cart = yield from m.cart_create(None, (2, 2), (False, False))
+            if m.rank < 4:
+                assert cart is not None
+                yield from m.barrier(cart)
+            else:
+                assert cart is None
+        run_program(6, prog)
+
+    def test_cart_sub(self):
+        def prog(m):
+            cart = yield from m.cart_create(None, (2, 3), (False, False))
+            row = yield from m.cart_sub(cart, [False, True])
+            assert m.comm_size(row) == 3
+            col = yield from m.cart_sub(cart, [True, False])
+            assert m.comm_size(col) == 2
+            # row comm rank == my column coordinate
+            coords = m.cart_coords(cart, m.comm_rank(cart))
+            assert m.comm_rank(row) == coords[1]
+            assert m.comm_rank(col) == coords[0]
+        run_program(6, prog)
+
+
+class TestNamesAndQueries:
+    def test_set_get_name(self):
+        def prog(m):
+            m.comm_set_name(m.world, "my-comm")
+            assert m.comm_get_name(m.world) == "my-comm"
+            yield from m.barrier()
+        run_program(2, prog)
+
+    def test_group_queries(self):
+        def prog(m):
+            grp = m.comm_group()
+            assert m.group_size(grp) == 3
+            assert m.group_rank(grp) == m.rank
+            sub = m.group_excl(grp, [0])
+            assert m.group_rank(sub) == (C.UNDEFINED if m.rank == 0
+                                         else m.rank - 1)
+            m.group_free(sub)
+            yield from m.barrier()
+        run_program(3, prog)

@@ -1,0 +1,138 @@
+"""Tests for MPI datatypes (builtin + derived)."""
+
+import pytest
+
+from repro.mpisim import datatypes as dt
+from repro.mpisim.errors import InvalidArgumentError, InvalidHandleError
+
+
+@pytest.fixture
+def table():
+    return dt.DatatypeTable()
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("t,size", [
+        (dt.BYTE, 1), (dt.CHAR, 1), (dt.SHORT, 2), (dt.INT, 4),
+        (dt.FLOAT, 4), (dt.LONG, 8), (dt.DOUBLE, 8), (dt.INT64, 8),
+        (dt.DOUBLE_COMPLEX, 16),
+    ])
+    def test_sizes(self, t, size):
+        assert t.size == size
+        assert t.extent == size
+
+    def test_builtin_handles_negative_and_stable(self):
+        assert dt.INT.handle < 0
+        assert dt.INT.handle != dt.DOUBLE.handle
+        assert dt.BUILTINS[dt.INT.handle] is dt.INT
+
+    def test_builtins_committed(self):
+        dt.DOUBLE.check_usable()  # must not raise
+
+    def test_lookup_builtin_via_table(self, table):
+        assert table.lookup(dt.INT.handle) is dt.INT
+
+    def test_cannot_free_builtin(self, table):
+        with pytest.raises(InvalidHandleError):
+            table.free(dt.INT)
+
+
+class TestContiguous:
+    def test_size_and_extent(self, table):
+        t = table.contiguous(10, dt.INT)
+        assert t.size == 40
+        assert t.extent == 40
+        assert t.combiner == "contiguous"
+        assert t.recipe == (10,)
+
+    def test_zero_count(self, table):
+        t = table.contiguous(0, dt.INT)
+        assert t.size == 0
+
+    def test_negative_count_rejected(self, table):
+        with pytest.raises(InvalidArgumentError):
+            table.contiguous(-1, dt.INT)
+
+    def test_usable_only_after_commit(self, table):
+        t = table.contiguous(4, dt.INT)
+        with pytest.raises(InvalidArgumentError):
+            t.check_usable()
+        table.commit(t)
+        t.check_usable()
+
+
+class TestVector:
+    def test_size_excludes_gaps(self, table):
+        t = table.vector(3, 2, 4, dt.INT)  # 3 blocks of 2 ints, stride 4
+        assert t.size == 3 * 2 * 4
+        assert t.extent == ((3 - 1) * 4 + 2) * 4
+
+    def test_unit_stride_equals_contiguous_size(self, table):
+        v = table.vector(5, 1, 1, dt.DOUBLE)
+        c = table.contiguous(5, dt.DOUBLE)
+        assert v.size == c.size
+
+    def test_zero_count(self, table):
+        assert table.vector(0, 2, 4, dt.INT).size == 0
+
+
+class TestIndexed:
+    def test_size(self, table):
+        t = table.indexed([1, 3, 2], [0, 4, 10], dt.INT)
+        assert t.size == 6 * 4
+        assert t.extent == (10 + 2) * 4
+        assert t.recipe == ((1, 3, 2), (0, 4, 10))
+
+    def test_length_mismatch_rejected(self, table):
+        with pytest.raises(InvalidArgumentError):
+            table.indexed([1, 2], [0], dt.INT)
+
+
+class TestStruct:
+    def test_mixed_types(self, table):
+        t = table.struct([2, 1], [0, 8], [dt.INT, dt.DOUBLE])
+        assert t.size == 2 * 4 + 8
+        assert t.extent == 8 + 8
+        assert t.base_handles == (dt.INT.handle, dt.DOUBLE.handle)
+
+    def test_arity_mismatch_rejected(self, table):
+        with pytest.raises(InvalidArgumentError):
+            table.struct([1], [0, 8], [dt.INT, dt.DOUBLE])
+
+
+class TestLifecycle:
+    def test_handles_sequential_per_table(self, table):
+        a = table.contiguous(1, dt.INT)
+        b = table.contiguous(2, dt.INT)
+        assert (a.handle, b.handle) == (1, 2)
+
+    def test_same_order_same_handles_across_tables(self):
+        # the cross-rank id alignment property
+        t1, t2 = dt.DatatypeTable(), dt.DatatypeTable()
+        a1 = t1.vector(2, 1, 2, dt.INT)
+        a2 = t2.vector(2, 1, 2, dt.INT)
+        assert a1.handle == a2.handle
+
+    def test_double_free_rejected(self, table):
+        t = table.contiguous(1, dt.INT)
+        table.commit(t)
+        table.free(t)
+        with pytest.raises(InvalidHandleError):
+            table.free(t)
+
+    def test_freed_type_unusable(self, table):
+        t = table.contiguous(1, dt.INT)
+        table.commit(t)
+        table.free(t)
+        with pytest.raises(InvalidHandleError):
+            t.check_usable()
+
+    def test_derived_of_derived(self, table):
+        inner = table.contiguous(3, dt.INT)
+        table.commit(inner)
+        outer = table.vector(2, 1, 2, inner)
+        assert outer.size == 2 * 12
+
+    def test_unknown_handle(self, table):
+        with pytest.raises(InvalidHandleError):
+            table.lookup(999)

@@ -1,0 +1,142 @@
+"""Tests for process groups and Cartesian topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpisim import constants as C
+from repro.mpisim.errors import InvalidArgumentError
+from repro.mpisim.group import Group
+from repro.mpisim.topology import CartTopology, dims_create
+
+
+class TestGroup:
+    def test_basic(self):
+        g = Group([4, 2, 7])
+        assert g.size == 3
+        assert g.world_rank(0) == 4
+        assert g.rank_of(7) == 2
+        assert g.rank_of(5) == C.UNDEFINED
+        assert g.contains(2) and not g.contains(3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            Group([1, 1])
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidArgumentError):
+            Group([0, 1]).world_rank(2)
+
+    def test_incl_excl(self):
+        g = Group(range(6))
+        assert Group(range(6)).incl([5, 0, 3]).ranks == (5, 0, 3)
+        assert g.excl([0, 2]).ranks == (1, 3, 4, 5)
+
+    def test_union_order(self):
+        a, b = Group([1, 3]), Group([3, 2])
+        assert a.union(b).ranks == (1, 3, 2)  # MPI ordering: a then new of b
+
+    def test_intersection_difference(self):
+        a, b = Group([1, 2, 3, 4]), Group([4, 2, 9])
+        assert a.intersection(b).ranks == (2, 4)
+        assert a.difference(b).ranks == (1, 3)
+
+    def test_range_incl(self):
+        g = Group(range(10))
+        assert g.range_incl([(0, 6, 2)]).ranks == (0, 2, 4, 6)
+        assert g.range_incl([(5, 3, -1)]).ranks == (5, 4, 3)
+        with pytest.raises(InvalidArgumentError):
+            g.range_incl([(0, 2, 0)])
+
+    def test_translate_ranks(self):
+        a = Group([10, 11, 12])
+        b = Group([12, 10])
+        assert a.translate_ranks([0, 1, 2], b) == [1, C.UNDEFINED, 0]
+        assert a.translate_ranks([C.PROC_NULL], b) == [C.PROC_NULL]
+
+    def test_compare(self):
+        a = Group([1, 2])
+        assert a.compare(Group([1, 2])) == C.IDENT
+        assert a.compare(Group([2, 1])) == C.SIMILAR
+        assert a.compare(Group([1, 3])) == C.UNEQUAL
+
+
+class TestCartTopology:
+    def test_coords_rank_inverse(self):
+        t = CartTopology((2, 3, 4), (False, False, False))
+        for r in range(t.nnodes):
+            assert t.rank_of(t.coords_of(r)) == r
+
+    def test_row_major_ordering(self):
+        t = CartTopology((2, 3), (False, False))
+        assert t.coords_of(0) == (0, 0)
+        assert t.coords_of(1) == (0, 1)
+        assert t.coords_of(3) == (1, 0)
+
+    def test_shift_interior(self):
+        t = CartTopology((4, 4), (False, False))
+        src, dst = t.shift(5, 0, 1)  # rank 5 = (1,1)
+        assert (src, dst) == (1, 9)
+
+    def test_shift_nonperiodic_boundary(self):
+        t = CartTopology((4,), (False,))
+        src, dst = t.shift(0, 0, 1)
+        assert src == C.PROC_NULL and dst == 1
+        src, dst = t.shift(3, 0, 1)
+        assert src == 2 and dst == C.PROC_NULL
+
+    def test_shift_periodic_wrap(self):
+        t = CartTopology((4,), (True,))
+        src, dst = t.shift(0, 0, 1)
+        assert (src, dst) == (3, 1)
+
+    def test_rank_of_periodic_wrap(self):
+        t = CartTopology((3, 3), (True, False))
+        assert t.rank_of((-1, 0)) == t.rank_of((2, 0))
+        assert t.rank_of((0, -1)) == C.PROC_NULL
+
+    def test_invalid(self):
+        t = CartTopology((2, 2), (False, False))
+        with pytest.raises(InvalidArgumentError):
+            t.coords_of(4)
+        with pytest.raises(InvalidArgumentError):
+            t.shift(0, 2, 1)
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("n,nd,expect", [
+        (6, 2, (3, 2)), (12, 2, (4, 3)), (8, 3, (2, 2, 2)),
+        (16, 2, (4, 4)), (7, 1, (7,)), (24, 3, (4, 3, 2)),
+        (1, 2, (1, 1)),
+    ])
+    def test_balanced(self, n, nd, expect):
+        assert dims_create(n, nd) == expect
+
+    def test_non_increasing(self):
+        for n in (30, 64, 100, 210):
+            d = dims_create(n, 3)
+            assert tuple(sorted(d, reverse=True)) == d
+
+    def test_product(self):
+        for n in range(1, 65):
+            d = dims_create(n, 3)
+            p = 1
+            for x in d:
+                p *= x
+            assert p == n
+
+    def test_fixed_entries_preserved(self):
+        assert dims_create(12, 2, [3, 0]) == (3, 4)
+
+    def test_incompatible_fixed(self):
+        with pytest.raises(InvalidArgumentError):
+            dims_create(12, 2, [5, 0])
+        with pytest.raises(InvalidArgumentError):
+            dims_create(12, 2, [3, 5])
+
+    @given(st.integers(1, 512), st.integers(1, 4))
+    def test_product_property(self, n, nd):
+        d = dims_create(n, nd)
+        p = 1
+        for x in d:
+            p *= x
+        assert p == n and len(d) == nd

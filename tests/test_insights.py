@@ -1,0 +1,134 @@
+"""Tests for the post-mortem trace-analysis toolkit."""
+
+import pytest
+
+from repro.analysis.insights import (CommMatrix, call_time_share,
+                                     collective_participation, comm_matrix,
+                                     load_balance, message_size_histogram)
+from repro.core import PilgrimTracer
+from repro.mpisim import SimMPI, constants as C, datatypes as dt, ops
+from repro.workloads import make
+
+
+@pytest.fixture(scope="module")
+def ring_blob():
+    """A 1D periodic ring: rank r sends 256B to r+1, 40 iterations."""
+    def prog(m):
+        n = m.comm_size()
+        me = m.comm_rank()
+        buf = m.malloc(512)
+        for _ in range(40):
+            reqs = [m.irecv(buf, 256, dt.BYTE, source=(me - 1) % n, tag=1),
+                    m.isend(buf + 256, 256, dt.BYTE, dest=(me + 1) % n,
+                            tag=1)]
+            yield from m.waitall(reqs)
+            yield from m.allreduce(buf, buf, 1, dt.DOUBLE, ops.SUM)
+
+    tracer = PilgrimTracer()
+    SimMPI(6, seed=1, tracer=tracer).run(prog)
+    return tracer.result.trace_bytes
+
+
+@pytest.fixture(scope="module")
+def send_blob():
+    """Blocking sends with distinct sizes, for the histograms/matrix."""
+    def prog(m):
+        buf = m.malloc(8192)
+        if m.rank == 0:
+            yield from m.send(buf, 64, dt.BYTE, dest=1, tag=1)
+            yield from m.send(buf, 1024, dt.BYTE, dest=2, tag=1)
+            yield from m.send(buf, 1024, dt.BYTE, dest=2, tag=1)
+        elif m.rank == 1:
+            _ = yield from m.recv(buf, 64, dt.BYTE, source=0, tag=1)
+        elif m.rank == 2:
+            for _ in range(2):
+                _ = yield from m.recv(buf, 1024, dt.BYTE, source=0, tag=1)
+        yield from m.barrier()
+
+    tracer = PilgrimTracer()
+    SimMPI(3, seed=0, tracer=tracer).run(prog)
+    return tracer.result.trace_bytes
+
+
+class TestCommMatrix:
+    def test_ring_structure(self, ring_blob):
+        mat = comm_matrix(ring_blob)
+        assert mat.nprocs == 6
+        for src in range(6):
+            dst = (src + 1) % 6
+            assert mat.messages[src, dst] == 40
+            assert mat.bytes[src, dst] == 40 * 256
+        # nothing else
+        assert mat.total_messages == 6 * 40
+
+    def test_explicit_sends(self, send_blob):
+        mat = comm_matrix(send_blob)
+        assert mat.messages[0, 1] == 1
+        assert mat.messages[0, 2] == 2
+        assert mat.bytes[0, 2] == 2048
+        assert mat.total_messages == 3
+
+    def test_hottest_pairs(self, send_blob):
+        top = comm_matrix(send_blob).hottest_pairs(2)
+        assert top[0] == (0, 2, 2048)
+        assert top[1] == (0, 1, 64)
+
+    def test_proc_null_ignored(self):
+        def prog(m):
+            buf = m.malloc(64)
+            yield from m.send(buf, 8, dt.BYTE, dest=C.PROC_NULL, tag=1)
+
+        tracer = PilgrimTracer()
+        SimMPI(2, seed=0, tracer=tracer).run(prog)
+        mat = comm_matrix(tracer.result.trace_bytes)
+        assert mat.total_messages == 0
+
+
+class TestHistogramsAndShares:
+    def test_size_histogram_buckets(self, send_blob):
+        hist = message_size_histogram(send_blob)
+        assert hist[6] == 1    # 64B
+        assert hist[10] == 2   # 1024B
+
+    def test_call_time_share_sums_to_one(self, ring_blob):
+        shares = call_time_share(ring_blob)
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        assert set(shares) >= {"MPI_Waitall", "MPI_Allreduce"}
+
+    def test_collective_participation(self, ring_blob):
+        colls = collective_participation(ring_blob)
+        assert colls[("MPI_Allreduce", 0)] == 6 * 40
+
+    def test_workload_smoke(self):
+        tracer = PilgrimTracer()
+        make("npb_mg", 8, iters=3).run(seed=1, tracer=tracer)
+        blob = tracer.result.trace_bytes
+        mat = comm_matrix(blob)
+        assert mat.total_messages > 0
+        shares = call_time_share(blob)
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+
+class TestLoadBalance:
+    def test_balanced_ring(self, ring_blob):
+        lb = load_balance(ring_blob)
+        assert len(lb.per_rank_calls) == 6
+        assert lb.imbalance == pytest.approx(1.0, abs=0.01)
+
+    def test_imbalanced_master_worker(self):
+        def prog(m):
+            buf = m.malloc(64)
+            if m.rank == 0:
+                for peer in range(1, m.comm_size()):
+                    for _ in range(10):
+                        yield from m.send(buf, 8, dt.BYTE, dest=peer, tag=1)
+            else:
+                for _ in range(10):
+                    _ = yield from m.recv(buf, 8, dt.BYTE, source=0, tag=1)
+
+        tracer = PilgrimTracer()
+        SimMPI(4, seed=0, tracer=tracer).run(prog)
+        lb = load_balance(tracer.result.trace_bytes)
+        assert lb.imbalance > 1.3
+        assert lb.per_rank_send_bytes[0] == 3 * 10 * 8
+        assert lb.per_rank_send_bytes[1] == 0

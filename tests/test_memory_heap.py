@@ -1,0 +1,116 @@
+"""Tests for the simulated per-rank heap."""
+
+import pytest
+
+from repro.mpisim.errors import InvalidArgumentError, InvalidHandleError
+from repro.mpisim.memory import DEVICE_BASE, HEAP_BASE, RankHeap
+
+
+class TestMalloc:
+    def test_addresses_above_heap_base(self):
+        h = RankHeap()
+        assert h.malloc(100) >= HEAP_BASE
+
+    def test_distinct_live_allocations(self):
+        h = RankHeap()
+        a, b = h.malloc(64), h.malloc(64)
+        assert a != b
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            RankHeap().malloc(-1)
+
+    def test_zero_size_allowed(self):
+        h = RankHeap()
+        a = h.malloc(0)
+        assert h.containing(a) is not None
+
+    def test_deterministic_across_instances(self):
+        # same allocation sequence => same addresses, the property that
+        # aligns Pilgrim's buffer ids across ranks
+        h1, h2 = RankHeap(), RankHeap()
+        seq1 = [h1.malloc(s) for s in (10, 200, 3000)]
+        seq2 = [h2.malloc(s) for s in (10, 200, 3000)]
+        assert seq1 == seq2
+
+    def test_calloc(self):
+        h = RankHeap()
+        a = h.calloc(10, 8)
+        assert h.containing(a).size == 80
+
+
+class TestFree:
+    def test_free_then_malloc_reuses_address(self):
+        h = RankHeap()
+        a = h.malloc(128)
+        h.free(a)
+        assert h.malloc(128) == a  # LIFO reuse, like glibc fastbins
+
+    def test_free_null_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            RankHeap().free(0)
+
+    def test_double_free_rejected(self):
+        h = RankHeap()
+        a = h.malloc(16)
+        h.free(a)
+        with pytest.raises(InvalidHandleError):
+            h.free(a)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(InvalidHandleError):
+            RankHeap().free(0x123456)
+
+    def test_live_accounting(self):
+        h = RankHeap()
+        a = h.malloc(100)
+        b = h.malloc(50)
+        assert h.live_count == 2 and h.live_bytes == 150
+        h.free(a)
+        assert h.live_count == 1 and h.live_bytes == 50
+
+
+class TestRealloc:
+    def test_realloc_null_is_malloc(self):
+        h = RankHeap()
+        a = h.realloc(0, 64)
+        assert h.containing(a).size == 64
+
+    def test_realloc_moves_and_frees(self):
+        h = RankHeap()
+        a = h.malloc(64)
+        b = h.realloc(a, 128)
+        assert h.containing(b).size == 128
+        # old block freed (either reused by b or gone)
+        assert h.live_count == 1
+
+
+class TestDevice:
+    def test_device_addresses_separate(self):
+        h = RankHeap()
+        d = h.cuda_malloc(1024, device=0)
+        assert d >= DEVICE_BASE
+        assert h.containing(d).device == 0
+
+    def test_cuda_free_host_pointer_rejected(self):
+        h = RankHeap()
+        a = h.malloc(8)
+        with pytest.raises(InvalidHandleError):
+            h.cuda_free(a)
+
+    def test_cuda_roundtrip(self):
+        h = RankHeap()
+        d = h.cuda_malloc(256, device=1)
+        alloc = h.cuda_free(d)
+        assert alloc.device == 1
+        assert h.containing(d) is None
+
+
+class TestContaining:
+    def test_interior_pointer(self):
+        h = RankHeap()
+        a = h.malloc(100)
+        assert h.containing(a + 50).addr == a
+        assert h.containing(a + 99).addr == a
+        assert h.containing(a + 100) is None or \
+            h.containing(a + 100).addr != a

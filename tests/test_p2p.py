@@ -1,0 +1,345 @@
+"""Point-to-point semantics tests: matching, wildcards, modes, probes,
+persistent requests, cancellation."""
+
+import pytest
+
+from conftest import run_program
+from repro.mpisim import (DeadlockError, SimMPI, TruncationError, constants
+                          as C, datatypes as dt)
+from repro.mpisim.errors import InvalidArgumentError, RankProgramError
+
+
+class TestBasicSendRecv:
+    def test_payload_and_status(self):
+        out = {}
+
+        def prog(m):
+            buf = m.malloc(64)
+            if m.rank == 0:
+                yield from m.send(buf, 8, dt.DOUBLE, dest=1, tag=7,
+                                  data="payload")
+            else:
+                data, st = yield from m.recv(buf, 8, dt.DOUBLE, source=0,
+                                             tag=7)
+                out["data"] = data
+                out["status"] = st
+
+        run_program(2, prog)
+        assert out["data"] == "payload"
+        assert out["status"].MPI_SOURCE == 0
+        assert out["status"].MPI_TAG == 7
+        assert out["status"].count == 64
+
+    def test_send_before_recv_buffered(self):
+        # eager semantics: send completes without a matching recv posted
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                yield from m.send(buf, 1, dt.DOUBLE, dest=1, tag=1)
+                yield from m.barrier()
+            else:
+                yield from m.barrier()
+                data, _ = yield from m.recv(buf, 1, dt.DOUBLE, source=0,
+                                            tag=1)
+
+        run_program(2, prog)
+
+    def test_tag_mismatch_never_matches(self):
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                yield from m.send(buf, 1, dt.DOUBLE, dest=1, tag=1)
+            else:
+                _ = yield from m.recv(buf, 1, dt.DOUBLE, source=0, tag=2)
+
+        with pytest.raises(DeadlockError):
+            run_program(2, prog)
+
+    def test_truncation_raises(self):
+        def prog(m):
+            buf = m.malloc(64)
+            if m.rank == 0:
+                yield from m.send(buf, 8, dt.DOUBLE, dest=1, tag=1)
+            else:
+                _ = yield from m.recv(buf, 1, dt.DOUBLE, source=0, tag=1)
+
+        with pytest.raises((TruncationError, RankProgramError)):
+            run_program(2, prog)
+
+    def test_shorter_message_ok(self):
+        def prog(m):
+            buf = m.malloc(64)
+            if m.rank == 0:
+                yield from m.send(buf, 1, dt.DOUBLE, dest=1, tag=1)
+            else:
+                _, st = yield from m.recv(buf, 8, dt.DOUBLE, source=0, tag=1)
+                assert st.count == 8
+                assert st.get_count(dt.DOUBLE.size) == 1
+
+        run_program(2, prog)
+
+    def test_invalid_peer_rejected(self):
+        def prog(m):
+            buf = m.malloc(8)
+            yield from m.send(buf, 1, dt.DOUBLE, dest=5, tag=1)
+
+        with pytest.raises(RankProgramError):
+            run_program(2, prog)
+
+    def test_invalid_tag_rejected(self):
+        def prog(m):
+            buf = m.malloc(8)
+            yield from m.send(buf, 1, dt.DOUBLE, dest=1, tag=-3)
+
+        with pytest.raises(RankProgramError):
+            run_program(2, prog)
+
+
+class TestProcNull:
+    def test_send_recv_proc_null_complete_immediately(self):
+        def prog(m):
+            buf = m.malloc(8)
+            yield from m.send(buf, 1, dt.DOUBLE, dest=C.PROC_NULL, tag=1)
+            data, st = yield from m.recv(buf, 1, dt.DOUBLE,
+                                         source=C.PROC_NULL, tag=1)
+            assert data is None
+            assert st.MPI_SOURCE == C.PROC_NULL
+            assert st.count == 0
+
+        run_program(1, prog)
+
+
+class TestWildcards:
+    def test_any_source(self):
+        seen = []
+
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                for _ in range(2):
+                    _, st = yield from m.recv(buf, 1, dt.DOUBLE,
+                                              source=C.ANY_SOURCE, tag=3)
+                    seen.append(st.MPI_SOURCE)
+            else:
+                yield from m.send(buf, 1, dt.DOUBLE, dest=0, tag=3)
+
+        run_program(3, prog)
+        assert sorted(seen) == [1, 2]
+
+    def test_any_tag(self):
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                yield from m.send(buf, 1, dt.DOUBLE, dest=1, tag=17)
+            else:
+                _, st = yield from m.recv(buf, 1, dt.DOUBLE, source=0,
+                                          tag=C.ANY_TAG)
+                assert st.MPI_TAG == 17
+
+        run_program(2, prog)
+
+    def test_non_overtaking_same_pair(self):
+        """Messages between one (sender, receiver, tag) pair arrive in
+        send order — MPI's ordering guarantee."""
+        got = []
+
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                for i in range(5):
+                    yield from m.send(buf, 1, dt.DOUBLE, dest=1, tag=1,
+                                      data=i)
+            else:
+                for _ in range(5):
+                    data, _ = yield from m.recv(buf, 1, dt.DOUBLE, source=0,
+                                                tag=1)
+                    got.append(data)
+
+        run_program(2, prog)
+        assert got == [0, 1, 2, 3, 4]
+
+
+class TestSynchronousMode:
+    def test_ssend_head_to_head_deadlocks(self):
+        def prog(m):
+            buf = m.malloc(8)
+            peer = 1 - m.rank
+            yield from m.ssend(buf, 1, dt.DOUBLE, dest=peer, tag=1)
+            _ = yield from m.recv(buf, 1, dt.DOUBLE, source=peer, tag=1)
+
+        with pytest.raises(DeadlockError):
+            run_program(2, prog)
+
+    def test_ssend_completes_on_match(self):
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                yield from m.ssend(buf, 1, dt.DOUBLE, dest=1, tag=1)
+            else:
+                _ = yield from m.recv(buf, 1, dt.DOUBLE, source=0, tag=1)
+
+        run_program(2, prog)
+
+    def test_issend_not_done_until_matched(self):
+        flags = {}
+
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                req = m.issend(buf, 1, dt.DOUBLE, dest=1, tag=1)
+                flags["before"] = req.done
+                yield from m.barrier()     # rank 1 posts its recv after this
+                yield from m.wait(req)
+                flags["after"] = req.status is not None
+            else:
+                yield from m.barrier()
+                _ = yield from m.recv(buf, 1, dt.DOUBLE, source=0, tag=1)
+
+        run_program(2, prog)
+        assert flags["before"] is False
+        assert flags["after"] is True
+
+
+class TestSendrecv:
+    def test_ring_shift(self):
+        data_seen = {}
+
+        def prog(m):
+            n = m.comm_size()
+            me = m.comm_rank()
+            buf = m.malloc(16)
+            data, st = yield from m.sendrecv(
+                buf, 1, dt.DOUBLE, (me + 1) % n, 5,
+                buf, 1, dt.DOUBLE, (me - 1) % n, 5, data=me)
+            data_seen[me] = data
+
+        run_program(4, prog)
+        assert data_seen == {0: 3, 1: 0, 2: 1, 3: 2}
+
+
+class TestProbe:
+    def test_blocking_probe_then_recv(self):
+        def prog(m):
+            buf = m.malloc(64)
+            if m.rank == 0:
+                yield from m.send(buf, 4, dt.DOUBLE, dest=1, tag=9)
+            else:
+                st = yield from m.probe(source=C.ANY_SOURCE, tag=9)
+                assert st.MPI_SOURCE == 0
+                assert st.count == 32
+                # probe must NOT consume: the recv still succeeds
+                _, st2 = yield from m.recv(buf, 4, dt.DOUBLE, source=0, tag=9)
+                assert st2.count == 32
+
+        run_program(2, prog)
+
+    def test_iprobe_false_then_true(self):
+        results = []
+
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                flag, _ = m.iprobe(source=1, tag=2)
+                results.append(flag)
+                yield from m.barrier()
+                yield from m.barrier()
+                flag, st = m.iprobe(source=1, tag=2)
+                results.append(flag)
+                _ = yield from m.recv(buf, 1, dt.DOUBLE, source=1, tag=2)
+            else:
+                yield from m.barrier()
+                yield from m.send(buf, 1, dt.DOUBLE, dest=0, tag=2)
+                yield from m.barrier()
+
+        run_program(2, prog)
+        assert results == [False, True]
+
+
+class TestPersistent:
+    def test_send_recv_init_start_wait_loop(self):
+        got = []
+
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 0:
+                req = m.send_init(buf, 1, dt.DOUBLE, dest=1, tag=4, data="x")
+                for _ in range(3):
+                    m.start(req)
+                    yield from m.wait(req)
+                m.request_free(req)
+            else:
+                req = m.recv_init(buf, 1, dt.DOUBLE, source=0, tag=4)
+                for _ in range(3):
+                    m.start(req)
+                    st = yield from m.wait(req)
+                    got.append(st.MPI_SOURCE)
+                m.request_free(req)
+
+        run_program(2, prog)
+        assert got == [0, 0, 0]
+
+    def test_start_inactive_only(self):
+        def prog(m):
+            buf = m.malloc(8)
+            req = m.send_init(buf, 1, dt.DOUBLE, dest=C.PROC_NULL, tag=1)
+            m.start(req)
+            m.start(req)  # active: must raise
+            yield from m.barrier()
+
+        with pytest.raises(RankProgramError):
+            run_program(1, prog)
+
+    def test_wait_on_inactive_persistent_returns_empty(self):
+        def prog(m):
+            buf = m.malloc(8)
+            req = m.recv_init(buf, 1, dt.DOUBLE, source=C.PROC_NULL, tag=1)
+            st = yield from m.wait(req)  # never started: empty status
+            assert st.MPI_SOURCE == C.PROC_NULL
+
+        run_program(1, prog)
+
+    def test_startall(self):
+        def prog(m):
+            buf = m.malloc(16)
+            if m.rank == 0:
+                reqs = [m.send_init(buf, 1, dt.DOUBLE, dest=1, tag=t)
+                        for t in (1, 2)]
+                m.startall(reqs)
+                yield from m.waitall(reqs)
+            else:
+                reqs = [m.recv_init(buf, 1, dt.DOUBLE, source=0, tag=t)
+                        for t in (1, 2)]
+                m.startall(reqs)
+                yield from m.waitall(reqs)
+
+        run_program(2, prog)
+
+
+class TestCancel:
+    def test_cancel_unmatched_recv(self):
+        def prog(m):
+            buf = m.malloc(8)
+            req = m.irecv(buf, 1, dt.DOUBLE, source=C.ANY_SOURCE, tag=99)
+            m.cancel(req)
+            st = yield from m.wait(req)
+            assert st.cancelled
+
+        run_program(1, prog)
+
+    def test_cancelled_recv_does_not_match(self):
+        def prog(m):
+            buf = m.malloc(8)
+            if m.rank == 1:
+                req = m.irecv(buf, 1, dt.DOUBLE, source=0, tag=1)
+                m.cancel(req)
+                _ = yield from m.wait(req)
+                yield from m.barrier()
+                # message still deliverable to a fresh recv
+                data, _ = yield from m.recv(buf, 1, dt.DOUBLE, source=0,
+                                            tag=1)
+                assert data == "m"
+            else:
+                yield from m.barrier()
+                yield from m.send(buf, 1, dt.DOUBLE, dest=1, tag=1, data="m")
+
+        run_program(2, prog)

@@ -1,0 +1,106 @@
+"""Unit + property tests for the varint/tagged-value serializer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.packing import (Reader, pack_ints, pack_value, read_value,
+                                unpack_ints, unzigzag, write_uvarint,
+                                write_varint, zigzag)
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("n", [0, 1, -1, 2, -2, 63, -64, 2**31, -2**31])
+    def test_roundtrip(self, n):
+        assert unzigzag(zigzag(n)) == n
+
+    def test_small_negative_small_encoding(self):
+        # zigzag keeps small-magnitude ints small
+        assert zigzag(-1) == 1
+        assert zigzag(1) == 2
+        assert zigzag(0) == 0
+
+    @given(st.integers(min_value=-2**62, max_value=2**62))
+    def test_roundtrip_property(self, n):
+        assert unzigzag(zigzag(n)) == n
+
+
+class TestVarint:
+    def test_single_byte_values(self):
+        out = bytearray()
+        write_uvarint(out, 127)
+        assert len(out) == 1
+
+    def test_multibyte(self):
+        out = bytearray()
+        write_uvarint(out, 128)
+        assert len(out) == 2
+
+    def test_negative_uvarint_rejected(self):
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), -1)
+
+    def test_reader_sequence(self):
+        out = bytearray()
+        values = [0, 1, 300, 2**40, 7]
+        for v in values:
+            write_uvarint(out, v)
+        r = Reader(bytes(out))
+        assert [r.read_uvarint() for _ in values] == values
+        assert r.exhausted
+
+    def test_signed_roundtrip(self):
+        out = bytearray()
+        values = [0, -1, 1, -1000, 1000, -2**40]
+        for v in values:
+            write_varint(out, v)
+        r = Reader(bytes(out))
+        assert [r.read_varint() for _ in values] == values
+
+    @given(st.lists(st.integers(min_value=-2**62, max_value=2**62)))
+    def test_pack_ints_roundtrip(self, values):
+        assert unpack_ints(pack_ints(values)) == values
+
+    def test_truncated_read_bytes(self):
+        r = Reader(b"ab")
+        with pytest.raises(ValueError):
+            r.read_bytes(3)
+
+
+# strategy for signature-shaped values: nested tuples of scalars
+_scalar = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-2**40, max_value=2**40),
+    st.text(max_size=20),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+_value = st.recursive(_scalar,
+                      lambda children: st.tuples(children, children),
+                      max_leaves=12)
+
+
+class TestTaggedValues:
+    @pytest.mark.parametrize("v", [
+        None, True, False, 0, -5, 12345, "", "hello", "üñí",
+        (), (1, 2), (None, ("a", (True, -9))), 3.25,
+    ])
+    def test_roundtrip_examples(self, v):
+        r = Reader(pack_value(v))
+        assert read_value(r) == v
+        assert r.exhausted
+
+    @given(_value)
+    def test_roundtrip_property(self, v):
+        assert read_value(Reader(pack_value(v))) == v
+
+    def test_bool_is_not_int_after_decode(self):
+        assert read_value(Reader(pack_value(True))) is True
+        assert read_value(Reader(pack_value(1))) == 1
+        assert read_value(Reader(pack_value(1))) is not True
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            pack_value([1, 2])  # lists are not part of the closed set
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ValueError):
+            read_value(Reader(b"\xff"))

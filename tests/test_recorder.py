@@ -1,0 +1,83 @@
+"""Tests for the Recorder-style related-work baseline (paper §5)."""
+
+import pytest
+
+from repro.core import PilgrimTracer
+from repro.mpisim import SimMPI, datatypes as dt
+from repro.scalatrace import RecorderTracer, ScalaTraceTracer
+from repro.workloads import make
+
+
+def run(tracer_cls, name, P, **kw):
+    tracer = tracer_cls()
+    make(name, P, **kw).run(seed=1, tracer=tracer)
+    return tracer.result
+
+
+class TestWindowCompression:
+    def test_repeats_become_backrefs(self):
+        def prog(m):
+            buf = m.malloc(64)
+            for _ in range(30):
+                yield from m.barrier()
+
+        tracer = RecorderTracer()
+        SimMPI(2, seed=0, tracer=tracer).run(prog)
+        # 30 identical barriers: 1 literal + 29 back-references per rank
+        tokens = tracer._tokens[0]
+        lits = [t for t in tokens if t[0] == "lit"]
+        refs = [t for t in tokens if t[0] == "ref"]
+        assert len(refs) >= 29
+        assert all(d == 1 for _k, d in refs if _k == "ref")
+
+    def test_long_range_repetition_missed(self):
+        """The paper's critique: repeats beyond the window are literals."""
+        from repro.mpisim import constants as C
+
+        def prog(m):
+            buf = m.malloc(64)
+            # two identical phases separated by > window distinct calls
+            yield from m.barrier()
+            for t in range(200):
+                yield from m.send(buf, t + 1, dt.BYTE, dest=C.PROC_NULL,
+                                  tag=1)
+            yield from m.barrier()
+
+        tracer = RecorderTracer(window=64)
+        SimMPI(1, seed=0, tracer=tracer).run(prog)
+        barrier_tokens = [t for t in tracer._tokens[0]
+                          if t[0] == "lit" and t[1][0] ==
+                          _fid("MPI_Barrier")]
+        assert len(barrier_tokens) == 2  # the second repeat was NOT found
+
+    def test_tokens_linear_in_iterations(self):
+        r1 = run(RecorderTracer, "stencil2d", 9, iters=10)
+        r2 = run(RecorderTracer, "stencil2d", 9, iters=40)
+        # per-occurrence backrefs: tokens scale with the call count
+        assert sum(r2.per_rank_tokens) > 3 * sum(r1.per_rank_tokens)
+        # ... unlike Pilgrim, whose size stays flat
+        p1 = run(PilgrimTracer, "stencil2d", 9, iters=10)
+        p2 = run(PilgrimTracer, "stencil2d", 9, iters=40)
+        assert p2.trace_size - p1.trace_size < 64
+
+
+class TestRelatedWorkOrdering:
+    @pytest.mark.parametrize("name,P,kw", [
+        ("stencil2d", 16, {"iters": 15}),
+        ("npb_lu", 16, {"iters": 8}),
+    ])
+    def test_pilgrim_smallest_recorder_largest(self, name, P, kw):
+        pil = run(PilgrimTracer, name, P, **kw).trace_size
+        sca = run(ScalaTraceTracer, name, P, **kw).trace_size
+        rec = run(RecorderTracer, name, P, **kw).trace_size
+        assert pil < sca < rec
+
+    def test_recorder_linear_in_procs(self):
+        r16 = run(RecorderTracer, "stencil2d", 16, iters=15).trace_size
+        r64 = run(RecorderTracer, "stencil2d", 64, iters=15).trace_size
+        assert r64 > 3 * r16  # no inter-process compression
+
+
+def _fid(name):
+    from repro.mpisim import funcs as F
+    return F.FUNCS[name].fid

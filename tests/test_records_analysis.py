@@ -1,0 +1,89 @@
+"""Tests for decoded records and the analysis/report helpers."""
+
+import pytest
+
+from repro.analysis import (classify_growth, fmt_kb, fmt_time,
+                            growth_factor, print_table, run_experiment)
+from repro.core.records import DecodedCall, sig_to_params
+from repro.mpisim import funcs as F
+
+
+class TestSigToParams:
+    def test_named_params(self):
+        spec = F.FUNCS["MPI_Send"]
+        sig = (spec.fid, (1, 0, 0), 4, -6, (1, 1), 7, 0)
+        fname, params = sig_to_params(sig)
+        assert fname == "MPI_Send"
+        assert params["count"] == 4
+        assert params["dest"] == (1, 1)
+        assert params["comm"] == 0
+
+    def test_arity_mismatch_rejected(self):
+        spec = F.FUNCS["MPI_Barrier"]
+        with pytest.raises(ValueError):
+            sig_to_params((spec.fid, 0, 1, 2))
+
+    def test_materialized_decodes_relative(self):
+        spec = F.FUNCS["MPI_Send"]
+        sig = (spec.fid, (1, 0, 0), 4, -6, (1, 1), (2, 7), 0)
+        fname, params = sig_to_params(sig)
+        call = DecodedCall(rank=3, fname=fname, params=params)
+        mat = call.materialized()
+        assert mat["dest"] == 4   # (REL,+1) against rank 3
+        assert mat["tag"] == 7    # absolute
+
+
+class TestReportHelpers:
+    def test_fmt_kb(self):
+        assert fmt_kb(512) == "0.5KB"
+        assert fmt_kb(100 * 1024) == "100KB"
+        assert fmt_kb(3 * 1024 * 1024).endswith("MB")
+
+    def test_fmt_time(self):
+        assert fmt_time(0.0031) == "3.1ms"
+        assert fmt_time(2.5) == "2.5s"
+        assert fmt_time(250) == "250s"
+
+    def test_growth_factor(self):
+        assert growth_factor([10, 20, 40]) == 4
+        assert growth_factor([0, 0]) == 0.0
+
+    @pytest.mark.parametrize("ys,expect", [
+        ([100, 101, 102], "flat"),
+        ([100, 200, 400, 800], "linear"),
+        ([100, 140, 200, 280], "sublinear"),
+        ([100, 500, 2500, 12500], "superlinear"),
+    ])
+    def test_classify_growth(self, ys, expect):
+        xs = [8 * 2 ** i for i in range(len(ys))]
+        assert classify_growth(xs, ys) == expect
+
+    def test_print_table_smoke(self, capsys):
+        print_table("T", ["a", "bb"], [[1, 2], ["xxx", 4]], note="n")
+        out = capsys.readouterr().out
+        assert "T" in out and "xxx" in out and "note: n" in out
+
+
+class TestRunExperiment:
+    def test_collects_all_fields(self):
+        row = run_experiment("stencil2d", 9, iters=5)
+        assert row.mpi_calls > 0
+        assert row.pilgrim_size > 0
+        assert row.scalatrace_size > 0
+        assert row.n_unique_grammars == 9
+        assert row.app_seconds > 0
+        assert row.time_intra > 0
+
+    def test_selective_tracers(self):
+        row = run_experiment("osu_barrier", 4, iters=2, scalatrace=False,
+                             baseline=False)
+        assert row.pilgrim_size > 0
+        assert row.scalatrace_size == 0
+        assert row.app_seconds == 0
+
+    def test_pilgrim_kwargs_forwarded(self):
+        # 16 ranks collapse to 9 classes only WITH relative ranks
+        row = run_experiment("stencil2d", 16, iters=5, scalatrace=False,
+                             baseline=False,
+                             pilgrim_kwargs={"relative_ranks": False})
+        assert row.n_unique_grammars == 16

@@ -1,0 +1,64 @@
+"""Tests for relative-rank encoding (§3.4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.relative import (MARK_ABS, MARK_REL, MARK_SPECIAL, decode,
+                                 encode_rank, encode_rankish)
+from repro.mpisim import constants as C
+
+
+class TestEncodeRank:
+    def test_relative_by_default(self):
+        assert encode_rank(5, 3) == (MARK_REL, 2)
+        assert encode_rank(1, 3) == (MARK_REL, -2)
+
+    def test_stencil_neighbours_identical_across_ranks(self):
+        # the point of the whole optimization
+        assert encode_rank(4, 3) == encode_rank(8, 7) == (MARK_REL, 1)
+
+    @pytest.mark.parametrize("special", [C.PROC_NULL, C.ANY_SOURCE,
+                                         C.ANY_TAG, C.UNDEFINED])
+    def test_specials_never_relative(self, special):
+        assert encode_rank(special, 3) == (MARK_SPECIAL, special)
+        assert decode(encode_rank(special, 3), 3) == special
+
+    def test_disabled_gives_absolute(self):
+        assert encode_rank(5, 3, enabled=False) == (MARK_ABS, 5)
+
+    @given(st.integers(0, 10000), st.integers(0, 10000))
+    def test_lossless(self, value, rank):
+        assert decode(encode_rank(value, rank), rank) == value
+
+
+class TestEncodeRankish:
+    def test_exact_match_goes_relative(self):
+        assert encode_rankish(7, 7) == (MARK_REL, 0)
+
+    def test_constant_stays_absolute(self):
+        # a constant tag near the rank must NOT become relative
+        assert encode_rankish(1, 2) == (MARK_ABS, 1)
+        assert encode_rankish(999, 3) == (MARK_ABS, 999)
+
+    def test_key_equals_rank_idiom_collapses(self):
+        # comm_split(key=me) produces one signature across all ranks
+        assert encode_rankish(0, 0) == encode_rankish(12, 12) \
+            == (MARK_REL, 0)
+
+    def test_disabled(self):
+        assert encode_rankish(7, 7, enabled=False) == (MARK_ABS, 7)
+
+    @given(st.integers(0, 10000), st.integers(0, 10000))
+    def test_lossless(self, value, rank):
+        assert decode(encode_rankish(value, rank), rank) == value
+
+
+class TestDecode:
+    def test_relative_needs_rank(self):
+        enc = encode_rank(10, 4)
+        assert decode(enc, 4) == 10
+        assert decode(enc, 5) == 11  # different context, different value
+
+    def test_absolute_ignores_rank(self):
+        enc = encode_rankish(999, 0)
+        assert decode(enc, 123) == 999

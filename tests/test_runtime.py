@@ -1,0 +1,186 @@
+"""Runtime-level tests: scheduler, deadlock/livelock detection, clocks,
+network model, error surfacing, determinism."""
+
+import pytest
+
+from conftest import run_program
+from repro.mpisim import (DeadlockError, NetworkModel, RankProgramError,
+                          SimMPI, constants as C, datatypes as dt, ops)
+from repro.mpisim.clock import RankClock
+from repro.mpisim.errors import MpiSimError
+
+
+class TestLifecycle:
+    def test_run_once_only(self):
+        def prog(m):
+            yield from m.barrier()
+        sim = SimMPI(2, seed=0)
+        sim.run(prog)
+        with pytest.raises(MpiSimError):
+            sim.run(prog)
+
+    def test_nonpositive_nprocs_rejected(self):
+        with pytest.raises(MpiSimError):
+            SimMPI(0)
+
+    def test_non_generator_program_rejected(self):
+        def prog(m):
+            return 42
+        with pytest.raises((MpiSimError, RankProgramError)):
+            SimMPI(1, seed=0).run(prog)
+
+    def test_programs_without_yields_allowed_if_none(self):
+        def prog(m):
+            m.comm_rank()
+            return None
+        res = SimMPI(2, seed=0).run(prog)
+        assert res.nprocs == 2
+
+    def test_rank_exception_wrapped_with_rank(self):
+        def prog(m):
+            if m.rank == 3:
+                raise RuntimeError("boom")
+            yield from m.barrier()
+        with pytest.raises(RankProgramError) as ei:
+            run_program(5, prog)
+        assert ei.value.rank == 3
+
+
+class TestDeadlockDetection:
+    def test_recv_without_send(self):
+        def prog(m):
+            buf = m.malloc(8)
+            _ = yield from m.recv(buf, 1, dt.DOUBLE, source=1 - m.rank,
+                                  tag=1)
+        with pytest.raises(DeadlockError) as ei:
+            run_program(2, prog)
+        assert 0 in ei.value.blocked and 1 in ei.value.blocked
+
+    def test_partial_barrier(self):
+        def prog(m):
+            if m.rank != 2:
+                yield from m.barrier()
+        with pytest.raises(DeadlockError) as ei:
+            run_program(3, prog)
+        assert "barrier" in str(ei.value)
+
+    def test_livelock_spin_detected(self):
+        def prog(m):
+            buf = m.malloc(8)
+            req = m.irecv(buf, 1, dt.DOUBLE, source=C.ANY_SOURCE, tag=1)
+            flag = False
+            while not flag:
+                flag, _ = yield from m.test(req)
+        with pytest.raises(DeadlockError):
+            sim = SimMPI(1, seed=0, spin_limit=5_000)
+            sim.run(prog)
+
+
+class TestDeterminism:
+    def _trace_times(self, seed):
+        def prog(m):
+            m.compute(1e-4)
+            yield from m.barrier()
+            buf = m.malloc(8)
+            peer = 1 - m.rank
+            yield from m.sendrecv(buf, 64, dt.BYTE, peer, 1, buf, 64,
+                                  dt.BYTE, peer, 1)
+        sim = SimMPI(2, seed=seed, noise=0.1)
+        res = sim.run(prog)
+        return res.rank_times
+
+    def test_same_seed_bitwise_identical(self):
+        assert self._trace_times(7) == self._trace_times(7)
+
+    def test_different_seed_different_noise(self):
+        assert self._trace_times(7) != self._trace_times(8)
+
+
+class TestVirtualTime:
+    def test_compute_advances_clock(self):
+        def prog(m):
+            m.compute(0.5)
+            yield from m.barrier()
+        sim, res = run_program(1, prog)
+        assert res.app_time >= 0.5
+
+    def test_message_latency_ordering(self):
+        """Receiver cannot complete before send time + transfer time."""
+        times = {}
+
+        def prog(m):
+            buf = m.malloc(1 << 20)
+            if m.rank == 0:
+                m.compute(1e-3)
+                yield from m.send(buf, 1 << 20, dt.BYTE, dest=1, tag=1)
+                times["sent"] = m.clock.now
+            else:
+                _ = yield from m.recv(buf, 1 << 20, dt.BYTE, source=0, tag=1)
+                times["recvd"] = m.clock.now
+
+        net = NetworkModel()
+        sim = SimMPI(2, seed=0, noise=0.0, net=net)
+        sim.run(prog)
+        assert times["recvd"] >= 1e-3 + net.p2p_time(1 << 20)
+
+    def test_barrier_aligns_clocks(self):
+        def prog(m):
+            m.compute(1e-2 if m.rank == 0 else 1e-6)
+            yield from m.barrier()
+            m.compute(0.0)
+        sim, res = run_program(4, prog)
+        assert max(res.rank_times) - min(res.rank_times) < 1e-3
+
+    def test_noise_zero_is_exact(self):
+        c = RankClock(seed=1, noise=0.0)
+        c.advance(0.125)
+        assert c.now == 0.125
+
+    def test_noise_multiplicative(self):
+        c = RankClock(seed=1, noise=0.2)
+        d = c.advance(1.0)
+        assert d != 1.0 and 0.3 < d < 3.0
+
+    def test_sync_never_goes_backwards(self):
+        c = RankClock(seed=1, noise=0.0, start=5.0)
+        c.sync_to(3.0)
+        assert c.now == 5.0
+        c.sync_to(7.0)
+        assert c.now == 7.0
+
+
+class TestNetworkModel:
+    def test_p2p_monotone_in_size(self):
+        net = NetworkModel()
+        assert net.p2p_time(10) < net.p2p_time(10_000) < net.p2p_time(10**7)
+
+    def test_coll_monotone_in_procs(self):
+        net = NetworkModel()
+        assert net.coll_time("allreduce", 2, 64) < \
+            net.coll_time("allreduce", 1024, 64)
+
+    def test_alltoall_costlier_than_barrier(self):
+        net = NetworkModel()
+        assert net.coll_time("alltoall", 64, 1 << 16) > \
+            net.coll_time("barrier", 64, 0)
+
+    def test_single_proc_collective_cheap(self):
+        net = NetworkModel()
+        assert net.coll_time("allreduce", 1, 8) <= net.overhead
+
+
+class TestRunResult:
+    def test_mpi_calls_via_tracer(self):
+        from repro.core import PilgrimTracer
+
+        def prog(m):
+            yield from m.barrier()
+        tr = PilgrimTracer()
+        res = SimMPI(3, seed=0, tracer=tr).run(prog)
+        assert res.mpi_calls == tr.result.total_calls == 3 * 3  # init+bar+fin
+
+    def test_steps_counted(self):
+        def prog(m):
+            yield from m.barrier()
+        _, res = run_program(2, prog)
+        assert res.steps > 0

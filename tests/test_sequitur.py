@@ -1,0 +1,188 @@
+"""Unit + property tests for run-length Sequitur (paper §2.2).
+
+The two grammar invariants under test are the paper's P1 (digram
+uniqueness) and P2 (rule utility), plus the run-length extension's
+O(1)-for-regular-loops size claim and lossless expansion.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grammar import Grammar
+from repro.core.sequitur import Sequitur
+
+
+def compress(seq, ld=True):
+    s = Sequitur(loop_detection=ld)
+    for v in seq:
+        s.append(v)
+    return s
+
+
+def roundtrip(seq, ld=True):
+    s = compress(seq, ld)
+    assert s.expand() == list(seq)
+    s.flush()
+    s.check_invariants()
+    assert s.expand() == list(seq)
+    return s
+
+
+class TestBasics:
+    def test_empty(self):
+        s = Sequitur()
+        assert s.expand() == []
+        assert s.n_input == 0
+
+    def test_single(self):
+        roundtrip([5])
+
+    def test_no_repetition(self):
+        s = roundtrip([1, 2, 3, 4, 5])
+        assert s.n_rules() == 1  # nothing to factor
+
+    def test_negative_terminal_rejected(self):
+        with pytest.raises(ValueError):
+            Sequitur().append(-1)
+
+    def test_zero_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Sequitur().append(1, exp=0)
+
+    def test_run_collapses_to_one_token(self):
+        s = roundtrip([7] * 1000)
+        assert s.n_tokens() == 1  # the paper's O(1) loop claim
+
+    def test_digram_rule_formation(self):
+        s = roundtrip([1, 2, 3, 1, 2])
+        # "1 2" appears twice -> becomes a rule
+        assert s.n_rules() == 2
+
+    def test_rule_reuse_not_duplicate(self):
+        # the second occurrence must reuse the existing rule (P1 handling
+        # when the match is a whole rule body)
+        s = roundtrip([1, 2, 9, 1, 2, 8, 1, 2])
+        assert s.n_rules() == 2
+
+    def test_rule_utility_inlining(self):
+        # transient rules that end up used once must be inlined (P2)
+        s = roundtrip([1, 2, 1, 3, 1, 2, 1, 3])
+        s.check_invariants()
+
+    def test_n_input_counts_expansions(self):
+        s = Sequitur()
+        s.append(1, exp=5)
+        s.append(2)
+        assert s.n_input == 6
+
+
+class TestLoopCompression:
+    def test_two_symbol_loop_constant_size(self):
+        s = roundtrip([1, 2] * 500)
+        assert s.n_tokens() <= 4
+
+    def test_loop_size_independent_of_iterations(self):
+        sizes = []
+        for n in (10, 100, 1000):
+            s = compress([1, 2, 3, 4, 5] * n)
+            s.flush()
+            sizes.append(s.n_tokens())
+        assert sizes[0] == sizes[1] == sizes[2]  # O(1), not O(log N)
+
+    def test_nested_loops(self):
+        inner = [1, 2] * 10 + [3]
+        seq = (inner * 8 + [4]) * 5
+        s = roundtrip(seq)
+        assert s.n_tokens() < 20
+
+    def test_partial_tail_iteration_preserved(self):
+        body = [1, 2, 3]
+        seq = body * 10 + [1, 2]  # loop plus a partial iteration
+        roundtrip(seq)
+
+    def test_plain_sequitur_logn_vs_runlength_o1(self):
+        # without exponents a loop costs O(log N) rules; with them O(1)
+        seq = [1, 2, 3, 4] * 256
+        rl = compress(seq, ld=False)
+        rl.flush()
+        assert rl.expand() == seq
+        assert rl.n_tokens() <= 8
+
+    def test_loop_detection_equivalent_grammar(self):
+        # the loop-detection fast path must not change the final grammar
+        for body in ([1], [1, 2], [1, 2, 3, 4, 5], [1, 2, 1, 3]):
+            seq = body * 50 + [9] + body * 30
+            g_fast = Grammar.freeze(compress(seq, ld=True))
+            g_slow = Grammar.freeze(compress(seq, ld=False))
+            assert g_fast.expand() == g_slow.expand() == seq
+
+    def test_flush_idempotent(self):
+        s = compress([1, 2, 3] * 20 + [1, 2])
+        s.flush()
+        before = s.expand()
+        s.flush()
+        assert s.expand() == before
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seq", [
+        [1, 2, 1, 2, 1, 2],
+        [0, 0, 1, 0, 0, 1, 0],
+        [5, 4, 3, 2, 1] * 6,
+        [1, 1, 2, 2, 1, 1, 2, 2],
+        [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3],
+    ])
+    def test_invariants_after_each_append(self, seq):
+        s = Sequitur()
+        for v in seq:
+            s.append(v)
+            s.flush()
+            s.check_invariants()
+        assert s.expand() == seq
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=80))
+    def test_roundtrip_property(self, seq):
+        s = compress(seq)
+        assert s.expand() == seq
+        s.flush()
+        s.check_invariants()
+        assert s.expand() == seq
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=50),
+           st.integers(2, 10))
+    def test_repeated_body_roundtrip(self, body, reps):
+        seq = body * reps
+        s = compress(seq)
+        assert s.expand() == seq
+        s.flush()
+        s.check_invariants()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 4),
+                              st.integers(1, 6)), min_size=1, max_size=40))
+    def test_exponent_appends(self, tokens):
+        s = Sequitur()
+        expected = []
+        for v, e in tokens:
+            s.append(v, exp=e)
+            expected.extend([v] * e)
+        assert s.expand() == expected
+        s.flush()
+        s.check_invariants()
+
+
+class TestGrammarSizeAccounting:
+    def test_n_tokens_counts_rule_bodies(self):
+        s = compress([1, 2] * 10)
+        s.flush()
+        total = sum(sum(1 for _ in r.tokens()) for r in s.rules.values())
+        assert s.n_tokens() == total
+
+    def test_compression_ratio_on_trace_like_input(self):
+        # an MPI-trace-shaped input: long loop of a 13-call iteration body
+        seq = list(range(13)) * 1000
+        s = compress(seq)
+        s.flush()
+        assert s.n_tokens() < len(seq) / 400

@@ -1,0 +1,144 @@
+"""Tests for id pools, object tables, and per-signature request pools."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.symbolic import IdPool, ObjectIdTable, RequestIdAllocator
+
+
+class TestIdPool:
+    def test_sequential_when_nothing_freed(self):
+        p = IdPool()
+        assert [p.acquire() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_lowest_free_id_reused(self):
+        p = IdPool()
+        ids = [p.acquire() for _ in range(5)]
+        p.release(1)
+        p.release(3)
+        assert p.acquire() == 1  # smallest freed first
+        assert p.acquire() == 3
+        assert p.acquire() == 5
+
+    def test_high_water_counts_distinct_ids(self):
+        p = IdPool()
+        for _ in range(3):
+            i = p.acquire()
+            p.release(i)
+        # alloc/free loop reuses id 0: the paper's "only a small number of
+        # ids are used" observation
+        assert p.high_water == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.booleans(), max_size=80))
+    def test_never_hands_out_live_id(self, ops):
+        p = IdPool()
+        live = set()
+        for acquire in ops:
+            if acquire or not live:
+                i = p.acquire()
+                assert i not in live
+                live.add(i)
+            else:
+                i = min(live)
+                live.discard(i)
+                p.release(i)
+
+
+class TestObjectIdTable:
+    def test_assign_and_lookup(self):
+        t = ObjectIdTable()
+        assert t.lookup("x") is None
+        assert t.lookup_or_assign("x") == 0
+        assert t.lookup("x") == 0
+        assert t.lookup_or_assign("y") == 1
+
+    def test_double_assign_rejected(self):
+        t = ObjectIdTable()
+        t.assign("x")
+        with pytest.raises(KeyError):
+            t.assign("x")
+
+    def test_release_recycles(self):
+        t = ObjectIdTable()
+        t.lookup_or_assign("a")
+        t.lookup_or_assign("b")
+        assert t.release("a") == 0
+        assert t.lookup_or_assign("c") == 0  # recycled
+        assert t.live_count == 2
+        assert t.high_water == 2
+
+    def test_create_free_loop_stays_small(self):
+        # the same-order-creation property across ranks relies on this
+        t = ObjectIdTable()
+        for i in range(100):
+            key = f"obj{i}"
+            assert t.lookup_or_assign(key) == 0
+            t.release(key)
+        assert t.high_water == 1
+
+
+class TestRequestIdAllocator:
+    def test_per_signature_pools_stable_ids(self):
+        """The §3.4.3 scenario: three irecvs with distinct signatures get
+        ids independent of completion order."""
+        a = RequestIdAllocator()
+        for it in range(5):
+            r1, r2, r3 = object(), object(), object()
+            s1 = a.on_create(id(r1), ("irecv", 1))
+            s2 = a.on_create(id(r2), ("irecv", 2))
+            s3 = a.on_create(id(r3), ("irecv", 3))
+            assert (s1, s2, s3) == ((0, 0), (1, 0), (2, 0))
+            # release in a different order each iteration
+            order = [(r1, r2, r3), (r3, r1, r2), (r2, r3, r1),
+                     (r3, r2, r1), (r1, r3, r2)][it]
+            for r in order:
+                a.on_release(id(r))
+
+    def test_single_pool_unstable_by_contrast(self):
+        """With ONE pool (the baseline's scheme) ids depend on completion
+        order — demonstrating the defect the paper fixes."""
+        a = RequestIdAllocator()
+        shared = ("*",)
+        r1, r2 = object(), object()
+        a.on_create(id(r1), shared)
+        a.on_create(id(r2), shared)
+        a.on_release(id(r2))   # r2 completes first
+        a.on_release(id(r1))
+        r3, r4 = object(), object()
+        s3 = a.on_create(id(r3), shared)
+        s4 = a.on_create(id(r4), shared)
+        assert (s3, s4) == ((0, 0), (0, 1))  # stable here because both freed
+        # now interleave: only r3 freed before next creation
+        a.on_release(id(r3))
+        r5 = object()
+        assert a.on_create(id(r5), shared) == (0, 0)
+        # r4 still live with id (0,1): a second live request of the same
+        # signature now aliases slot 0 across iterations
+
+    def test_same_signature_concurrent_requests_distinct_slots(self):
+        a = RequestIdAllocator()
+        sig = ("isend", 42)
+        rs = [object() for _ in range(4)]
+        slots = [a.on_create(id(r), sig) for r in rs]
+        assert slots == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+    def test_release_unknown_ignored(self):
+        a = RequestIdAllocator()
+        assert a.on_release(12345) is None
+
+    def test_lookup(self):
+        a = RequestIdAllocator()
+        r = object()
+        sym = a.on_create(id(r), ("x",))
+        assert a.lookup(id(r)) == sym
+        a.on_release(id(r))
+        assert a.lookup(id(r)) is None
+
+    def test_pool_index_by_first_appearance(self):
+        a = RequestIdAllocator()
+        r1, r2, r3 = object(), object(), object()
+        assert a.on_create(id(r1), ("b",))[0] == 0
+        assert a.on_create(id(r2), ("a",))[0] == 1
+        assert a.on_create(id(r3), ("b",))[0] == 0
+        assert a.n_pools == 2

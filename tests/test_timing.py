@@ -1,0 +1,143 @@
+"""Tests for lossy timing compression (§3.2, Fig 10)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grammar import Grammar
+from repro.core.timing import (BIN_OFFSET, TimingCompressor, bin_value,
+                               reconstruct_times, unbin_value)
+
+
+class TestBinning:
+    def test_relative_error_bound(self):
+        b = 1.2
+        for x in (1e-7, 3.3e-5, 0.5, 7.0, 123.456):
+            rep = unbin_value(bin_value(x, b), b)
+            assert x <= rep < x * b * (1 + 1e-12)
+
+    def test_monotone(self):
+        b = 1.2
+        assert bin_value(1.0, b) <= bin_value(1.3, b) <= bin_value(10.0, b)
+
+    def test_tiny_values_clamped(self):
+        assert bin_value(0.0, 1.2) == bin_value(1e-30, 1.2)
+
+    def test_base_affects_precision(self):
+        x = 1.234
+        fine = unbin_value(bin_value(x, 1.05), 1.05)
+        coarse = unbin_value(bin_value(x, 2.0), 2.0)
+        assert abs(fine - x) <= abs(coarse - x)
+
+    @given(st.floats(min_value=1e-9, max_value=1e6),
+           st.sampled_from([1.05, 1.2, 1.5, 2.0]))
+    def test_error_bound_property(self, x, base):
+        rep = unbin_value(bin_value(x, base), base)
+        assert rep / x >= 1 - 1e-9          # never under-estimates
+        assert rep / x <= base * (1 + 1e-9)  # at most a factor of base
+
+
+class TestCompressorInvalid:
+    def test_base_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            TimingCompressor(base=1.0)
+
+
+class TestReconstruction:
+    def _drive(self, events, base=1.2):
+        """events: list of (term, t0, duration)."""
+        tc = TimingCompressor(base=base)
+        tc.keep_raw = True
+        for term, t0, d in events:
+            tc.record(term, "MPI_Send", t0, t0 + d)
+        dg, ig = tc.freeze()
+        recon = reconstruct_times(dg.expand(), ig.expand(),
+                                  [t for t, _, _ in events], base)
+        return tc, recon
+
+    def test_tstart_error_bounded(self):
+        base = 1.2
+        events = []
+        t = 0.0
+        for i in range(200):
+            t += 1e-5 * (1 + 0.1 * ((i * 7) % 5))
+            events.append((i % 3, t, 2e-6))
+        _, recon = self._drive(events, base)
+        for (ts, te), (_, true_t0, true_d) in zip(recon, events):
+            assert abs(ts - true_t0) / true_t0 <= (base - 1) + 1e-9
+            assert te > ts
+
+    def test_duration_error_bounded(self):
+        base = 1.3
+        events = [(0, 1e-3 * (i + 1), 5e-6 * (1 + (i % 4))) for i in range(50)]
+        _, recon = self._drive(events, base)
+        for (ts, te), (_, _, true_d) in zip(recon, events):
+            d = te - ts
+            assert true_d * (1 - 1e-9) <= d <= true_d * base * (1 + 1e-9)
+
+    def test_interval_adjustment_prevents_drift(self):
+        """The §3.2 scheme: errors must NOT accumulate over many calls."""
+        base = 1.2
+        events = [(0, 1e-4 * (i + 1), 1e-6) for i in range(2000)]
+        _, recon = self._drive(events, base)
+        ts_last = recon[-1][0]
+        true_last = events[-1][1]
+        assert abs(ts_last - true_last) / true_last <= (base - 1) + 1e-9
+
+    def test_per_signature_clocks_independent(self):
+        base = 1.2
+        events = []
+        for i in range(100):
+            events.append((0, 1e-3 + i * 1e-5, 1e-6))
+            events.append((1, 5e-1 + i * 1e-4, 2e-6))
+        _, recon = self._drive(events, base)
+        for (ts, _), (_, true_t0, _) in zip(recon, events):
+            assert abs(ts - true_t0) / true_t0 <= (base - 1) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2),
+                              st.floats(min_value=1e-7, max_value=1e-3),
+                              st.floats(min_value=1e-8, max_value=1e-4)),
+                    min_size=1, max_size=60))
+    def test_reconstruction_property(self, steps):
+        base = 1.2
+        events = []
+        t = 0.0
+        for term, gap, d in steps:
+            t += gap
+            events.append((term, t, d))
+        _, recon = self._drive(events, base)
+        for (ts, te), (_, true_t0, true_d) in zip(recon, events):
+            assert abs(ts - true_t0) / true_t0 <= (base - 1) + 1e-9
+
+
+class TestCompressionBehaviour:
+    def test_regular_durations_compress_well(self):
+        tc = TimingCompressor(base=1.2)
+        for i in range(1000):
+            tc.record(0, "MPI_Send", i * 1e-4, i * 1e-4 + 1e-6)
+        dg, ig = tc.freeze()
+        assert dg.n_tokens <= 4    # identical durations: one run
+        assert ig.n_tokens <= 16   # regular intervals: tiny grammar
+
+    def test_noisy_durations_larger_grammar(self):
+        import random
+        rng = random.Random(1)
+        tc = TimingCompressor(base=1.2)
+        t = 0.0
+        for _ in range(500):
+            t += rng.uniform(1e-5, 1e-2)
+            tc.record(0, "MPI_Send", t, t + rng.uniform(1e-7, 1e-3))
+        dg, _ = tc.freeze()
+        assert dg.n_tokens > 50  # intrinsic non-determinism, as in §4.4
+
+    def test_per_function_base_override(self):
+        tc = TimingCompressor(base=1.2,
+                              per_function_base={"MPI_Barrier": 2.0})
+        tc.record(0, "MPI_Barrier", 1.0, 1.5)
+        tc.record(1, "MPI_Send", 1.0, 1.5)
+        dg, _ = tc.freeze()
+        bins = dg.expand()
+        # coarser base -> different (smaller-magnitude) bin for the barrier
+        assert bins[0] != bins[1]

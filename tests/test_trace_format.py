@@ -1,0 +1,94 @@
+"""Binary trace format round-trip tests (writer <-> reader)."""
+
+import pytest
+
+from repro.core.cst import CST, merge_csts
+from repro.core.grammar import Grammar
+from repro.core.interproc import merge_grammars
+from repro.core.sequitur import Sequitur
+from repro.core.trace_format import MAGIC, TraceFile
+
+
+def _freeze(seq):
+    s = Sequitur()
+    for v in seq:
+        s.append(v)
+    return Grammar.freeze(s)
+
+
+def _trace(rank_seqs, with_timing=False):
+    csts = []
+    grams = []
+    for seq in rank_seqs:
+        c = CST()
+        terms = [c.intern((v, "sig"), 0.5) for v in seq]
+        csts.append(c)
+        grams.append(_freeze(terms))
+    merged = merge_csts(csts)
+    remapped = [g.remap_terminals(lambda t, m=merged.remaps[i]: m[t])
+                for i, g in enumerate(grams)]
+    cfg = merge_grammars(remapped)
+    td = ti = None
+    if with_timing:
+        td = merge_grammars([_freeze([3, 3, 4]) for _ in rank_seqs])
+        ti = merge_grammars([_freeze([5, 6, 5]) for _ in rank_seqs])
+    return TraceFile(nprocs=len(rank_seqs), cst=merged, cfg=cfg,
+                     timing_duration=td, timing_interval=ti)
+
+
+class TestRoundTrip:
+    def test_magic_and_version(self):
+        blob = _trace([[0, 1, 0]]).to_bytes()
+        assert blob[:4] == MAGIC
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            TraceFile.from_bytes(b"XXXX\x01\x00")
+
+    def test_bad_version_rejected(self):
+        blob = bytearray(_trace([[0]]).to_bytes())
+        blob[4] = 99
+        with pytest.raises(ValueError):
+            TraceFile.from_bytes(bytes(blob))
+
+    @pytest.mark.parametrize("rank_seqs", [
+        [[0]],
+        [[0, 1, 0, 1]],
+        [[0, 1] * 5, [0, 1] * 5],
+        [[0, 1] * 5, [2, 3] * 4, [0, 1] * 5],
+        [[i % 3 for i in range(20)] for _ in range(7)],
+    ])
+    def test_cfg_roundtrip(self, rank_seqs):
+        t = _trace(rank_seqs)
+        back = TraceFile.from_bytes(t.to_bytes())
+        assert back.nprocs == t.nprocs
+        assert back.cst.sigs == t.cst.sigs
+        assert back.cfg.rank_uid == t.cfg.rank_uid
+        assert back.cfg.final.expand() == t.cfg.final.expand()
+        for uid, g in enumerate(back.cfg.unique):
+            assert g.expand() == t.cfg.unique[uid].expand()
+
+    def test_timing_sections_roundtrip(self):
+        t = _trace([[0, 1], [0, 1]], with_timing=True)
+        back = TraceFile.from_bytes(t.to_bytes())
+        assert back.timing_duration is not None
+        assert back.timing_duration.final.expand() == \
+            t.timing_duration.final.expand()
+        assert back.timing_interval.rank_uid == t.timing_interval.rank_uid
+
+    def test_no_timing_flag(self):
+        back = TraceFile.from_bytes(_trace([[0]]).to_bytes())
+        assert back.timing_duration is None
+
+
+class TestSectionSizes:
+    def test_sections_sum_to_total(self):
+        t = _trace([[0, 1] * 10, [2] * 5], with_timing=True)
+        sizes = t.section_sizes()
+        parts = sum(v for k, v in sizes.items() if k != "total")
+        assert sizes["total"] == parts
+        assert sizes["total"] == pytest.approx(len(t.to_bytes()), abs=2)
+
+    def test_cst_and_cfg_nonzero(self):
+        sizes = _trace([[0, 1, 2]]).section_sizes()
+        assert sizes["cst"] > 0 and sizes["cfg"] > 0

@@ -1,0 +1,149 @@
+"""Workload behaviour tests: each skeleton must exhibit the trace
+properties the paper's evaluation attributes to it."""
+
+import pytest
+
+from repro.core import PilgrimTracer
+from repro.mpisim.errors import InvalidArgumentError
+from repro.scalatrace import ScalaTraceTracer
+from repro.workloads import REGISTRY, make
+
+
+def pilgrim_run(name, nprocs, seed=1, **params):
+    tracer = PilgrimTracer()
+    make(name, nprocs, **params).run(seed=seed, tracer=tracer)
+    return tracer.result
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        expected = {"stencil2d", "stencil3d", "npb_is", "npb_mg", "npb_cg",
+                    "npb_lu", "npb_bt", "npb_sp", "flash_stirturb",
+                    "flash_sedov", "flash_cellular", "milc_su3_rmd",
+                    "osu_latency", "osu_bw", "osu_bibw", "osu_multi_lat",
+                    "osu_allreduce", "osu_bcast", "osu_alltoall",
+                    "osu_allgather", "osu_reduce", "osu_barrier"}
+        assert expected <= set(REGISTRY)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make("nope", 4)
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_every_workload_runs_small(self, name):
+        nprocs = {"npb_bt": 4, "npb_sp": 4, "npb_cg": 4,
+                  "osu_multi_lat": 4}.get(name, 4)
+        wl = make(name, nprocs)
+        res = wl.run(seed=0)
+        assert res.app_time > 0
+        assert res.nprocs == nprocs
+
+
+class TestStencilClaims:
+    """§4.1: pattern-class counts and constant trace size."""
+
+    def test_2d_has_exactly_9_classes(self):
+        for P in (9, 16, 36):
+            assert pilgrim_run("stencil2d", P, iters=8) \
+                .n_unique_grammars == 9
+
+    def test_2d_fewer_classes_below_3x3(self):
+        assert pilgrim_run("stencil2d", 4, iters=8).n_unique_grammars < 9
+
+    def test_3d_has_exactly_27_classes(self):
+        for P in (27, 64):
+            assert pilgrim_run("stencil3d", P, iters=5) \
+                .n_unique_grammars == 27
+
+    def test_trace_size_constant_in_procs(self):
+        sizes = [pilgrim_run("stencil2d", P, iters=8).trace_size
+                 for P in (9, 25, 64)]
+        assert max(sizes) - min(sizes) < 64  # rank-map varint jitter only
+
+    def test_trace_size_constant_in_iters(self):
+        # "constant space regardless of ... the number of iterations":
+        # only the CST per-signature call-count varints grow (O(log iters))
+        sizes = [pilgrim_run("stencil2d", 9, iters=i).trace_size
+                 for i in (10, 50, 200)]
+        assert max(sizes) - min(sizes) < 150
+
+
+class TestNPBClaims:
+    def test_bt_sp_need_square(self):
+        with pytest.raises(InvalidArgumentError):
+            make("npb_bt", 6)
+        with pytest.raises(InvalidArgumentError):
+            make("npb_sp", 8)
+
+    def test_cg_needs_power_of_two(self):
+        with pytest.raises(InvalidArgumentError):
+            make("npb_cg", 6)
+
+    def test_lu_flat_after_16(self):
+        s16 = pilgrim_run("npb_lu", 16, iters=6).trace_size
+        s64 = pilgrim_run("npb_lu", 64, iters=6).trace_size
+        assert s64 < s16 * 1.7  # LU: flat-ish, as in Fig 5
+
+    def test_is_signatures_linear_in_p(self):
+        n8 = pilgrim_run("npb_is", 8, iters=4).n_signatures
+        n32 = pilgrim_run("npb_is", 32, iters=4).n_signatures
+        assert n32 > n8 * 2  # per-rank alltoallv counts
+
+    def test_mg_classes_grow_slowly(self):
+        g8 = pilgrim_run("npb_mg", 8, iters=3).n_unique_grammars
+        g64 = pilgrim_run("npb_mg", 64, iters=3).n_unique_grammars
+        assert g8 < g64 < 64
+
+
+class TestFlashClaims:
+    def test_stirturb_constant_in_iters(self):
+        sizes = [pilgrim_run("flash_stirturb", 8, iters=i).trace_size
+                 for i in (20, 60, 120)]
+        assert max(sizes) - min(sizes) < 100  # Fig 6f: flat (varint jitter)
+
+    def test_sedov_grows_slowly_with_iters(self):
+        s1 = pilgrim_run("flash_sedov", 8, iters=30).trace_size
+        s2 = pilgrim_run("flash_sedov", 8, iters=120).trace_size
+        assert s1 < s2 < s1 * 3  # Fig 6d: slow growth via drifting source
+
+    def test_cellular_grows_with_refinements(self):
+        s1 = pilgrim_run("flash_cellular", 8, iters=20).trace_size
+        s2 = pilgrim_run("flash_cellular", 8, iters=60).trace_size
+        assert s2 > s1 * 1.5  # Fig 6e: growth with AMR refinement
+
+    def test_stirturb_plateaus_in_procs(self):
+        s27 = pilgrim_run("flash_stirturb", 27, iters=10).trace_size
+        s64 = pilgrim_run("flash_stirturb", 64, iters=10).trace_size
+        assert abs(s64 - s27) < 128
+
+
+class TestMILCClaims:
+    def test_weak_scaling_constant_grammars(self):
+        g81 = pilgrim_run("milc_su3_rmd", 81, steps=2, cg_iters=4)
+        g256 = pilgrim_run("milc_su3_rmd", 256, steps=2, cg_iters=4)
+        assert g81.n_unique_grammars == g256.n_unique_grammars == 81
+        assert abs(g256.trace_size - g81.trace_size) < 512
+
+    def test_strong_scaling_changes_classes(self):
+        dims = (32, 32, 32, 32)
+        r16 = pilgrim_run("milc_su3_rmd", 16, steps=2, cg_iters=4,
+                          global_dims=dims)
+        r256 = pilgrim_run("milc_su3_rmd", 256, steps=2, cg_iters=4,
+                           global_dims=dims)
+        # local lattice (and so message sizes) change with the partition
+        assert r16.n_signatures != r256.n_signatures
+
+
+class TestScalaTraceComparison:
+    def test_scala_linear_pilgrim_flat_stencil(self):
+        """Fig 5's headline contrast on a stencil-like code."""
+        ps, ss = [], []
+        for P in (16, 64):
+            r = pilgrim_run("stencil2d", P, iters=8)
+            ps.append(r.trace_size)
+            st_ = ScalaTraceTracer()
+            make("stencil2d", P, iters=8).run(seed=1, tracer=st_)
+            ss.append(st_.result.trace_size)
+        assert ps[1] < ps[0] * 1.1          # Pilgrim flat
+        assert ss[1] < ss[0] * 1.5          # baseline also folds classes
+        assert ps[1] < ss[1]                # and Pilgrim is smaller
