@@ -26,9 +26,12 @@ NPROCS = 48
 
 
 def test_fig8_overhead_decomposition(benchmark):
+    # profile=True turns on the self-instrumentation registry: the same
+    # PhaseProfiler that backs `repro trace --metrics` supplies these
+    # numbers, so figure and CLI can never drift apart
     def run():
         return {code: run_experiment(code, NPROCS, scalatrace=False,
-                                     baseline=False, **kw)
+                                     baseline=False, profile=True, **kw)
                 for code, kw in CODES.items()}
 
     rows = once(benchmark, run)
@@ -46,11 +49,28 @@ def test_fig8_overhead_decomposition(benchmark):
          for code, r in rows.items()],
         note="paper: CST merge 0.2-0.4%; CFG share grows with unique "
              "grammar count")
+    phase_names = sorted({p for r in rows.values() for p in r.phases})
+    print_table(
+        "Fig 8 fine-grained: profiler phases (seconds)",
+        ["code", *phase_names],
+        [(code, *(f"{r.phases.get(p, 0.0):.4f}" for p in phase_names))
+         for code, r in rows.items()],
+        note="from the repro.obs phase profiler (same source as "
+             "`repro stats`)")
     save_results("fig8_decomposition", {
         code: {"unique_grammars": r.n_unique_grammars,
                "intra": r.time_intra, "cst": r.time_cst_merge,
-               "cfg": r.time_cfg_merge}
+               "cfg": r.time_cfg_merge, "phases": r.phases}
         for code, r in rows.items()})
+
+    for code, r in rows.items():
+        # the fine-grained phases must account for the coarse totals:
+        # per-call stages sum to the measured intra time, and the three
+        # finalize phases are present
+        percall = sum(r.phases.get(p, 0.0) for p in
+                      ("encode", "cst", "sequitur", "timing", "mem"))
+        assert percall >= 0.9 * r.time_intra, code
+        assert "cfg_merge" in r.phases and "serialize" in r.phases, code
 
     for code, r in rows.items():
         intra, cst, cfg = shares(r)

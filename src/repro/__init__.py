@@ -9,6 +9,8 @@ Packages:
 * :mod:`repro.scalatrace` — the ScalaTrace-style baseline tracer.
 * :mod:`repro.workloads` — stencils, OSU, NPB, FLASH, MILC skeletons.
 * :mod:`repro.analysis` — size accounting, overhead timers, report tables.
+* :mod:`repro.obs` — self-instrumentation: metrics registry, pipeline
+  phase profiler, and the runtime event log.
 """
 
 __version__ = "1.0.0"

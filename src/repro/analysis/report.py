@@ -11,13 +11,27 @@ from typing import Any, Iterable, Sequence
 
 
 def fmt_kb(nbytes: int) -> str:
-    """Format a byte count the way the paper's axes do (KB)."""
+    """Format a byte count the way the paper's axes do (KB), except that
+    sub-1KB sizes read as plain bytes (``512B``, not ``0.5KB``)."""
+    if nbytes < 1024:
+        return f"{nbytes}B"
     kb = nbytes / 1024
     if kb >= 1000:
         return f"{kb / 1024:.1f}MB"
     if kb >= 10:
         return f"{kb:.0f}KB"
     return f"{kb:.1f}KB"
+
+
+def fmt_count(n: int) -> str:
+    """Human-scale call/event counts: ``950``, ``8.5K``, ``1.2M``, ``3.0B``."""
+    if n < 1000:
+        return str(n)
+    for div, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if n >= div:
+            v = n / div
+            return f"{v:.0f}{suffix}" if v >= 100 else f"{v:.1f}{suffix}"
+    return str(n)  # pragma: no cover - unreachable
 
 
 def fmt_time(seconds: float) -> str:

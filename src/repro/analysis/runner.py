@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core import PilgrimTracer
+from ..obs import MetricsRegistry
 from ..scalatrace import ScalaTraceTracer
 from ..workloads import make
 
@@ -35,6 +36,8 @@ class ExperimentRow:
     time_intra: float = 0.0
     time_cst_merge: float = 0.0
     time_cfg_merge: float = 0.0
+    #: fine-grained phase -> wall seconds (filled when profile=True)
+    phases: dict = field(default_factory=dict)
     params: dict = field(default_factory=dict)
 
     @property
@@ -56,9 +59,18 @@ def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
                    baseline: bool = True,
                    pilgrim_kwargs: Optional[dict] = None,
                    scalatrace_kwargs: Optional[dict] = None,
+                   profile: bool = False,
+                   metrics: Optional[MetricsRegistry] = None,
                    **params) -> ExperimentRow:
-    """Run one configuration under all requested tracers."""
+    """Run one configuration under all requested tracers.
+
+    ``profile=True`` attaches an enabled metrics registry to both tracers
+    so the fine-grained phase decomposition (Fig 8) lands in
+    ``row.phases`` — slightly slower, so off by default.  Pass an
+    explicit ``metrics`` registry to accumulate across several rows."""
     row = ExperimentRow(workload=workload, nprocs=nprocs, params=params)
+    if profile and metrics is None:
+        metrics = MetricsRegistry()
 
     if baseline:
         t0 = time.perf_counter()
@@ -66,7 +78,7 @@ def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
         row.app_seconds = time.perf_counter() - t0
 
     if pilgrim:
-        tracer = PilgrimTracer(**(pilgrim_kwargs or {}))
+        tracer = PilgrimTracer(metrics=metrics, **(pilgrim_kwargs or {}))
         t0 = time.perf_counter()
         res = make(workload, nprocs, **params).run(seed=seed, tracer=tracer)
         row.pilgrim_seconds = time.perf_counter() - t0
@@ -78,9 +90,11 @@ def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
         row.time_intra = r.time_intra
         row.time_cst_merge = r.time_cst_merge
         row.time_cfg_merge = r.time_cfg_merge
+        row.phases = dict(r.phases)
 
     if scalatrace:
-        tracer = ScalaTraceTracer(**(scalatrace_kwargs or {}))
+        tracer = ScalaTraceTracer(metrics=metrics,
+                                  **(scalatrace_kwargs or {}))
         t0 = time.perf_counter()
         make(workload, nprocs, **params).run(seed=seed, tracer=tracer)
         row.scalatrace_seconds = time.perf_counter() - t0

@@ -1,0 +1,175 @@
+"""Aggregation and rendering of ``repro.obs`` metrics/event JSONL dumps.
+
+``repro trace --metrics out.jsonl`` writes one instrument or event record
+per line (see :mod:`repro.obs.registry`); this module turns such a file
+back into tables — most importantly the Fig 8-style *overhead
+decomposition*: for each tracer scope found (``pilgrim``,
+``scalatrace``), the per-phase wall seconds and their share of the
+tracer's measured total overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .report import fmt_count, fmt_time, print_table
+
+
+@dataclass
+class MetricsSummary:
+    """Structured view of one metrics/events JSONL file."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    #: name -> {"clock", "count", "seconds"}
+    timers: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: name -> {"base", "count", "sum", "bins"}
+    histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for e in self.events:
+            k = e.get("kind", "?")
+            counts[k] = counts.get(k, 0) + 1
+        return counts
+
+    def scopes(self) -> list[str]:
+        """Tracer scopes that published a phase decomposition."""
+        found = set()
+        for name in self.timers:
+            head, _, rest = name.partition(".")
+            if rest.startswith("phase."):
+                found.add(head)
+        return sorted(found)
+
+    def phase_table(self, scope: str) -> list[tuple[str, float, int, float]]:
+        """``(phase, wall seconds, count, share-of-total)`` rows for one
+        tracer scope, largest first.  The share denominator is the
+        scope's ``total`` timer when present, else the phase sum."""
+        prefix = f"{scope}.phase."
+        rows = []
+        for name, t in self.timers.items():
+            if not name.startswith(prefix) or name.endswith(".cpu"):
+                continue
+            rows.append((name[len(prefix):], t["seconds"], t["count"]))
+        total_t = self.timers.get(f"{scope}.total")
+        denom = total_t["seconds"] if total_t else \
+            sum(r[1] for r in rows)
+        denom = denom or 1.0
+        rows.sort(key=lambda r: -r[1])
+        return [(name, secs, count, secs / denom)
+                for name, secs, count in rows]
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able aggregate (the ``repro stats --json`` payload)."""
+        return {
+            "meta": self.meta,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "timers": dict(sorted(self.timers.items())),
+            "histograms": dict(sorted(self.histograms.items())),
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "n_events": len(self.events),
+            "decomposition": {
+                scope: [{"phase": p, "seconds": s, "count": c, "share": sh}
+                        for p, s, c, sh in self.phase_table(scope)]
+                for scope in self.scopes()},
+        }
+
+
+def summarize_metrics(records: list[dict[str, Any]]) -> MetricsSummary:
+    """Fold raw JSONL records (dicts with a ``type`` field) into a
+    :class:`MetricsSummary`.  Repeated metric names accumulate, so
+    snapshots from several runs can be concatenated into one file."""
+    s = MetricsSummary()
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "meta":
+            meta = {k: v for k, v in rec.items() if k != "type"}
+            s.meta.update(meta)
+        elif kind == "counter":
+            s.counters[rec["name"]] = \
+                s.counters.get(rec["name"], 0) + rec["value"]
+        elif kind == "gauge":
+            s.gauges[rec["name"]] = rec["value"]
+        elif kind == "timer":
+            t = s.timers.setdefault(
+                rec["name"], {"clock": rec.get("clock", "wall"),
+                              "count": 0, "seconds": 0.0})
+            t["count"] += rec["count"]
+            t["seconds"] += rec["seconds"]
+        elif kind == "histogram":
+            h = s.histograms.setdefault(
+                rec["name"], {"base": rec.get("base", 2.0),
+                              "count": 0, "sum": 0.0, "bins": {}})
+            h["count"] += rec["count"]
+            h["sum"] += rec["sum"]
+            for b, n in rec.get("bins", {}).items():
+                h["bins"][b] = h["bins"].get(b, 0) + n
+        elif kind == "event":
+            s.events.append({k: v for k, v in rec.items() if k != "type"})
+        # unknown types are ignored: forward compatibility
+    return s
+
+
+def load_stats(path: str) -> MetricsSummary:
+    from ..obs import read_metrics_jsonl
+    return summarize_metrics(read_metrics_jsonl(path))
+
+
+def render_stats(s: MetricsSummary, source: str = "",
+                 top_events: int = 0) -> None:
+    """Print the paper-style tables for one summary."""
+    title_sfx = f" ({source})" if source else ""
+
+    if s.counters or s.gauges:
+        rows = [(k, fmt_count(v) if isinstance(v, int) else v)
+                for k, v in sorted(s.counters.items())]
+        rows += [(k, v) for k, v in sorted(s.gauges.items())]
+        print_table(f"counters & gauges{title_sfx}", ["metric", "value"],
+                    rows)
+
+    for scope in s.scopes():
+        table = s.phase_table(scope)
+        total_t = s.timers.get(f"{scope}.total")
+        covered = sum(r[3] for r in table)
+        print_table(
+            f"{scope}: overhead decomposition (Fig 8 style)",
+            ["phase", "wall", "calls", "share"],
+            [(p, fmt_time(secs), fmt_count(c), f"{100 * share:.1f}%")
+             for p, secs, c, share in table],
+            note=(f"total overhead {fmt_time(total_t['seconds'])}, "
+                  f"phases cover {100 * covered:.1f}%") if total_t else "")
+
+    other = {n: t for n, t in s.timers.items()
+             if ".phase." not in n and not n.endswith(".total")}
+    if other:
+        print_table(f"timers{title_sfx}",
+                    ["timer", "clock", "count", "total", "mean"],
+                    [(n, t["clock"], fmt_count(t["count"]),
+                      fmt_time(t["seconds"]),
+                      fmt_time(t["seconds"] / t["count"])
+                      if t["count"] else "-")
+                     for n, t in sorted(other.items())])
+
+    for name, h in sorted(s.histograms.items()):
+        print_table(f"histogram {name} (log base {h['base']:g})",
+                    ["bin <=", "count"],
+                    [(h["base"] ** int(b), n)
+                     for b, n in sorted(h["bins"].items(),
+                                        key=lambda kv: int(kv[0]))])
+
+    if s.events:
+        print_table(f"runtime events{title_sfx}", ["kind", "count"],
+                    sorted(s.event_counts.items()))
+        if top_events:
+            tail = s.events[-top_events:]
+            print_table(f"last {len(tail)} events", ["seq", "kind", "detail"],
+                        [(e.get("seq", "-"), e.get("kind", "?"),
+                          ", ".join(f"{k}={v}" for k, v in e.items()
+                                    if k not in ("seq", "kind")))
+                         for e in tail])

@@ -8,17 +8,21 @@ The workflows a downstream user actually runs:
 * ``replay``   — re-execute a trace on a fresh simulated world
 * ``miniapp``  — generate a proxy mini-app from a trace
 * ``compare``  — Pilgrim vs the ScalaTrace baseline on one workload
+* ``stats``    — render a ``--metrics`` JSONL dump as paper-style tables
 * ``workloads``— list available workloads
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 from .analysis import fmt_kb, print_table, run_experiment
 from .core import PilgrimTracer, TIMING_LOSSY, TraceDecoder, verify_roundtrip
 from .core.export import to_text, write_otf_text
+from .obs import EventLog, MetricsRegistry, write_metrics_jsonl
 from .replay import generate_miniapp, replay_trace, structurally_equal
 from .workloads import REGISTRY, make
 
@@ -37,11 +41,13 @@ def _parse_params(pairs: list[str]) -> dict:
 
 
 def cmd_trace(args) -> int:
+    metrics = MetricsRegistry() if args.metrics else None
+    events = EventLog() if args.events else None
     tracer = PilgrimTracer(
         timing_mode=TIMING_LOSSY if args.lossy_timing else "aggregate",
-        keep_raw=args.verify)
+        keep_raw=args.verify, metrics=metrics)
     wl = make(args.workload, args.procs, **_parse_params(args.param))
-    wl.run(seed=args.seed, tracer=tracer)
+    wl.run(seed=args.seed, tracer=tracer, events=events)
     r = tracer.result
     with open(args.output, "wb") as fh:
         fh.write(r.trace_bytes)
@@ -49,6 +55,20 @@ def cmd_trace(args) -> int:
           f"{r.total_calls} calls, {r.n_signatures} signatures, "
           f"{r.n_unique_grammars} unique grammars")
     print(f"wrote {r.trace_size} bytes to {args.output}")
+    if metrics is not None:
+        # one self-contained dump: metrics plus any captured events
+        write_metrics_jsonl(args.metrics, metrics,
+                            meta={"command": "trace",
+                                  "workload": args.workload,
+                                  "nprocs": args.procs,
+                                  "seed": args.seed},
+                            events=events.records() if events else None)
+        print(f"wrote metrics to {args.metrics} (render: "
+              f"repro stats {args.metrics})")
+    if events is not None and args.events != args.metrics:
+        events.write(args.events)
+        print(f"wrote {len(events)} runtime events to {args.events}"
+              + (f" ({events.dropped} dropped)" if events.dropped else ""))
     if args.verify:
         report = verify_roundtrip(tracer)
         print(f"lossless round-trip: {'OK' if report.ok else 'FAILED'}")
@@ -61,6 +81,20 @@ def cmd_info(args) -> int:
     blob = open(args.trace, "rb").read()
     dec = TraceDecoder.from_bytes(blob)
     sizes = dec.trace.section_sizes()
+    hist = dict(sorted(dec.function_histogram().items(),
+                       key=lambda kv: -kv[1]))
+    if args.json:
+        print(json.dumps({
+            "trace": args.trace,
+            "ranks": dec.nprocs,
+            "total_calls": dec.call_count(),
+            "signatures": len(dec.trace.cst.sigs),
+            "unique_grammars": dec.trace.cfg.n_unique,
+            "section_bytes": dict(sizes),
+            "total_bytes": len(blob),
+            "calls_per_function": hist,
+        }, indent=2, sort_keys=True))
+        return 0
     print_table(f"trace {args.trace}",
                 ["field", "value"],
                 [("ranks", dec.nprocs),
@@ -69,8 +103,7 @@ def cmd_info(args) -> int:
                  ("unique grammars", dec.trace.cfg.n_unique),
                  *[(f"section {k}", fmt_kb(v)) for k, v in sizes.items()]])
     print_table("calls per function", ["function", "count"],
-                sorted(dec.function_histogram().items(),
-                       key=lambda kv: -kv[1]))
+                list(hist.items()))
     return 0
 
 
@@ -109,9 +142,20 @@ def cmd_miniapp(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    metrics = MetricsRegistry() if args.metrics else None
     rows = [run_experiment(args.workload, P, seed=args.seed, baseline=False,
-                           **_parse_params(args.param))
+                           metrics=metrics, **_parse_params(args.param))
             for P in args.procs]
+    if metrics is not None:
+        write_metrics_jsonl(args.metrics, metrics,
+                            meta={"command": "compare",
+                                  "workload": args.workload,
+                                  "procs": args.procs,
+                                  "seed": args.seed})
+    if args.json:
+        print(json.dumps([dataclasses.asdict(r) for r in rows],
+                         indent=2, sort_keys=True))
+        return 0
     print_table(
         f"{args.workload}: Pilgrim vs ScalaTrace baseline",
         ["procs", "MPI calls", "ScalaTrace", "Pilgrim", "ratio"],
@@ -119,6 +163,34 @@ def cmd_compare(args) -> int:
           fmt_kb(r.pilgrim_size),
           f"{r.scalatrace_size / max(r.pilgrim_size, 1):.1f}x")
          for r in rows])
+    if metrics is not None:
+        print(f"wrote metrics to {args.metrics} (render: "
+              f"repro stats {args.metrics})")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .analysis import render_stats, summarize_metrics
+    from .obs import read_metrics_jsonl
+    records = []
+    for path in args.file:
+        try:
+            records.extend(read_metrics_jsonl(path))
+        except OSError as e:
+            raise SystemExit(f"repro stats: cannot read {path}: "
+                             f"{e.strerror or e}")
+        except ValueError as e:
+            raise SystemExit(f"repro stats: {path} is not metrics JSONL "
+                             f"({e})")
+    if not records:
+        print("no metric or event records found")
+        return 0
+    summary = summarize_metrics(records)
+    if args.json:
+        print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+        return 0
+    render_stats(summary, source=", ".join(args.file),
+                 top_events=args.events)
     return 0
 
 
@@ -167,10 +239,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lossy-timing", action="store_true")
     p.add_argument("--verify", action="store_true",
                    help="run the lossless round-trip check")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="enable self-instrumentation; dump the metrics "
+                        "registry (and events, if captured) as JSONL")
+    p.add_argument("--events", metavar="FILE",
+                   help="enable the runtime event log; dump it as JSONL")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("info", help="summarize a trace file")
     p.add_argument("trace")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of tables")
     p.set_defaults(fn=cmd_info)
 
     p = sub.add_parser("dump", help="decode a trace to text")
@@ -200,7 +279,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--param", action="append", default=[],
                    metavar="KEY=VALUE")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="profile both tracers; dump the shared registry "
+                        "as JSONL")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON rows instead of a table")
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("stats",
+                       help="render a metrics/events JSONL dump")
+    p.add_argument("file", nargs="+",
+                   help="JSONL file(s) from --metrics/--events; several "
+                        "files are aggregated")
+    p.add_argument("--events", type=int, default=0, metavar="N",
+                   help="also show the last N buffered runtime events")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON aggregate instead of tables")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("analyze", help="post-mortem trace analysis")
     p.add_argument("trace")

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..mpisim.hooks import TracerHooks
+from ..obs import NULL_REGISTRY, MetricsRegistry, PhaseProfiler
 from .cst import CST, merge_csts
 from .encoder import CommIdSpace, PerRankEncoder, WinIdSpace
 from .grammar import Grammar
@@ -56,6 +57,10 @@ class PilgrimResult:
     #: real CPU seconds in the CFG dedup/merge/final Sequitur (Fig 8)
     time_cfg_merge: float
     per_rank_calls: list[int] = field(default_factory=list)
+    #: profiler phase -> wall seconds (always holds the finalize phases;
+    #: also the per-call split encode/cst/sequitur/timing when the tracer
+    #: ran with an enabled metrics registry)
+    phases: dict[str, float] = field(default_factory=dict)
 
     @property
     def trace_size(self) -> int:
@@ -77,6 +82,12 @@ class PilgrimResult:
             "inter_cfg": self.time_cfg_merge / total,
         }
 
+    def phase_breakdown(self) -> dict[str, float]:
+        """Profiler phases as fractions of their sum (the finer-grained
+        decomposition the ``repro stats`` table renders)."""
+        total = sum(self.phases.values()) or 1.0
+        return {name: t / total for name, t in self.phases.items()}
+
 
 class PilgrimTracer(TracerHooks):
     """Near-lossless tracing with CST+CFG compression."""
@@ -89,7 +100,8 @@ class PilgrimTracer(TracerHooks):
                  timing_mode: str = TIMING_AGGREGATE,
                  timing_base: float = 1.2,
                  per_function_base: Optional[dict[str, float]] = None,
-                 keep_raw: bool = False):
+                 keep_raw: bool = False,
+                 metrics: Optional[MetricsRegistry] = None):
         if timing_mode not in (TIMING_AGGREGATE, TIMING_LOSSY):
             raise ValueError(f"unknown timing mode {timing_mode!r}")
         self.relative_ranks = relative_ranks
@@ -100,6 +112,19 @@ class PilgrimTracer(TracerHooks):
         self.timing_base = timing_base
         self.per_function_base = per_function_base
         self.keep_raw = keep_raw
+        #: observability: disabled by default (NULL_REGISTRY) so the
+        #: benchmarked hot path pays nothing unless profiling is requested
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.obs = self.metrics.scope("pilgrim")
+        self.profiler = PhaseProfiler(self.obs)
+        self._fine = self.profiler.fine
+        #: fine-grained per-call phase accumulators (seconds); folded into
+        #: the profiler once at finalize to keep on_call cheap
+        self._ph_encode = 0.0
+        self._ph_cst = 0.0
+        self._ph_seq = 0.0
+        self._ph_timing = 0.0
+        self._ph_mem = 0.0
 
         self.nprocs = 0
         self.comm_space: Optional[CommIdSpace] = None
@@ -140,6 +165,30 @@ class PilgrimTracer(TracerHooks):
 
     def on_call(self, rank: int, fname: str, args: dict[str, Any],
                 t0: float, t1: float) -> None:
+        if self._fine:
+            # profiled path: stamp each pipeline stage.  The stamps are
+            # shared between adjacent stages, so the stage deltas sum to
+            # the intra-process total exactly.
+            tick = _time.perf_counter()
+            sig = self.encoders[rank].encode_call(fname, args)
+            tb = _time.perf_counter()
+            term = self.csts[rank].intern(sig, t1 - t0)
+            tc = _time.perf_counter()
+            self.grammars[rank].append(term)
+            end = _time.perf_counter()
+            self._ph_encode += tb - tick
+            self._ph_cst += tc - tb
+            self._ph_seq += end - tc
+            if self.timing:
+                self.timing[rank].record(term, fname, t0, t1)
+                te = _time.perf_counter()
+                self._ph_timing += te - end
+                end = te
+            if self.keep_raw:
+                self.raw_terms[rank].append(term)
+            self.total_calls += 1
+            self.time_intra += end - tick
+            return
         tick = _time.perf_counter()
         sig = self.encoders[rank].encode_call(fname, args)
         term = self.csts[rank].intern(sig, t1 - t0)
@@ -169,7 +218,10 @@ class PilgrimTracer(TracerHooks):
             mem.on_alloc(result, args["size"], device=args.get("device", 0))
         elif fname == "cudaFree":
             mem.on_free(args["ptr"])
-        self.time_intra += _time.perf_counter() - tick
+        dt = _time.perf_counter() - tick
+        self.time_intra += dt
+        if self._fine:
+            self._ph_mem += dt
 
     def on_run_end(self, sim) -> None:
         self.result = self.finalize()
@@ -177,35 +229,63 @@ class PilgrimTracer(TracerHooks):
     # -- finalize (inter-process compression) ------------------------------------------------
 
     def finalize(self) -> PilgrimResult:
+        prof = self.profiler
+        # Fold the per-call accumulators into the profiler (fine mode only
+        # — in coarse mode there is just the undivided intra total).
+        if self._fine:
+            prof.add("encode", self._ph_encode, count=self.total_calls)
+            prof.add("cst", self._ph_cst, count=self.total_calls)
+            prof.add("sequitur", self._ph_seq, count=self.total_calls)
+            if self.timing:
+                prof.add("timing", self._ph_timing, count=self.total_calls)
+            if self._ph_mem:
+                prof.add("mem", self._ph_mem)
+
         # Phase 1: CST merge (pairwise, log2 P) + grammar renumbering.
-        tick = _time.perf_counter()
-        merged_cst = merge_csts(self.csts)
-        frozen: list[Grammar] = []
-        for r, seq in enumerate(self.grammars):
-            g = Grammar.freeze(seq)
-            remap = merged_cst.remaps[r]
-            frozen.append(g.remap_terminals(lambda t, m=remap: m[t]))
-        t_cst = _time.perf_counter() - tick
+        with prof.phase("cst_merge") as ph_cst:
+            merged_cst = merge_csts(self.csts)
+            frozen: list[Grammar] = []
+            for r, seq in enumerate(self.grammars):
+                g = Grammar.freeze(seq)
+                remap = merged_cst.remaps[r]
+                frozen.append(g.remap_terminals(lambda t, m=remap: m[t]))
 
         # Phase 2: CFG identity check + merge + final Sequitur pass.
-        tick = _time.perf_counter()
-        cfg = merge_grammars(frozen, loop_detection=self.loop_detection,
-                             dedup=self.cfg_dedup)
-        t_cfg = _time.perf_counter() - tick
+        with prof.phase("cfg_merge") as ph_cfg:
+            cfg = merge_grammars(frozen, loop_detection=self.loop_detection,
+                                 dedup=self.cfg_dedup)
 
         timing_d = timing_i = None
         if self.timing:
-            frozen_t = [tc.freeze() for tc in self.timing]
-            timing_d = merge_grammars([d for d, _ in frozen_t],
-                                      loop_detection=self.loop_detection,
-                                      dedup=self.cfg_dedup)
-            timing_i = merge_grammars([i for _, i in frozen_t],
-                                      loop_detection=self.loop_detection,
-                                      dedup=self.cfg_dedup)
+            with prof.phase("timing_merge"):
+                frozen_t = [tc.freeze() for tc in self.timing]
+                timing_d = merge_grammars([d for d, _ in frozen_t],
+                                          loop_detection=self.loop_detection,
+                                          dedup=self.cfg_dedup)
+                timing_i = merge_grammars([i for _, i in frozen_t],
+                                          loop_detection=self.loop_detection,
+                                          dedup=self.cfg_dedup)
 
-        trace = TraceFile(nprocs=self.nprocs, cst=merged_cst, cfg=cfg,
-                          timing_duration=timing_d, timing_interval=timing_i)
-        blob = trace.to_bytes()
+        # Phase 3: serialization to the on-disk format.
+        with prof.phase("serialize"):
+            trace = TraceFile(nprocs=self.nprocs, cst=merged_cst, cfg=cfg,
+                              timing_duration=timing_d,
+                              timing_interval=timing_i)
+            blob = trace.to_bytes()
+
+        phases = prof.phases()
+        finalize_wall = (prof.wall("cst_merge") + prof.wall("cfg_merge")
+                         + prof.wall("timing_merge") + prof.wall("serialize"))
+        if self.obs.enabled:
+            self.obs.counter("calls").inc(self.total_calls)
+            self.obs.gauge("ranks").set(self.nprocs)
+            self.obs.gauge("signatures").set(len(merged_cst))
+            self.obs.gauge("unique_grammars").set(cfg.n_unique)
+            self.obs.gauge("trace_bytes").set(len(blob))
+            self.obs.timer("intra").add(self.time_intra,
+                                        count=self.total_calls)
+            self.obs.timer("total").add(self.time_intra + finalize_wall)
+
         return PilgrimResult(
             trace=trace,
             trace_bytes=blob,
@@ -213,7 +293,8 @@ class PilgrimTracer(TracerHooks):
             total_calls=self.total_calls,
             n_signatures=len(merged_cst),
             time_intra=self.time_intra,
-            time_cst_merge=t_cst,
-            time_cfg_merge=t_cfg,
+            time_cst_merge=ph_cst.wall,
+            time_cfg_merge=ph_cfg.wall,
             per_rank_calls=[g.n_input for g in self.grammars],
+            phases=phases,
         )

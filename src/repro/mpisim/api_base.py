@@ -42,12 +42,26 @@ class ApiBase:
         hook = rt.tracer.on_call if rt.tracer is not None else None
         self._hook = hook
         self._mem_hook = rt.tracer.on_mem if rt.tracer is not None else None
+        #: this rank's scheduler context (wired by SimMPI.run); _rec keeps
+        #: its last_call current so deadlock/livelock diagnostics can name
+        #: the MPI call each rank is parked in
+        self._ctx = None
 
     # -- tracer plumbing -----------------------------------------------------
 
     def _rec(self, fname: str, t0: float, args: dict) -> None:
+        if self._ctx is not None:
+            self._ctx.last_call = fname
         if self._hook is not None:
             self._hook(self.rank, fname, args, t0, self.clock.now)
+
+    def _mark(self, fname: str) -> None:
+        """Note the MPI call being *entered*.  Blocking primitives call
+        this before parking so that, if the rank never progresses, the
+        deadlock/livelock diagnostics name the call it is stuck in
+        (``_rec`` only fires on completion, which never comes)."""
+        if self._ctx is not None:
+            self._ctx.last_call = fname
 
     # -- request plumbing -----------------------------------------------------
 

@@ -41,6 +41,10 @@ class ApiColl(ApiBase):
                                         if comm.remote_group else 0)
             tdone = tmax + rt.net.coll_time(op_name, nprocs, nbytes)
             results = compute(g, comm) if compute is not None else None
+            if rt.events is not None:
+                rt.events.emit("coll.complete", op=op_name,
+                               comm=comm.cid, nprocs=nprocs,
+                               bytes=nbytes, vtime=tdone)
             for wr, fut in g.futures.items():
                 val = results.get(wr) if results is not None else None
                 if isinstance(fut, Request):
@@ -55,6 +59,7 @@ class ApiColl(ApiBase):
               compute, check_args: Any = None):
         """Blocking collective: generator returning this rank's result."""
         comm.check_usable()
+        self._mark(f"MPI_{op_name.capitalize()}")
         fut = Future(f"{op_name}@{comm.name} rank={self.rank}")
         comm.join_collective(self.rank, op_name,
                              self._finalize_fn(op_name, nbytes, compute),

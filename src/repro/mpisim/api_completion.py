@@ -74,6 +74,7 @@ class ApiCompletion(ApiBase):
 
     def wait(self, request: Optional[Request], status=True):
         t0 = self._tick()
+        self._mark("MPI_Wait")
         if self._is_null(request):
             st = Status.empty()
         else:
@@ -87,6 +88,7 @@ class ApiCompletion(ApiBase):
 
     def waitall(self, requests: Sequence[Optional[Request]], statuses=True):
         t0 = self._tick()
+        self._mark("MPI_Waitall")
         reqs = list(requests)
         for req in reqs:
             if self._is_null(req):
@@ -113,6 +115,7 @@ class ApiCompletion(ApiBase):
         ``directed_index`` (replay support): complete exactly that entry —
         a legal Waitany outcome — instead of an RNG pick."""
         t0 = self._tick()
+        self._mark("MPI_Waitany")
         reqs = list(requests)
         if directed_index is not None and directed_index >= 0:
             req = reqs[directed_index]
@@ -154,6 +157,7 @@ class ApiCompletion(ApiBase):
         ``directed_indices`` (replay support): complete exactly those
         entries, in that order."""
         t0 = self._tick()
+        self._mark("MPI_Waitsome")
         reqs = list(requests)
         if directed_indices is not None:
             sts = []

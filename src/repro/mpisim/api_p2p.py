@@ -88,6 +88,18 @@ class ApiP2P(ApiBase):
         t = max(rreq.post_time,
                 env.send_time + self.rt.net.p2p_time(env.nbytes))
         st = Status(count=env.nbytes, MPI_SOURCE=env.src, MPI_TAG=env.tag)
+        events = self.rt.events
+        if events is not None:
+            wildcard = rreq.peer == C.ANY_SOURCE
+            events.emit("p2p.match", dst=rreq.owner, src=env.src,
+                        tag=env.tag, bytes=env.nbytes, comm=rreq.comm_cid,
+                        wildcard=wildcard, vtime=t)
+            if wildcard:
+                # a wildcard receive resolved to a concrete source — the
+                # non-determinism Pilgrim must record to stay lossless
+                events.emit("p2p.wildcard", dst=rreq.owner,
+                            resolved_src=env.src, tag=env.tag,
+                            comm=rreq.comm_cid)
         if env.send_req is not None and not env.send_req.done:
             # synchronous-mode send completes at matching time
             self.rt.scheduler_complete(env.send_req, Status.empty(), t)
@@ -187,6 +199,7 @@ class ApiP2P(ApiBase):
         comm = comm or self.world
         self._check_p2p_args(comm, dest, count, datatype, tag, is_recv=False)
         t0 = self._tick()
+        self._mark(fname)
         req = self._post_send(kind, comm, dest, tag, count * datatype.size,
                               buf, datatype, data)
         if not req.done:
@@ -226,6 +239,7 @@ class ApiP2P(ApiBase):
         comm = comm or self.world
         self._check_p2p_args(comm, source, count, datatype, tag, is_recv=True)
         t0 = self._tick()
+        self._mark("MPI_Recv")
         match_src = directed_source if (source == C.ANY_SOURCE and
                                         directed_source is not None) \
             else source
@@ -253,6 +267,7 @@ class ApiP2P(ApiBase):
         self._check_p2p_args(comm, source, recvcount, recvtype, recvtag,
                              is_recv=True)
         t0 = self._tick()
+        self._mark("MPI_Sendrecv")
         match_src = directed_source if (source == C.ANY_SOURCE and
                                         directed_source is not None) \
             else source
@@ -283,6 +298,7 @@ class ApiP2P(ApiBase):
         comm.check_usable()
         self._check_peer(comm, source, wildcard_ok=True)
         t0 = self._tick()
+        self._mark("MPI_Probe")
         match_src = directed_source if (source == C.ANY_SOURCE and
                                         directed_source is not None) \
             else source

@@ -34,6 +34,7 @@ from .api_p2p import ApiP2P
 from .api_rma import ApiRMA
 from .api_topo import ApiTopo
 from .api_type import ApiType
+from ..obs import EventLog
 from .clock import RankClock
 from .comm import Comm
 from .datatypes import DatatypeTable
@@ -85,6 +86,9 @@ class SimMPI:
         net: network cost model (defaults to :class:`NetworkModel`).
         noise: relative std-dev of compute-time noise.
         node_size: ranks per simulated node (comm_split_type, hostnames).
+        events: optional :class:`repro.obs.EventLog`; when attached the
+            runtime records scheduler progress, message matches, wildcard
+            resolutions, collective completions, and deadlock diagnostics.
     """
 
     def __init__(self, nprocs: int, *, seed: int = 0,
@@ -92,7 +96,8 @@ class SimMPI:
                  net: Optional[NetworkModel] = None,
                  noise: float = 0.05,
                  node_size: int = 16,
-                 spin_limit: int = 2_000_000):
+                 spin_limit: int = 2_000_000,
+                 events: Optional[EventLog] = None):
         if nprocs <= 0:
             raise InvalidArgumentError(f"nprocs must be positive, got {nprocs}")
         self.nprocs = nprocs
@@ -110,7 +115,10 @@ class SimMPI:
         self.type_tables = [DatatypeTable() for _ in range(nprocs)]
         #: completion-order RNG (Waitany/Waitsome/Testany picks)
         self.rng = random.Random(seed ^ 0x9E3779B9)
-        self.scheduler = Scheduler(spin_limit=spin_limit)
+        #: runtime event log; None unless observability was requested
+        self.events = events if events is not None and events.enabled \
+            else None
+        self.scheduler = Scheduler(spin_limit=spin_limit, events=events)
         self._seq = 0
         self._next_wid = 0
         self._bridges: dict = {}
@@ -204,6 +212,8 @@ class SimMPI:
         for r in range(self.nprocs):
             ctx = RankContext(r, self._rank_main(self.apis[r], program),
                               self.clocks[r])
+            # let the API update the rank's call trail for diagnostics
+            self.apis[r]._ctx = ctx
             self.scheduler.add_rank(ctx)
         self.scheduler.run()
         self.finished = True

@@ -16,17 +16,25 @@ counts where one OS thread per rank would be infeasible.
 from __future__ import annotations
 
 from collections import deque
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from .clock import RankClock
 from .errors import DeadlockError, RankProgramError
 from .future import Future
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import EventLog
+
+#: emit one ``sched.progress`` event every this many resume steps when an
+#: event log is attached (coarse enough to stay cheap on million-step runs)
+PROGRESS_SAMPLE = 8192
+
 
 class RankContext:
     """Execution state of one simulated rank."""
 
-    __slots__ = ("rank", "gen", "finished", "clock", "waiting_on")
+    __slots__ = ("rank", "gen", "finished", "clock", "waiting_on",
+                 "last_call")
 
     def __init__(self, rank: int, gen: Generator, clock: RankClock):
         self.rank = rank
@@ -34,12 +42,15 @@ class RankContext:
         self.finished = False
         self.clock = clock
         self.waiting_on: Optional[Future] = None
+        #: name of the last MPI call this rank recorded (diagnostics)
+        self.last_call: Optional[str] = None
 
 
 class Scheduler:
     """Round-robin driver over rank generators."""
 
-    def __init__(self, spin_limit: int = 2_000_000) -> None:
+    def __init__(self, spin_limit: int = 2_000_000,
+                 events: Optional["EventLog"] = None) -> None:
         self._ready: deque[tuple[RankContext, object]] = deque()
         self.contexts: list[RankContext] = []
         #: total number of scheduler resume steps (a cheap progress metric)
@@ -48,6 +59,9 @@ class Scheduler:
         #: livelock (Test* spin loops that can never be satisfied)
         self._last_progress = 0
         self._spin_limit = spin_limit
+        #: optional runtime event log (None => zero event overhead)
+        self.events = events if events is not None and events.enabled \
+            else None
 
     # -- wiring ----------------------------------------------------------------
 
@@ -74,21 +88,51 @@ class Scheduler:
     def run(self) -> None:
         """Run until every rank finishes; raise on deadlock or rank error."""
         ready = self._ready
+        events = self.events
         while ready:
             ctx, value = ready.popleft()
             self._drive(ctx, value)
+            if events is not None and self.steps % PROGRESS_SAMPLE < 1:
+                events.emit("sched.progress", steps=self.steps,
+                            ready=len(ready),
+                            finished=sum(c.finished for c in self.contexts))
             if self.steps - self._last_progress > self._spin_limit:
-                blocked = {c.rank: "Test*/Iprobe spin loop (livelock)"
-                           for c in self.contexts if not c.finished}
-                raise DeadlockError(blocked)
+                raise self._spin_deadlock()
         unfinished = [c for c in self.contexts if not c.finished]
         if unfinished:
-            blocked = {
-                c.rank: (c.waiting_on.desc if c.waiting_on is not None
-                         else "<not scheduled>")
-                for c in unfinished
-            }
+            blocked = {}
+            for c in unfinished:
+                desc = (c.waiting_on.desc if c.waiting_on is not None
+                        else "<not scheduled>")
+                if c.last_call is not None:
+                    desc += f" (last MPI call: {c.last_call})"
+                blocked[c.rank] = desc
+            if events is not None:
+                events.emit("sched.deadlock", blocked=dict(blocked),
+                            steps=self.steps)
             raise DeadlockError(blocked)
+
+    def _spin_deadlock(self) -> DeadlockError:
+        """Build the livelock diagnostic: which ranks are spinning and in
+        which MPI call each is parked (per-rank call trail + event log)."""
+        blocked = {}
+        for c in self.contexts:
+            if c.finished:
+                continue
+            where = c.last_call or "<no MPI call recorded>"
+            if c.waiting_on is not None:
+                blocked[c.rank] = (f"{c.waiting_on.desc} "
+                                   f"(last MPI call: {where})")
+            else:
+                blocked[c.rank] = (
+                    f"Test*/Iprobe spin loop (livelock) parked in {where}; "
+                    f"no progress for {self._spin_limit} steps")
+        if self.events is not None:
+            self.events.emit(
+                "sched.spin_limit", steps=self.steps,
+                spin_limit=self._spin_limit,
+                blocked={r: d for r, d in blocked.items()})
+        return DeadlockError(blocked)
 
     def _drive(self, ctx: RankContext, value) -> None:
         """Resume one rank, fast-pathing through already-resolved futures."""
@@ -100,6 +144,9 @@ class Scheduler:
             except StopIteration:
                 ctx.finished = True
                 self._last_progress = self.steps
+                if self.events is not None:
+                    self.events.emit("sched.rank_done", rank=ctx.rank,
+                                     steps=self.steps, vtime=ctx.clock.now)
                 return
             except DeadlockError:
                 raise

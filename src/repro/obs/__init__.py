@@ -1,0 +1,22 @@
+"""``repro.obs`` — the self-instrumentation layer.
+
+Dependency-free observability for the reproduction itself: a process-wide
+metrics registry (:class:`MetricsRegistry`), a pipeline phase profiler
+(:class:`PhaseProfiler`) that produces the Fig 8-style overhead
+decomposition, and a bounded runtime event log (:class:`EventLog`) for
+the simulated MPI runtime.  Everything defaults to *disabled*
+(:data:`NULL_REGISTRY`) so observability is strictly opt-in and the
+benchmarked hot paths pay nothing when it is off.
+"""
+
+from .events import EventLog
+from .profiler import PhaseProfiler
+from .registry import (CLOCK_CPU, CLOCK_WALL, NULL_REGISTRY, SCHEMA, Counter,
+                       Gauge, Histogram, MetricsRegistry, Scope, Timer,
+                       read_metrics_jsonl, write_metrics_jsonl)
+
+__all__ = [
+    "CLOCK_CPU", "CLOCK_WALL", "Counter", "EventLog", "Gauge", "Histogram",
+    "MetricsRegistry", "NULL_REGISTRY", "PhaseProfiler", "SCHEMA", "Scope",
+    "Timer", "read_metrics_jsonl", "write_metrics_jsonl",
+]

@@ -1,0 +1,94 @@
+"""Bounded runtime event log (JSON-lines).
+
+The simulated MPI runtime emits structured events here when a log is
+attached: scheduler progress samples, message matches, wildcard-receive
+resolutions, collective completions, and deadlock/livelock diagnostics.
+Think of it as the runtime's flight recorder — bounded, cheap, and
+readable after a crash.
+
+Buffering is bounded: only the most recent ``capacity`` events are kept
+(older ones are counted in :attr:`EventLog.dropped` and in the per-kind
+counts, so totals stay honest).  An event is one flat dict; the JSONL
+form adds ``{"type": "event"}`` so event lines and metric lines can share
+one file and be split apart by ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Iterator, Optional
+
+
+class EventLog:
+    """Append-only bounded log of structured runtime events."""
+
+    __slots__ = ("capacity", "enabled", "seq", "counts", "_events")
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        #: total events ever emitted (== seq of the latest event)
+        self.seq = 0
+        #: kind -> total emitted (including dropped)
+        self.counts: dict[str, int] = {}
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event; a no-op when the log is disabled."""
+        if not self.enabled:
+            return
+        self.seq += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        fields["seq"] = self.seq
+        fields["kind"] = kind
+        self._events.append(fields)
+
+    # -- reading -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the bounded buffer."""
+        return self.seq - len(self._events)
+
+    def tail(self, n: int, kind: Optional[str] = None) -> list[dict[str, Any]]:
+        """The last *n* buffered events, optionally filtered by kind."""
+        if kind is None:
+            events = list(self._events)
+        else:
+            events = [e for e in self._events if e["kind"] == kind]
+        return events[-n:]
+
+    def by_kind(self, kind: str) -> list[dict[str, Any]]:
+        return [e for e in self._events if e["kind"] == kind]
+
+    def last(self, kind: str) -> Optional[dict[str, Any]]:
+        for e in reversed(self._events):
+            if e["kind"] == kind:
+                return e
+        return None
+
+    # -- serialization -----------------------------------------------------------
+
+    def records(self) -> list[dict[str, Any]]:
+        """JSON-able records (``type: event``), oldest first."""
+        return [{"type": "event", **e} for e in self._events]
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(r, sort_keys=True) + "\n"
+                       for r in self.records())
+
+    def write(self, path: str) -> int:
+        """Write the buffered events as JSONL; returns the event count."""
+        text = self.to_jsonl()
+        with open(path, "w") as fh:
+            fh.write(text)
+        return len(self._events)

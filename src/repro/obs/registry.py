@@ -1,0 +1,343 @@
+"""Process-wide metrics registry (counters, gauges, timers, histograms).
+
+This is the reproduction's self-instrumentation substrate — the analogue
+of the counters the real Pilgrim authors read off their cluster runs to
+produce the Fig 7/8 overhead decomposition.  Everything is dependency-free
+and deterministic: a snapshot is a plain dict with sorted keys, so two
+snapshots of the same state compare equal and serialize identically.
+
+Instruments:
+
+* :class:`Counter` — monotonically increasing event count.
+* :class:`Gauge`   — last-write-wins scalar (trace size, rank count, ...).
+* :class:`Timer`   — accumulated seconds + call count; ``clock`` selects
+  wall (``perf_counter``) or CPU (``process_time``) time.  Use
+  :meth:`Timer.time` as a context manager or :meth:`Timer.add` from hot
+  loops that manage their own timestamps.
+* :class:`Histogram` — log-scale (power-of-``base``) bins, the right shape
+  for latencies and message sizes that span orders of magnitude.
+
+A registry built with ``enabled=False`` hands out *null* instruments whose
+mutators are no-ops; hot paths can additionally guard on
+``registry.enabled`` to skip even the call.  :data:`NULL_REGISTRY` is the
+shared disabled instance used as the default everywhere so that attaching
+observability is always opt-in.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time as _time
+from typing import Any, Callable, Iterable, Optional
+
+CLOCK_WALL = "wall"
+CLOCK_CPU = "cpu"
+
+_CLOCKS: dict[str, Callable[[], float]] = {
+    CLOCK_WALL: _time.perf_counter,
+    CLOCK_CPU: _time.process_time,
+}
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def record(self) -> dict[str, Any]:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def record(self) -> dict[str, Any]:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class _TimerBlock:
+    """Context manager for one timed block of a :class:`Timer`."""
+
+    __slots__ = ("_timer", "_t0", "seconds")
+
+    def __init__(self, timer: "Timer"):
+        self._timer = timer
+        self._t0 = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_TimerBlock":
+        self._t0 = self._timer._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = self._timer._clock() - self._t0
+        self._timer.add(self.seconds)
+
+
+class Timer:
+    """Accumulated seconds + count under one clock (wall or CPU)."""
+
+    __slots__ = ("name", "clock", "count", "total", "_clock")
+
+    def __init__(self, name: str, clock: str = CLOCK_WALL):
+        if clock not in _CLOCKS:
+            raise ValueError(f"unknown timer clock {clock!r}")
+        self.name = name
+        self.clock = clock
+        self.count = 0
+        self.total = 0.0
+        self._clock = _CLOCKS[clock]
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        self.total += seconds
+        self.count += count
+
+    def time(self) -> _TimerBlock:
+        """``with timer.time(): ...`` — measures and accumulates the block."""
+        return _TimerBlock(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def record(self) -> dict[str, Any]:
+        return {"type": "timer", "name": self.name, "clock": self.clock,
+                "count": self.count, "seconds": self.total}
+
+
+class Histogram:
+    """Log-scale histogram: value v lands in bin ``ceil(log_base v)``."""
+
+    __slots__ = ("name", "base", "bins", "count", "sum", "_log_base")
+
+    def __init__(self, name: str, base: float = 2.0):
+        if base <= 1.0:
+            raise ValueError("histogram base must exceed 1.0")
+        self.name = name
+        self.base = base
+        self.bins: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self._log_base = math.log(base)
+
+    def observe(self, value: float, n: int = 1) -> None:
+        if value <= 0:
+            b = 0
+        else:
+            b = math.ceil(math.log(value) / self._log_base)
+        self.bins[b] = self.bins.get(b, 0) + n
+        self.count += n
+        self.sum += value * n
+
+    def bin_edge(self, b: int) -> float:
+        """Upper edge of bin *b* (values in the bin are <= this)."""
+        return self.base ** b
+
+    def record(self) -> dict[str, Any]:
+        return {"type": "histogram", "name": self.name, "base": self.base,
+                "count": self.count, "sum": self.sum,
+                "bins": {str(b): self.bins[b] for b in sorted(self.bins)}}
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullTimerBlock:
+    __slots__ = ()
+    seconds = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        pass
+
+
+_NULL_TIMER_BLOCK = _NullTimerBlock()
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        pass
+
+    def time(self):
+        return _NULL_TIMER_BLOCK
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float, n: int = 1) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Named instruments under one namespace.
+
+    Instruments are created on first use and returned by name thereafter
+    (get-or-create), so callers never need to coordinate construction.
+    Asking a name to be two different instrument kinds is an error.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, Any] = {}
+        self._null_counter = _NullCounter("")
+        self._null_gauge = _NullGauge("")
+        self._null_timer = _NullTimer("")
+        self._null_histogram = _NullHistogram("")
+
+    # -- instrument factories ------------------------------------------------------
+
+    def _get(self, name: str, cls, factory):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory()
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return self._null_counter
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return self._null_gauge
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def timer(self, name: str, clock: str = CLOCK_WALL) -> Timer:
+        if not self.enabled:
+            return self._null_timer
+        return self._get(name, Timer, lambda: Timer(name, clock))
+
+    def histogram(self, name: str, base: float = 2.0) -> Histogram:
+        if not self.enabled:
+            return self._null_histogram
+        return self._get(name, Histogram, lambda: Histogram(name, base))
+
+    def scope(self, prefix: str) -> "Scope":
+        return Scope(self, prefix)
+
+    # -- introspection -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def records(self) -> list[dict[str, Any]]:
+        """One JSON-able dict per instrument, sorted by name."""
+        return [self._instruments[n].record() for n in self.names()]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic nested view: kind -> name -> state."""
+        snap: dict[str, dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
+        for rec in self.records():
+            kind = rec.pop("type")
+            name = rec.pop("name")
+            snap[kind + "s"][name] = rec if len(rec) > 1 else rec["value"]
+        return snap
+
+
+class Scope:
+    """A name-prefixing view of a registry (``scope.counter("x")`` creates
+    ``"<prefix>.x"``).  Scopes nest: ``scope.scope("y")``."""
+
+    __slots__ = ("_registry", "prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str):
+        self._registry = registry
+        self.prefix = prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(f"{self.prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(f"{self.prefix}.{name}")
+
+    def timer(self, name: str, clock: str = CLOCK_WALL) -> Timer:
+        return self._registry.timer(f"{self.prefix}.{name}", clock)
+
+    def histogram(self, name: str, base: float = 2.0) -> Histogram:
+        return self._registry.histogram(f"{self.prefix}.{name}", base)
+
+    def scope(self, prefix: str) -> "Scope":
+        return Scope(self._registry, f"{self.prefix}.{prefix}")
+
+
+#: shared always-disabled registry; the default wherever observability is
+#: optional, so the un-instrumented path stays allocation-free
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+SCHEMA = "repro.obs/v1"
+
+
+def write_metrics_jsonl(path: str, registry: MetricsRegistry, *,
+                        meta: Optional[dict[str, Any]] = None,
+                        events: Optional[Iterable[dict[str, Any]]] = None
+                        ) -> int:
+    """Dump a registry snapshot (+ optional event records) as JSON lines.
+
+    Line 1 is a ``{"type": "meta", "schema": ...}`` header; every further
+    line is one instrument or event record.  Returns the line count.
+    """
+    lines = [{"type": "meta", "schema": SCHEMA, **(meta or {})}]
+    lines.extend(registry.records())
+    if events is not None:
+        lines.extend(events)
+    with open(path, "w") as fh:
+        for rec in lines:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    return len(lines)
+
+
+def read_metrics_jsonl(path: str) -> list[dict[str, Any]]:
+    """Read back a metrics/events JSONL file (skipping blank lines)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

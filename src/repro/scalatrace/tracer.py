@@ -43,6 +43,7 @@ from ..mpisim.hooks import TracerHooks
 from ..mpisim.ops import Op
 from ..mpisim.request import Request
 from ..mpisim.status import Status
+from ..obs import NULL_REGISTRY, MetricsRegistry, PhaseProfiler
 from .rsd import RSDCompressor
 
 #: functions the baseline does NOT record (sim-scale image of Table 1's
@@ -82,11 +83,17 @@ class ScalaTraceTracer(TracerHooks):
     """Baseline tracer implementing ScalaTrace's published design."""
 
     def __init__(self, *, max_window: int = 32, record_waitall: bool = True,
-                 relative_ranks: bool = True):
+                 relative_ranks: bool = True,
+                 metrics: Optional[MetricsRegistry] = None):
         self.max_window = max_window
         self.record_waitall = record_waitall
         #: ScalaTrace's location-independent encoding of src/dst
         self.relative_ranks = relative_ranks
+        #: same instrument as Pilgrim's (scoped "scalatrace"), so Fig 7-
+        #: style overhead comparisons come from one registry
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.obs = self.metrics.scope("scalatrace")
+        self.profiler = PhaseProfiler(self.obs)
         self.nprocs = 0
         self.compressors: list[RSDCompressor] = []
         self._req_active: list[dict[int, int]] = []
@@ -230,29 +237,39 @@ class ScalaTraceTracer(TracerHooks):
     # -- finalize --------------------------------------------------------------------------
 
     def finalize(self) -> ScalaTraceResult:
-        tick = _time.perf_counter()
-        frozen = [c.freeze() for c in self.compressors]
-        blobs = [RSDCompressor.serialize(f) for f in frozen]
-        # inter-process merge: identical whole traces share one copy,
-        # annotated with a rank list; differing traces are stored verbatim
-        unique: dict[bytes, list[int]] = {}
-        order: list[bytes] = []
-        for r, blob in enumerate(blobs):
-            if blob not in unique:
-                unique[blob] = []
-                order.append(blob)
-            unique[blob].append(r)
-        out = bytearray(b"SCLT")
-        write_uvarint(out, self.nprocs)
-        write_uvarint(out, len(order))
-        for blob in order:
-            ranks = unique[blob]
-            write_uvarint(out, len(ranks))
-            for r in ranks:
-                write_uvarint(out, r)
-            write_uvarint(out, len(blob))
-            out.extend(blob)
-        t_merge = _time.perf_counter() - tick
+        prof = self.profiler
+        prof.add("intra", self.time_intra, count=self.recorded_calls)
+        with prof.phase("merge") as ph_merge:
+            frozen = [c.freeze() for c in self.compressors]
+            blobs = [RSDCompressor.serialize(f) for f in frozen]
+            # inter-process merge: identical whole traces share one copy,
+            # annotated with a rank list; differing traces are stored
+            # verbatim
+            unique: dict[bytes, list[int]] = {}
+            order: list[bytes] = []
+            for r, blob in enumerate(blobs):
+                if blob not in unique:
+                    unique[blob] = []
+                    order.append(blob)
+                unique[blob].append(r)
+            out = bytearray(b"SCLT")
+            write_uvarint(out, self.nprocs)
+            write_uvarint(out, len(order))
+            for blob in order:
+                ranks = unique[blob]
+                write_uvarint(out, len(ranks))
+                for r in ranks:
+                    write_uvarint(out, r)
+                write_uvarint(out, len(blob))
+                out.extend(blob)
+        t_merge = ph_merge.wall
+        if self.obs.enabled:
+            self.obs.counter("calls").inc(self.total_calls)
+            self.obs.counter("recorded_calls").inc(self.recorded_calls)
+            self.obs.gauge("ranks").set(self.nprocs)
+            self.obs.gauge("unique_traces").set(len(order))
+            self.obs.gauge("trace_bytes").set(len(out))
+            self.obs.timer("total").add(self.time_intra + t_merge)
         return ScalaTraceResult(
             trace_bytes=bytes(out),
             total_calls=self.total_calls,

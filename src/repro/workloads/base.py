@@ -27,10 +27,10 @@ class Workload:
 
     def run(self, *, seed: int = 0, tracer: Optional[TracerHooks] = None,
             noise: float = 0.05, net: Optional[NetworkModel] = None,
-            node_size: int = 16):
+            node_size: int = 16, events=None):
         """Execute on a fresh simulator; returns the RunResult."""
         sim = SimMPI(self.nprocs, seed=seed, tracer=tracer, noise=noise,
-                     net=net, node_size=node_size)
+                     net=net, node_size=node_size, events=events)
         return sim.run(self.program)
 
 

@@ -1,0 +1,114 @@
+"""Tests for the runtime event log and the scheduler's diagnostics:
+wildcard-receive resolution events, collective completions, bounded
+buffering, and the spin-limit livelock report."""
+
+import pytest
+
+from repro.mpisim import (DeadlockError, SimMPI, constants as C,
+                          datatypes as dt)
+from repro.obs import EventLog
+
+
+class TestEventLogBuffer:
+    def test_emit_and_counts(self):
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", x=2)
+        log.emit("a", x=3)
+        assert len(log) == 3
+        assert log.counts == {"a": 2, "b": 1}
+        assert log.last("a")["x"] == 3
+        assert [e["x"] for e in log.by_kind("a")] == [1, 3]
+        assert [e["seq"] for e in log] == [1, 2, 3]
+
+    def test_bounded_buffer_counts_dropped(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tick", i=i)
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert log.counts["tick"] == 10  # totals stay honest
+        assert [e["i"] for e in log.tail(2)] == [8, 9]
+
+    def test_disabled_log_is_inert(self):
+        log = EventLog(enabled=False)
+        log.emit("x")
+        assert len(log) == 0 and log.seq == 0
+
+    def test_records_tagged_for_jsonl(self):
+        log = EventLog()
+        log.emit("k", v=1)
+        assert log.records() == [{"type": "event", "kind": "k",
+                                  "seq": 1, "v": 1}]
+
+
+class TestRuntimeEvents:
+    def _wildcard_program(self, m):
+        """Rank 0 gathers one message from each worker via ANY_SOURCE."""
+        buf = m.malloc(64)
+        if m.rank == 0:
+            for _ in range(m.comm_size() - 1):
+                yield from m.recv(buf, 1, dt.DOUBLE, source=C.ANY_SOURCE,
+                                  tag=5)
+        else:
+            yield from m.send(buf, 1, dt.DOUBLE, dest=0, tag=5)
+        yield from m.barrier()
+
+    def test_wildcard_workload_events(self):
+        log = EventLog()
+        SimMPI(4, seed=3, events=log).run(self._wildcard_program)
+        counts = log.counts
+        assert counts["p2p.match"] == 3
+        assert counts["p2p.wildcard"] == 3
+        assert counts["sched.rank_done"] == 4
+        assert counts.get("coll.complete", 0) >= 1  # the barrier
+        for e in log.by_kind("p2p.wildcard"):
+            assert e["dst"] == 0
+            assert e["resolved_src"] in (1, 2, 3)
+        # every wildcard match is flagged as such
+        wild = [e for e in log.by_kind("p2p.match") if e["wildcard"]]
+        assert len(wild) == 3
+
+    def test_no_log_attached_is_default(self):
+        sim = SimMPI(2, seed=0)
+        assert sim.events is None
+        res = sim.run(self._wildcard_program)
+        assert res.nprocs == 2
+
+    def test_disabled_log_not_wired(self):
+        sim = SimMPI(2, seed=0, events=EventLog(enabled=False))
+        assert sim.events is None
+
+
+class TestSpinLimitDiagnostics:
+    def _spinner(self, m):
+        buf = m.malloc(8)
+        req = m.irecv(buf, 1, dt.DOUBLE, source=C.ANY_SOURCE, tag=1)
+        flag = False
+        while not flag:
+            flag, _ = yield from m.test(req)
+
+    def test_diagnostic_names_rank_and_call(self):
+        with pytest.raises(DeadlockError) as ei:
+            SimMPI(1, seed=0, spin_limit=5_000).run(self._spinner)
+        msg = str(ei.value)
+        assert "spin loop" in msg
+        assert "MPI_Test" in msg          # where the rank is parked
+        assert "5000 steps" in msg
+        assert 0 in ei.value.blocked
+
+    def test_spin_limit_event_emitted(self):
+        log = EventLog()
+        with pytest.raises(DeadlockError):
+            SimMPI(1, seed=0, spin_limit=5_000, events=log).run(self._spinner)
+        e = log.last("sched.spin_limit")
+        assert e is not None
+        assert e["spin_limit"] == 5_000
+
+    def test_plain_deadlock_names_last_call(self):
+        def prog(m):
+            buf = m.malloc(8)
+            yield from m.recv(buf, 1, dt.DOUBLE, source=1 - m.rank, tag=9)
+        with pytest.raises(DeadlockError) as ei:
+            SimMPI(2, seed=0).run(prog)
+        assert "last MPI call: MPI_Recv" in str(ei.value)

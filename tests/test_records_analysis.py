@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import (classify_growth, fmt_kb, fmt_time,
+from repro.analysis import (classify_growth, fmt_count, fmt_kb, fmt_time,
                             growth_factor, print_table, run_experiment)
 from repro.core.records import DecodedCall, sig_to_params
 from repro.mpisim import funcs as F
@@ -35,9 +35,19 @@ class TestSigToParams:
 
 class TestReportHelpers:
     def test_fmt_kb(self):
-        assert fmt_kb(512) == "0.5KB"
+        assert fmt_kb(512) == "512B"
+        assert fmt_kb(0) == "0B"
+        assert fmt_kb(1023) == "1023B"
+        assert fmt_kb(2048) == "2.0KB"
         assert fmt_kb(100 * 1024) == "100KB"
         assert fmt_kb(3 * 1024 * 1024).endswith("MB")
+
+    def test_fmt_count(self):
+        assert fmt_count(950) == "950"
+        assert fmt_count(8500) == "8.5K"
+        assert fmt_count(1_200_000) == "1.2M"
+        assert fmt_count(123_456) == "123K"
+        assert fmt_count(3_000_000_000) == "3.0B"
 
     def test_fmt_time(self):
         assert fmt_time(0.0031) == "3.1ms"
