@@ -3,6 +3,8 @@
 The workflows a downstream user actually runs:
 
 * ``trace``    — run a workload under Pilgrim, write the trace file
+* ``verify``   — differential lossless round-trip check on workload(s)
+* ``fuzz``     — corruption-fuzz the decoder (structured errors only)
 * ``info``     — summarize a trace file (sizes, signatures, grammars)
 * ``dump``     — decode a trace to flat text (or OTF-style events)
 * ``replay``   — re-execute a trace on a fresh simulated world
@@ -20,7 +22,9 @@ import json
 import sys
 
 from .analysis import fmt_kb, print_table, run_experiment
-from .core import PilgrimTracer, TIMING_LOSSY, TraceDecoder, verify_roundtrip
+from .core import (PilgrimTracer, TIMING_LOSSY, TraceDecoder,
+                   TraceFormatError, run_fuzz, verify_roundtrip,
+                   verify_workload)
 from .core.export import to_text, write_otf_text
 from .obs import EventLog, MetricsRegistry, write_metrics_jsonl
 from .replay import generate_miniapp, replay_trace, structurally_equal
@@ -71,10 +75,48 @@ def cmd_trace(args) -> int:
               + (f" ({events.dropped} dropped)" if events.dropped else ""))
     if args.verify:
         report = verify_roundtrip(tracer)
-        print(f"lossless round-trip: {'OK' if report.ok else 'FAILED'}")
+        print(report.summary())
         if not report.ok:
+            for m in report.mismatches:
+                print(f"  {m}")
             return 1
     return 0
+
+
+def cmd_verify(args) -> int:
+    """Differential round-trip verification of one or more workloads."""
+    rows = []
+    failed = False
+    for name in args.workload:
+        report = verify_workload(name, args.procs, seed=args.seed,
+                                 lossy_timing=args.lossy_timing,
+                                 **_parse_params(args.param))
+        rows.append((name, report.nprocs, report.total_calls,
+                     fmt_kb(report.trace_bytes),
+                     "OK" if report.ok else "FAILED"))
+        if not report.ok:
+            failed = True
+            print(f"{name}: {report.summary()}")
+            for m in report.mismatches:
+                print(f"  {m}")
+    print_table("lossless round-trip verification",
+                ["workload", "ranks", "calls", "trace", "result"], rows)
+    return 1 if failed else 0
+
+
+def cmd_fuzz(args) -> int:
+    """Corruption-fuzz the decoder against a freshly traced workload."""
+    tracer = PilgrimTracer(
+        timing_mode=TIMING_LOSSY if args.lossy_timing else "aggregate")
+    make(args.workload, args.procs, **_parse_params(args.param)).run(
+        seed=args.seed, tracer=tracer)
+    blob = tracer.result.trace_bytes
+    report = run_fuzz(blob, seed=args.fuzz_seed, n_random=args.mutations)
+    print(f"{args.workload} ({args.procs} ranks, {len(blob)} byte trace)")
+    print(report.summary())
+    for failure in report.failures[:20]:
+        print(f"  {failure}")
+    return 0 if report.ok else 1
 
 
 def cmd_info(args) -> int:
@@ -246,6 +288,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable the runtime event log; dump it as JSONL")
     p.set_defaults(fn=cmd_trace)
 
+    p = sub.add_parser("verify",
+                       help="differentially verify lossless round-trips")
+    p.add_argument("workload", nargs="+",
+                   help="workload name(s) to trace and verify")
+    p.add_argument("-n", "--procs", type=int, default=16)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE")
+    p.add_argument("--lossy-timing", action="store_true")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("fuzz",
+                       help="corruption-fuzz the decoder (structured "
+                            "errors only, never crashes)")
+    p.add_argument("workload")
+    p.add_argument("-n", "--procs", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--fuzz-seed", type=int, default=0)
+    p.add_argument("--mutations", type=int, default=400,
+                   help="random mutations on top of the boundary set")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE")
+    p.add_argument("--lossy-timing", action="store_true")
+    p.set_defaults(fn=cmd_fuzz)
+
     p = sub.add_parser("info", help="summarize a trace file")
     p.add_argument("trace")
     p.add_argument("--json", action="store_true",
@@ -311,6 +378,11 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except TraceFormatError as e:
+        # corrupt/truncated/foreign trace file: a structured one-line
+        # diagnosis, not a traceback
+        print(f"repro: {type(e).__name__}: {e}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # output piped into head/less that exited early; not an error
         try:
@@ -318,6 +390,12 @@ def main(argv=None) -> int:
         except Exception:
             pass
         return 0
+    except OSError as e:
+        if getattr(e, "filename", None):
+            print(f"repro: cannot open {e.filename}: "
+                  f"{e.strerror or e}", file=sys.stderr)
+            return 1
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,7 +6,11 @@ Public surface:
   :class:`repro.mpisim.SimMPI` run; produces the compressed trace.
 * :class:`TraceFile` / :class:`TraceDecoder` — the binary format and its
   decoder (decompression back to per-rank call records).
-* :func:`verify_roundtrip` — the paper's lossless round-trip check.
+* :func:`verify_roundtrip` / :func:`verify_workload` — the paper's
+  lossless round-trip check, grown into a differential verifier.
+* :func:`run_fuzz` — deterministic trace-corruption fuzzer; together
+  with the :class:`TraceFormatError` hierarchy (:mod:`repro.core.errors`)
+  it makes "lossless" a checked property of the format.
 * Building blocks, exported for tests/benchmarks: :class:`Sequitur`,
   :class:`Grammar`, :class:`CST`, :func:`merge_csts`,
   :func:`merge_grammars`, :class:`IntervalTree`,
@@ -17,22 +21,28 @@ from .avl import IntervalTree
 from .cst import CST, MergedCST, merge_csts
 from .decoder import TraceDecoder
 from .encoder import CommIdSpace, MemoryTable, PerRankEncoder
+from .errors import (ChecksumError, CorruptTraceError, TraceFormatError,
+                     TruncatedTraceError, UnsupportedVersionError)
+from .fuzz import FuzzOutcome, FuzzReport, iter_mutations, run_fuzz
 from .grammar import Grammar
 from .interproc import CFGMergeResult, expand_rank, merge_grammars
 from .records import DecodedCall, sig_to_params
 from .sequitur import Sequitur
 from .symbolic import IdPool, ObjectIdTable, RequestIdAllocator
 from .timing import TimingCompressor, bin_value, reconstruct_times, unbin_value
-from .trace_format import TraceFile
+from .trace_format import TraceFile, section_spans
 from .tracer import TIMING_AGGREGATE, TIMING_LOSSY, PilgrimResult, PilgrimTracer
-from .verify import VerifyReport, verify_roundtrip
+from .verify import VerifyReport, verify_roundtrip, verify_workload
 
 __all__ = [
-    "CFGMergeResult", "CST", "CommIdSpace", "DecodedCall", "Grammar",
-    "IdPool", "IntervalTree", "MemoryTable", "MergedCST", "ObjectIdTable",
-    "PerRankEncoder", "PilgrimResult", "PilgrimTracer",
+    "CFGMergeResult", "CST", "ChecksumError", "CommIdSpace",
+    "CorruptTraceError", "DecodedCall", "FuzzOutcome", "FuzzReport",
+    "Grammar", "IdPool", "IntervalTree", "MemoryTable", "MergedCST",
+    "ObjectIdTable", "PerRankEncoder", "PilgrimResult", "PilgrimTracer",
     "RequestIdAllocator", "Sequitur", "TIMING_AGGREGATE", "TIMING_LOSSY",
-    "TimingCompressor", "TraceDecoder", "TraceFile", "VerifyReport",
-    "bin_value", "expand_rank", "merge_csts", "merge_grammars",
-    "reconstruct_times", "sig_to_params", "unbin_value", "verify_roundtrip",
+    "TimingCompressor", "TraceDecoder", "TraceFile", "TraceFormatError",
+    "TruncatedTraceError", "UnsupportedVersionError", "VerifyReport",
+    "bin_value", "expand_rank", "iter_mutations", "merge_csts",
+    "merge_grammars", "reconstruct_times", "run_fuzz", "section_spans",
+    "sig_to_params", "unbin_value", "verify_roundtrip", "verify_workload",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .errors import CorruptTraceError
 from .packing import Reader, read_value, write_uvarint, write_value
 
 
@@ -83,11 +84,25 @@ class MergedCST:
     @classmethod
     def read_from(cls, r: Reader) -> "MergedCST":
         n = r.read_uvarint()
+        if n > r.remaining():
+            raise CorruptTraceError(
+                f"CST claims {n} signatures but only {r.remaining()} "
+                f"bytes remain")
         sigs, counts, durs = [], [], []
-        for _ in range(n):
-            sigs.append(read_value(r))
+        for i in range(n):
+            sig = read_value(r)
+            if not isinstance(sig, tuple):
+                raise CorruptTraceError(
+                    f"CST entry {i} is a {type(sig).__name__}, "
+                    f"not a signature tuple")
+            sigs.append(sig)
             counts.append(r.read_uvarint())
-            durs.append(read_value(r))
+            dur = read_value(r)
+            if isinstance(dur, bool) or not isinstance(dur, (int, float)):
+                raise CorruptTraceError(
+                    f"CST entry {i} duration is {type(dur).__name__}, "
+                    f"not a number")
+            durs.append(dur)
         return cls(sigs, counts, durs, remaps=[])
 
     def size_bytes(self) -> int:

@@ -67,9 +67,13 @@ class TraceDecoder:
 
     def call_count(self, rank: Optional[int] = None) -> int:
         cfg = self.trace.cfg
-        lengths = [g.expanded_length() for g in cfg.unique]
         if rank is not None:
-            return lengths[cfg.rank_uid[rank]]
+            # expand only the requested rank's unique grammar — asking for
+            # one rank must not pay for every grammar in the trace
+            if not 0 <= rank < self.trace.nprocs:
+                raise IndexError(f"rank {rank} out of range")
+            return cfg.unique[cfg.rank_uid[rank]].expanded_length()
+        lengths = [g.expanded_length() for g in cfg.unique]
         return sum(lengths[uid] for uid in cfg.rank_uid)
 
     # -- summaries ----------------------------------------------------------------------------

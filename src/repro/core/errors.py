@@ -1,0 +1,50 @@
+"""Structured trace-format errors.
+
+Pilgrim's headline property is *(near) lossless* tracing, so the trace
+file is a contract: a reader must either produce exactly the records the
+writer saw or fail loudly with a diagnosable error.  Every read path in
+:mod:`repro.core.packing`, :mod:`repro.core.trace_format`, and
+:mod:`repro.core.decoder` raises one of these instead of leaking raw
+``IndexError``/``KeyError`` (or, worse, returning silently wrong data).
+
+The hierarchy bottoms out on :class:`ValueError` so callers that predate
+the structured errors (``except ValueError``) keep working.
+"""
+
+from __future__ import annotations
+
+
+class TraceFormatError(ValueError):
+    """A trace blob violates the on-disk format contract."""
+
+
+class TruncatedTraceError(TraceFormatError):
+    """The blob ends before the structure it promises is complete."""
+
+
+class ChecksumError(TraceFormatError):
+    """A section's stored CRC32 does not match its bytes."""
+
+    def __init__(self, section: str, stored: int, computed: int):
+        super().__init__(
+            f"{section} section checksum mismatch: "
+            f"stored {stored:#010x}, computed {computed:#010x}")
+        self.section = section
+        self.stored = stored
+        self.computed = computed
+
+
+class UnsupportedVersionError(TraceFormatError):
+    """The trace declares a format version this reader cannot parse."""
+
+    def __init__(self, found: int, expected: int):
+        super().__init__(
+            f"unsupported trace version {found} (this reader "
+            f"understands version {expected})")
+        self.found = found
+        self.expected = expected
+
+
+class CorruptTraceError(TraceFormatError):
+    """The blob is structurally inconsistent (bad tag, bad rule
+    reference, impossible count, trailing bytes, ...)."""

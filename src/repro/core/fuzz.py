@@ -1,0 +1,139 @@
+"""Deterministic trace-corruption fuzzer.
+
+The decoder's contract (see :mod:`repro.core.errors`) is that a damaged
+trace **always** raises a structured :class:`TraceFormatError` subclass —
+never a raw ``IndexError``/``KeyError``, never a hang, and never a
+silently wrong decode.  This module attacks a known-good blob with a
+seeded, reproducible mutation set and classifies every outcome:
+
+* **bit flips** at every section boundary (length prefixes, CRC fields,
+  first/last payload bytes, each header field) plus seeded random
+  offsets;
+* **truncations** at every boundary, one byte either side of it, and at
+  seeded random lengths.
+
+Because every section is checksummed (format v2), any surviving mutation
+is a bug in either the format or the fuzzer — the CI smoke job and the
+tier-1 tests assert zero crashes and zero silent successes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .decoder import TraceDecoder
+from .errors import TraceFormatError
+from .trace_format import section_spans
+
+#: outcome kinds
+STRUCTURED = "structured"   # raised a TraceFormatError subclass: correct
+CRASH = "crash"             # raised anything else: decoder bug
+SILENT = "silent"           # decoded without complaint: integrity bug
+
+
+@dataclass
+class FuzzOutcome:
+    mutation: str
+    kind: str
+    error: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.mutation}" + \
+            (f" -> {self.error}" if self.error else "")
+
+
+@dataclass
+class FuzzReport:
+    total: int = 0
+    structured: int = 0
+    #: every non-structured outcome, for diagnosis
+    failures: list[FuzzOutcome] = field(default_factory=list)
+    #: histogram of raised error class names
+    by_error: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.total > 0 and not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        errs = ", ".join(f"{k}×{v}" for k, v in sorted(self.by_error.items()))
+        return (f"corruption fuzz: {status} ({self.total} mutations, "
+                f"{self.structured} structured errors, "
+                f"{len(self.failures)} failures; {errs})")
+
+
+def _flip(blob: bytes, offset: int, bit: int) -> bytes:
+    mut = bytearray(blob)
+    mut[offset] ^= 1 << bit
+    return bytes(mut)
+
+
+def iter_mutations(blob: bytes, seed: int = 0,
+                   n_random: int = 400) -> Iterator[tuple[str, bytes]]:
+    """Yield ``(description, mutated_blob)`` pairs: boundary-targeted
+    flips/truncations first, then ``n_random`` seeded random mutations.
+    Identity mutations (e.g. truncation at the full length) are skipped.
+    """
+    n = len(blob)
+    spans = section_spans(blob)
+    boundaries = sorted({off for a, b in spans.values() for off in (a, b)})
+    names = {a: name for name, (a, b) in spans.items()}
+
+    for off in boundaries:
+        for cut in (off - 1, off, off + 1):
+            if 0 <= cut < n:
+                where = names.get(off, "?")
+                yield (f"truncate to {cut} bytes (near {where})",
+                       blob[:cut])
+        for probe in (off, off - 1):
+            if 0 <= probe < n:
+                yield (f"flip bit 0 of byte {probe} "
+                       f"(near {names.get(off, '?')})",
+                       _flip(blob, probe, 0))
+
+    rng = random.Random(seed)
+    for i in range(n_random):
+        if rng.random() < 0.5:
+            off = rng.randrange(n)
+            bit = rng.randrange(8)
+            yield (f"flip bit {bit} of byte {off} (random #{i})",
+                   _flip(blob, off, bit))
+        else:
+            cut = rng.randrange(n)
+            yield f"truncate to {cut} bytes (random #{i})", blob[:cut]
+
+
+def _deep_decode(blob: bytes) -> None:
+    """Parse and then *fully* decode, so lazily-materialized corruption
+    (bad rule references, broken CST entries) cannot hide."""
+    dec = TraceDecoder.from_bytes(blob)
+    dec.call_count()
+    for rank in range(dec.nprocs):
+        for _ in dec.rank_calls(rank):
+            pass
+    dec.function_histogram()
+
+
+def run_fuzz(blob: bytes, seed: int = 0, n_random: int = 400) -> FuzzReport:
+    """Attack *blob* with the deterministic mutation set; every mutation
+    must make the decoder raise a :class:`TraceFormatError` subclass."""
+    report = FuzzReport()
+    for desc, mut in iter_mutations(blob, seed=seed, n_random=n_random):
+        if mut == blob:
+            continue
+        report.total += 1
+        try:
+            _deep_decode(mut)
+        except TraceFormatError as e:
+            report.structured += 1
+            cls = type(e).__name__
+            report.by_error[cls] = report.by_error.get(cls, 0) + 1
+        except Exception as e:  # noqa: BLE001 — the point of the fuzzer
+            report.failures.append(FuzzOutcome(
+                desc, CRASH, f"{type(e).__name__}: {e}"))
+        else:
+            report.failures.append(FuzzOutcome(desc, SILENT))
+    return report

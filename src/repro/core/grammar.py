@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from .errors import CorruptTraceError
 from .packing import Reader, pack_ints, write_varint
 from .sequitur import Sequitur
 
@@ -167,9 +168,14 @@ class Grammar:
     @classmethod
     def from_reader(cls, r: Reader) -> "Grammar":
         nrules = r.read_varint()
+        if nrules < 0:
+            raise CorruptTraceError(f"negative grammar rule count {nrules}")
         rules = []
-        for _ in range(nrules):
+        for i in range(nrules):
             ntok = r.read_varint()
+            if ntok < 0:
+                raise CorruptTraceError(
+                    f"negative token count {ntok} in rule {i}")
             rule = tuple((r.read_varint(), r.read_varint())
                          for _ in range(ntok))
             rules.append(rule)

@@ -12,9 +12,14 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from .errors import CorruptTraceError, TruncatedTraceError
+
 
 def zigzag(n: int) -> int:
-    return (n << 1) ^ (n >> 63) if n < 0 else (n << 1)
+    # NB: the C idiom ``(n << 1) ^ (n >> 63)`` is wrong on Python's
+    # unbounded ints once n <= -2**63 (the arithmetic shift no longer
+    # yields -1); the closed form below holds for any magnitude.
+    return -2 * n - 1 if n < 0 else 2 * n
 
 
 def unzigzag(z: int) -> int:
@@ -53,9 +58,17 @@ class Reader:
 
     def read_uvarint(self) -> int:
         data, pos = self.data, self.pos
+        end = len(data)
         shift = 0
         result = 0
         while True:
+            if pos >= end:
+                # also the guard for a malformed varint whose continuation
+                # bits run longer than the buffer: the loop can never
+                # shift past the data that actually exists
+                raise TruncatedTraceError(
+                    f"varint starting at byte {self.pos} runs past the "
+                    f"end of the {end}-byte buffer")
             b = data[pos]
             pos += 1
             result |= (b & 0x7F) << shift
@@ -68,12 +81,26 @@ class Reader:
     def read_varint(self) -> int:
         return unzigzag(self.read_uvarint())
 
+    def read_byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise TruncatedTraceError(
+                f"expected a byte at offset {self.pos}, buffer has "
+                f"{len(self.data)}")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
     def read_bytes(self, n: int) -> bytes:
         chunk = self.data[self.pos:self.pos + n]
         if len(chunk) != n:
-            raise ValueError("truncated input")
+            raise TruncatedTraceError(
+                f"expected {n} bytes at offset {self.pos}, buffer has "
+                f"{len(self.data) - self.pos} left")
         self.pos += n
         return chunk
+
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
 
 
 # -- tagged values ---------------------------------------------------------------
@@ -117,8 +144,7 @@ def write_value(out: bytearray, v: Any) -> None:
 
 
 def read_value(r: Reader) -> Any:
-    tag = r.data[r.pos]
-    r.pos += 1
+    tag = r.read_byte()
     if tag == _T_NONE:
         return None
     if tag == _T_TRUE:
@@ -129,15 +155,28 @@ def read_value(r: Reader) -> Any:
         return r.read_varint()
     if tag == _T_STR:
         n = r.read_uvarint()
-        return r.read_bytes(n).decode("utf-8")
+        raw = r.read_bytes(n)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as e:
+            raise CorruptTraceError(
+                f"string value at offset {r.pos - n} is not UTF-8: "
+                f"{e}") from None
     if tag == _T_TUPLE:
         n = r.read_uvarint()
+        if n > r.remaining():
+            # every element costs at least its tag byte; an impossible
+            # count means the length field itself is damaged — fail now
+            # instead of looping toward the inevitable
+            raise TruncatedTraceError(
+                f"tuple of {n} elements at offset {r.pos} exceeds the "
+                f"{r.remaining()} bytes left")
         return tuple(read_value(r) for _ in range(n))
     if tag == _T_FLOAT:
         import struct
         (v,) = struct.unpack("<d", r.read_bytes(8))
         return v
-    raise ValueError(f"unknown value tag {tag}")
+    raise CorruptTraceError(f"unknown value tag {tag} at offset {r.pos - 1}")
 
 
 def pack_value(v: Any) -> bytes:

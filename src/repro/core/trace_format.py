@@ -3,17 +3,20 @@
 Layout (all integers are varints, see :mod:`repro.core.packing`)::
 
     magic  b"PILG"            4 bytes
-    version                   1 byte
+    version                   1 byte   (currently 2)
     flags                     1 byte   (bit0: lossy timing sections present;
                                         bit1: sections are zlib-compressed)
     nprocs
-    -- CST section --
-    n_signatures, then per entry: signature value, count, duration sum
-    -- CFG section --
-    n_top_rules               (rules [0, n_top) are the merged top level)
-    n_unique_grammars, then per grammar: its rule count
-    final grammar             (rule array, see Grammar.write_to; the rank ->
-                               sub-grammar assignment is the start rule)
+    -- per section: --
+    payload length            varint
+    crc32 of the payload      4 bytes little-endian
+    payload
+    -- section order --
+    CST:  n_signatures, then per entry: signature value, count, duration sum
+    CFG:  n_top_rules          (rules [0, n_top) are the merged top level)
+          n_unique_grammars, then per grammar: its rule count
+          final grammar        (rule array, see Grammar.write_to; the rank ->
+                                sub-grammar assignment is the start rule)
     -- optional timing sections (flags bit0) --
     duration: same layout as the CFG section
     interval: same layout as the CFG section
@@ -22,43 +25,68 @@ Sections are individually deflate-compressed by default (length-prefixed),
 mirroring the generic final-compression pass real trace formats apply —
 without it, the per-rank Alltoallv count arrays of IS alone would dwarf
 the paper's reported sizes (58KB at 1024 ranks).  All size figures the
-benchmarks report are ``len()`` of these bytes — honest on-disk sizes.
+benchmarks report are ``len()`` of these bytes — honest on-disk sizes,
+including the checksum overhead (4 bytes per section).
+
+Version 2 makes "lossless" a *checked* property: every section carries a
+CRC32 over its stored bytes, the reader verifies it before parsing, and
+every failure mode raises a structured :class:`TraceFormatError` subclass
+(see :mod:`repro.core.errors`) — never a raw ``IndexError`` and never a
+silently wrong record.
 """
 
 from __future__ import annotations
 
+import struct
 import zlib
 from dataclasses import dataclass
 from typing import Optional
 
 from .cst import MergedCST
+from .errors import (ChecksumError, CorruptTraceError, TraceFormatError,
+                     TruncatedTraceError, UnsupportedVersionError)
 from .grammar import Grammar
 from .interproc import CFGMergeResult
 from .packing import Reader, write_uvarint
 from .sequitur import Sequitur
 
 MAGIC = b"PILG"
-VERSION = 1
+VERSION = 2
+HEADER_FIXED = 6  # magic + version + flags; nprocs follows as a varint
 
 FLAG_TIMING = 1
 FLAG_COMPRESSED = 2
+_KNOWN_FLAGS = FLAG_TIMING | FLAG_COMPRESSED
 
 #: zlib level used for section compression (balanced, like zstd defaults)
 ZLIB_LEVEL = 6
+
+#: bytes each section spends on its CRC32 (accounted in section_sizes)
+CRC_BYTES = 4
 
 
 def _emit_section(out: bytearray, payload: bytes, compress: bool) -> None:
     if compress:
         payload = zlib.compress(payload, ZLIB_LEVEL)
     write_uvarint(out, len(payload))
+    out.extend(struct.pack("<I", zlib.crc32(payload)))
     out.extend(payload)
 
 
-def _take_section(r: Reader, compressed: bool) -> Reader:
+def _take_section(r: Reader, compressed: bool, name: str) -> Reader:
     n = r.read_uvarint()
+    (stored,) = struct.unpack("<I", r.read_bytes(CRC_BYTES))
     blob = r.read_bytes(n)
+    computed = zlib.crc32(blob)
+    if computed != stored:
+        raise ChecksumError(name, stored, computed)
     if compressed:
-        blob = zlib.decompress(blob)
+        try:
+            blob = zlib.decompress(blob)
+        except zlib.error as e:
+            raise CorruptTraceError(
+                f"{name} section passed its checksum but is not valid "
+                f"zlib data ({e})") from None
     return Reader(blob)
 
 
@@ -74,11 +102,20 @@ def _write_cfg_section(out: bytearray, merge: CFGMergeResult) -> None:
     # compressed by the final Sequitur pass) and is re-derived on read.
 
 
-def _read_cfg_section(r: Reader) -> CFGMergeResult:
+def _read_cfg_section(r: Reader, name: str = "CFG") -> CFGMergeResult:
     n_top = r.read_uvarint()
     n_unique = r.read_uvarint()
+    if n_unique > r.remaining():
+        raise CorruptTraceError(
+            f"{name} section claims {n_unique} unique grammars but only "
+            f"{r.remaining()} bytes remain")
     rule_counts = [r.read_uvarint() for _ in range(n_unique)]
     final = Grammar.from_reader(r)
+    if n_top + sum(rule_counts) != len(final.rules):
+        raise CorruptTraceError(
+            f"{name} section rule accounting is inconsistent: "
+            f"{n_top} top + {sum(rule_counts)} sub-grammar rules != "
+            f"{len(final.rules)} total")
     # recover the per-unique sub-grammars from the spliced rule space
     unique: list[Grammar] = []
     bases: list[int] = []
@@ -96,25 +133,33 @@ def _read_cfg_section(r: Reader) -> CFGMergeResult:
     base_to_uid = {b: uid for uid, b in enumerate(bases)}
     memo: dict[int, list[int]] = {}
 
-    def expand_top(idx: int) -> list[int]:
+    def expand_top(idx: int, active: frozenset) -> list[int]:
         got = memo.get(idx)
         if got is not None:
             return got
+        if idx in active:
+            raise CorruptTraceError(
+                f"{name} section top rule {idx} is cyclic")
         out: list[int] = []
         for v, e in final.rules[idx]:
             ref = -v - 1
             if v >= 0:
-                raise ValueError(
-                    f"top rule {idx} holds a raw terminal {v}; corrupt CFG")
+                raise CorruptTraceError(
+                    f"{name} section top rule {idx} holds a raw terminal "
+                    f"{v}; corrupt CFG")
             if ref in base_to_uid:
                 out.extend([base_to_uid[ref]] * e)
+            elif ref >= len(final.rules):
+                raise CorruptTraceError(
+                    f"{name} section top rule {idx} references missing "
+                    f"rule {ref}")
             else:
-                sub = expand_top(ref)
+                sub = expand_top(ref, active | {idx})
                 out.extend(sub if e == 1 else sub * e)
         memo[idx] = out
         return out
 
-    rank_uid = expand_top(0) if n_top else []
+    rank_uid = expand_top(0, frozenset()) if n_top else []
     return CFGMergeResult(final=final, rank_uid=rank_uid, unique=unique)
 
 
@@ -158,38 +203,99 @@ class TraceFile:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "TraceFile":
+        if len(data) < HEADER_FIXED:
+            raise TruncatedTraceError(
+                f"trace of {len(data)} bytes is shorter than the "
+                f"{HEADER_FIXED}-byte header")
         if data[:4] != MAGIC:
-            raise ValueError("not a Pilgrim trace (bad magic)")
+            raise TraceFormatError("not a Pilgrim trace (bad magic)")
         if data[4] != VERSION:
-            raise ValueError(f"unsupported trace version {data[4]}")
+            raise UnsupportedVersionError(data[4], VERSION)
         flags = data[5]
+        if flags & ~_KNOWN_FLAGS:
+            raise CorruptTraceError(
+                f"unknown flag bits in {flags:#04x} "
+                f"(known mask {_KNOWN_FLAGS:#04x})")
         compressed = bool(flags & FLAG_COMPRESSED)
-        r = Reader(data, 6)
-        nprocs = r.read_uvarint()
-        cst = MergedCST.read_from(_take_section(r, compressed))
-        cfg = _read_cfg_section(_take_section(r, compressed))
-        td = ti = None
-        if flags & FLAG_TIMING:
-            td = _read_cfg_section(_take_section(r, compressed))
-            ti = _read_cfg_section(_take_section(r, compressed))
+        try:
+            r = Reader(data, HEADER_FIXED)
+            nprocs = r.read_uvarint()
+            cst = MergedCST.read_from(_take_section(r, compressed, "CST"))
+            cfg = _read_cfg_section(_take_section(r, compressed, "CFG"))
+            td = ti = None
+            if flags & FLAG_TIMING:
+                td = _read_cfg_section(
+                    _take_section(r, compressed, "timing-duration"),
+                    "timing-duration")
+                ti = _read_cfg_section(
+                    _take_section(r, compressed, "timing-interval"),
+                    "timing-interval")
+            if not r.exhausted:
+                raise CorruptTraceError(
+                    f"{len(data) - r.pos} trailing bytes after the last "
+                    f"section")
+        except TraceFormatError:
+            raise
+        except (IndexError, KeyError, ValueError, OverflowError,
+                RecursionError, MemoryError, struct.error,
+                zlib.error) as e:
+            # safety net: no parsing accident may escape as a raw
+            # exception — the decoder's contract is structured errors only
+            raise CorruptTraceError(
+                f"malformed trace ({type(e).__name__}: {e})") from e
+        if len(cfg.rank_uid) != nprocs:
+            raise CorruptTraceError(
+                f"CFG rank map covers {len(cfg.rank_uid)} ranks but the "
+                f"header declares {nprocs}")
         return cls(nprocs=nprocs, cst=cst, cfg=cfg,
                    timing_duration=td, timing_interval=ti)
 
     # -- size accounting ----------------------------------------------------------------
 
     def section_sizes(self, compress: bool = True) -> dict[str, int]:
-        """On-disk byte size per section (what the figures plot)."""
+        """On-disk byte size per section (what the figures plot).
+
+        Section sizes include each section's length prefix and 4-byte
+        CRC32; ``header`` is the magic/version/flags/nprocs preamble.
+        """
         payloads = self._section_payloads()
         names = ["cst", "cfg"]
         if self.timing_duration is not None:
             names.extend(("timing_duration", "timing_interval"))
-        sizes = {"header": 6 + len(_uvarint_bytes(self.nprocs))}
+        sizes = {"header": HEADER_FIXED + len(_uvarint_bytes(self.nprocs))}
         for name, payload in zip(names, payloads):
             section = bytearray()
             _emit_section(section, payload, compress)
             sizes[name] = len(section)
         sizes["total"] = sum(sizes.values())
         return sizes
+
+
+def section_spans(data: bytes) -> dict[str, tuple[int, int]]:
+    """Byte spans ``name -> (start, end)`` of every region in a valid
+    trace blob (header fields, then per section its length prefix, CRC,
+    and payload).  The corruption fuzzer aims its mutations at these
+    boundaries; ``repro info`` could render them too."""
+    if len(data) < HEADER_FIXED or data[:4] != MAGIC:
+        raise TraceFormatError("not a Pilgrim trace (bad magic)")
+    flags = data[5]
+    spans: dict[str, tuple[int, int]] = {
+        "magic": (0, 4), "version": (4, 5), "flags": (5, 6)}
+    r = Reader(data, HEADER_FIXED)
+    r.read_uvarint()
+    spans["nprocs"] = (HEADER_FIXED, r.pos)
+    names = ["cst", "cfg"]
+    if flags & FLAG_TIMING:
+        names.extend(("timing_duration", "timing_interval"))
+    for name in names:
+        start = r.pos
+        n = r.read_uvarint()
+        spans[f"{name}.len"] = (start, r.pos)
+        spans[f"{name}.crc"] = (r.pos, r.pos + CRC_BYTES)
+        r.read_bytes(CRC_BYTES)
+        spans[f"{name}.payload"] = (r.pos, r.pos + n)
+        r.read_bytes(n)
+    return spans
 
 
 def _uvarint_bytes(n: int) -> bytes:

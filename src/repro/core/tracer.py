@@ -128,6 +128,10 @@ class PilgrimTracer(TracerHooks):
 
         self.nprocs = 0
         self.comm_space: Optional[CommIdSpace] = None
+        #: declared here, not first in on_run_start, so finalize() and
+        #: introspection on a never-run tracer see None instead of dying
+        #: with AttributeError
+        self.win_space: Optional[WinIdSpace] = None
         self.encoders: list[PerRankEncoder] = []
         self.csts: list[CST] = []
         self.grammars: list[Sequitur] = []

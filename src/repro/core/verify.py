@@ -1,19 +1,39 @@
-"""Lossless round-trip verification.
+"""Differential lossless round-trip verification.
 
 "As we developed both compressor and decompressor, we can check
 correctness by comparing uncompressed traces to compressed next
-decompressed traces" (§4).  This module is that check: run the tracer
-with ``keep_raw=True`` (it then retains each rank's uncompressed local
-terminal stream), decompress the produced trace blob, and compare
-signature-by-signature.
+decompressed traces" (§4).  This module is that check, grown into a real
+verifier: run the tracer with ``keep_raw=True`` (it then retains each
+rank's uncompressed local terminal stream), decompress the produced
+trace blob, and prove four independent properties:
+
+* **terminal_streams** — each rank's decoded terminal stream is
+  *byte-exact* against its raw stream (both sides varint-packed and
+  compared as bytes, not just element-wise);
+* **records** — the fully decoded :class:`DecodedCall` records (function
+  name + every parameter) equal the records re-derived from the raw
+  per-rank signatures;
+* **call_counts** — call counts are conserved per rank and in total
+  (``decoder.call_count(rank) == len(raw[rank])``), i.e. compression
+  neither drops nor invents calls;
+* **reencode** — parse(serialize(trace)) re-serializes to the identical
+  byte string, so the on-disk form is a fixed point of the reader.
+
+``verify_workload`` wraps the whole flow (trace a registered workload,
+then verify) for the ``repro verify`` CLI subcommand and CI.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .decoder import TraceDecoder
+from .packing import pack_ints
+from .records import sig_to_params
+from .trace_format import TraceFile
 from .tracer import PilgrimTracer
+
+_MAX_MISMATCHES = 20
 
 
 @dataclass
@@ -22,9 +42,33 @@ class VerifyReport:
     nprocs: int
     total_calls: int
     mismatches: list[str]
+    #: named property -> passed (terminal_streams/records/call_counts/
+    #: reencode); empty on legacy construction
+    checks: dict[str, bool] = field(default_factory=dict)
+    per_rank_calls: list[int] = field(default_factory=list)
+    trace_bytes: int = 0
 
     def __bool__(self) -> bool:
         return self.ok
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        detail = ", ".join(
+            f"{name}={'ok' if passed else 'FAIL'}"
+            for name, passed in self.checks.items())
+        return (f"lossless round-trip: {status} "
+                f"({self.total_calls} calls on {self.nprocs} ranks"
+                + (f"; {detail}" if detail else "") + ")")
+
+
+def _note(mismatches: list[str], msg: str) -> bool:
+    """Record a mismatch, truncating the list; returns False for its
+    callers' convenience (the check just failed)."""
+    if len(mismatches) < _MAX_MISMATCHES:
+        mismatches.append(msg)
+    elif len(mismatches) == _MAX_MISMATCHES:
+        mismatches.append("... (truncated)")
+    return False
 
 
 def verify_roundtrip(tracer: PilgrimTracer) -> VerifyReport:
@@ -38,24 +82,100 @@ def verify_roundtrip(tracer: PilgrimTracer) -> VerifyReport:
     if tracer.result is None:
         raise ValueError("run not finalized — nothing to verify")
 
-    decoder = TraceDecoder.from_bytes(tracer.result.trace_bytes)
+    blob = tracer.result.trace_bytes
+    decoder = TraceDecoder.from_bytes(blob)
     mismatches: list[str] = []
+    checks = {"terminal_streams": True, "records": True,
+              "call_counts": True, "reencode": True}
     total = 0
+    per_rank: list[int] = []
+
+    if decoder.nprocs != tracer.nprocs:
+        checks["call_counts"] = _note(
+            mismatches, f"decoded nprocs {decoder.nprocs} != "
+            f"traced {tracer.nprocs}")
+
     for rank in range(tracer.nprocs):
-        raw_sigs = [tracer.csts[rank].sigs[t] for t in tracer.raw_terms[rank]]
-        dec_sigs = [decoder.trace.cst.sigs[t]
-                    for t in decoder.rank_terminals(rank)]
+        raw_terms = tracer.raw_terms[rank]
+        raw_sigs = [tracer.csts[rank].sigs[t] for t in raw_terms]
+        dec_terms = decoder.rank_terminals(rank)
+        dec_sigs = [decoder.trace.cst.sigs[t] for t in dec_terms]
         total += len(raw_sigs)
+        per_rank.append(len(raw_sigs))
+
+        # conservation: the decoder's count must match without expansion
+        # tricks, per rank and against the stream it actually yields
+        n_dec = decoder.call_count(rank)
+        if n_dec != len(raw_terms) or n_dec != len(dec_terms):
+            checks["call_counts"] = _note(
+                mismatches, f"rank {rank}: {len(raw_terms)} raw calls, "
+                f"{len(dec_terms)} decoded, call_count says {n_dec}")
+
+        # byte-exact terminal streams: map the raw local signatures to the
+        # decoded CST's global numbering and compare the packed bytes
         if len(raw_sigs) != len(dec_sigs):
-            mismatches.append(
-                f"rank {rank}: length {len(raw_sigs)} raw vs "
+            checks["terminal_streams"] = _note(
+                mismatches, f"rank {rank}: length {len(raw_sigs)} raw vs "
                 f"{len(dec_sigs)} decoded")
             continue
+        raw_global = [_global_term(decoder, sig, mismatches)
+                      for sig in raw_sigs]
+        if None in raw_global:
+            checks["terminal_streams"] = False
+        elif pack_ints(raw_global) != pack_ints(dec_terms):
+            checks["terminal_streams"] = _note(
+                mismatches, f"rank {rank}: terminal stream bytes differ")
+
         for i, (a, b) in enumerate(zip(raw_sigs, dec_sigs)):
             if a != b:
-                mismatches.append(f"rank {rank} call {i}: {a!r} != {b!r}")
-                if len(mismatches) > 20:
-                    mismatches.append("... (truncated)")
-                    break
-    return VerifyReport(ok=not mismatches, nprocs=tracer.nprocs,
-                        total_calls=total, mismatches=mismatches)
+                checks["records"] = _note(
+                    mismatches, f"rank {rank} call {i}: {a!r} != {b!r}")
+            elif sig_to_params(a) != sig_to_params(b):
+                checks["records"] = _note(
+                    mismatches, f"rank {rank} call {i}: decoded params "
+                    f"differ for {a!r}")
+
+    if total != tracer.total_calls or decoder.call_count() != total:
+        checks["call_counts"] = _note(
+            mismatches, f"total calls: {tracer.total_calls} traced, "
+            f"{total} raw, {decoder.call_count()} decoded")
+
+    if TraceFile.from_bytes(blob).to_bytes() != blob:
+        checks["reencode"] = _note(
+            mismatches, "parse(serialize(trace)) is not byte-stable")
+
+    return VerifyReport(ok=all(checks.values()), nprocs=tracer.nprocs,
+                        total_calls=total, mismatches=mismatches,
+                        checks=checks, per_rank_calls=per_rank,
+                        trace_bytes=len(blob))
+
+
+#: cache slot on the decoder for the sig -> global-terminal index
+_SIG_INDEX_ATTR = "_verify_sig_index"
+
+
+def _global_term(decoder: TraceDecoder, sig: tuple,
+                 mismatches: list[str]):
+    index = getattr(decoder, _SIG_INDEX_ATTR, None)
+    if index is None:
+        index = {s: t for t, s in enumerate(decoder.trace.cst.sigs)}
+        setattr(decoder, _SIG_INDEX_ATTR, index)
+    term = index.get(sig)
+    if term is None:
+        _note(mismatches, f"raw signature {sig!r} missing from merged CST")
+    return term
+
+
+def verify_workload(name: str, nprocs: int, *, seed: int = 1,
+                    lossy_timing: bool = False,
+                    **params) -> VerifyReport:
+    """Trace a registered workload with ``keep_raw=True`` and round-trip
+    verify it (the ``repro verify`` CLI entry point)."""
+    from ..workloads import make
+    from .tracer import TIMING_AGGREGATE, TIMING_LOSSY
+
+    tracer = PilgrimTracer(
+        keep_raw=True,
+        timing_mode=TIMING_LOSSY if lossy_timing else TIMING_AGGREGATE)
+    make(name, nprocs, **params).run(seed=seed, tracer=tracer)
+    return verify_roundtrip(tracer)

@@ -3,13 +3,17 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.core.errors import (CorruptTraceError, TraceFormatError,
+                               TruncatedTraceError)
 from repro.core.packing import (Reader, pack_ints, pack_value, read_value,
                                 unpack_ints, unzigzag, write_uvarint,
                                 write_varint, zigzag)
 
 
 class TestZigzag:
-    @pytest.mark.parametrize("n", [0, 1, -1, 2, -2, 63, -64, 2**31, -2**31])
+    @pytest.mark.parametrize("n", [0, 1, -1, 2, -2, 63, -64, 2**31, -2**31,
+                                   2**63, -2**63, 2**64, -(2**64),
+                                   -(2**64) - 1, 2**200, -(2**200)])
     def test_roundtrip(self, n):
         assert unzigzag(zigzag(n)) == n
 
@@ -19,9 +23,23 @@ class TestZigzag:
         assert zigzag(1) == 2
         assert zigzag(0) == 0
 
+    def test_interleaving_order(self):
+        # the canonical 0, -1, 1, -2, 2, ... interleaving must hold for
+        # any magnitude — the old C 64-bit idiom broke it below -2**63
+        assert zigzag(-(2**64)) == 2**65 - 1
+        assert zigzag(2**64) == 2**65
+
     @given(st.integers(min_value=-2**62, max_value=2**62))
     def test_roundtrip_property(self, n):
         assert unzigzag(zigzag(n)) == n
+
+    @given(st.integers(min_value=-2**300, max_value=2**300))
+    def test_roundtrip_property_huge(self, n):
+        # arbitrary-precision negatives: no 64-bit assumptions anywhere
+        assert unzigzag(zigzag(n)) == n
+        out = bytearray()
+        write_varint(out, n)
+        assert Reader(bytes(out)).read_varint() == n
 
 
 class TestVarint:
@@ -65,6 +83,32 @@ class TestVarint:
         with pytest.raises(ValueError):
             r.read_bytes(3)
 
+    def test_truncated_read_bytes_structured(self):
+        with pytest.raises(TruncatedTraceError):
+            Reader(b"ab").read_bytes(3)
+
+    def test_uvarint_on_empty_buffer(self):
+        with pytest.raises(TruncatedTraceError):
+            Reader(b"").read_uvarint()
+
+    def test_uvarint_truncated_mid_varint(self):
+        # continuation bit set on the last byte: the promised next byte
+        # does not exist — must be a structured error, not IndexError
+        with pytest.raises(TruncatedTraceError):
+            Reader(b"\x80\x80").read_uvarint()
+
+    def test_malformed_varint_longer_than_buffer(self):
+        # all-continuation garbage: the shift loop must stop at the
+        # buffer end instead of running unbounded
+        with pytest.raises(TruncatedTraceError):
+            Reader(b"\xff" * 64).read_uvarint()
+
+    def test_reader_position_unchanged_on_truncation(self):
+        r = Reader(b"\x80")
+        with pytest.raises(TruncatedTraceError):
+            r.read_uvarint()
+        assert r.pos == 0
+
 
 # strategy for signature-shaped values: nested tuples of scalars
 _scalar = st.one_of(
@@ -104,3 +148,29 @@ class TestTaggedValues:
     def test_unknown_tag_raises(self):
         with pytest.raises(ValueError):
             read_value(Reader(b"\xff"))
+
+    def test_unknown_tag_is_structured(self):
+        with pytest.raises(CorruptTraceError):
+            read_value(Reader(b"\xff"))
+
+    def test_value_on_empty_buffer(self):
+        with pytest.raises(TruncatedTraceError):
+            read_value(Reader(b""))
+
+    @pytest.mark.parametrize("v", ["hello", (1, "ab", None), 3.25, 12345])
+    def test_truncated_value_every_prefix(self, v):
+        blob = pack_value(v)
+        for cut in range(len(blob)):
+            with pytest.raises(TraceFormatError):
+                read_value(Reader(blob[:cut]))
+
+    def test_tuple_count_exceeding_buffer(self):
+        # tag 3 (tuple) claiming 2**20 elements in a 3-byte buffer
+        blob = bytes([3]) + b"\x80\x80\x40"
+        with pytest.raises(TruncatedTraceError):
+            read_value(Reader(blob))
+
+    def test_invalid_utf8_string(self):
+        blob = bytes([2, 2, 0xC0, 0x00])  # _T_STR, len 2, bad UTF-8
+        with pytest.raises(CorruptTraceError):
+            read_value(Reader(blob))

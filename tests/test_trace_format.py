@@ -3,10 +3,12 @@
 import pytest
 
 from repro.core.cst import CST, merge_csts
+from repro.core.errors import (ChecksumError, CorruptTraceError,
+                               TruncatedTraceError, UnsupportedVersionError)
 from repro.core.grammar import Grammar
 from repro.core.interproc import merge_grammars
 from repro.core.sequitur import Sequitur
-from repro.core.trace_format import MAGIC, TraceFile
+from repro.core.trace_format import MAGIC, VERSION, TraceFile, section_spans
 
 
 def _freeze(seq):
@@ -48,8 +50,32 @@ class TestRoundTrip:
     def test_bad_version_rejected(self):
         blob = bytearray(_trace([[0]]).to_bytes())
         blob[4] = 99
-        with pytest.raises(ValueError):
+        with pytest.raises(UnsupportedVersionError) as ei:
             TraceFile.from_bytes(bytes(blob))
+        assert ei.value.found == 99
+        assert ei.value.expected == VERSION
+
+    def test_v1_traces_rejected(self):
+        # pre-checksum traces (version 1) are not silently misparsed
+        blob = bytearray(_trace([[0, 1]]).to_bytes())
+        blob[4] = 1
+        with pytest.raises(UnsupportedVersionError):
+            TraceFile.from_bytes(bytes(blob))
+
+    def test_truncated_header(self):
+        with pytest.raises(TruncatedTraceError):
+            TraceFile.from_bytes(b"PILG\x02")
+
+    def test_unknown_flag_bits_rejected(self):
+        blob = bytearray(_trace([[0]]).to_bytes())
+        blob[5] |= 0x40
+        with pytest.raises(CorruptTraceError):
+            TraceFile.from_bytes(bytes(blob))
+
+    def test_trailing_bytes_rejected(self):
+        blob = _trace([[0, 1, 0]]).to_bytes()
+        with pytest.raises(CorruptTraceError):
+            TraceFile.from_bytes(blob + b"\x00")
 
     @pytest.mark.parametrize("rank_seqs", [
         [[0]],
@@ -79,6 +105,39 @@ class TestRoundTrip:
     def test_no_timing_flag(self):
         back = TraceFile.from_bytes(_trace([[0]]).to_bytes())
         assert back.timing_duration is None
+
+
+class TestChecksums:
+    @pytest.mark.parametrize("compress", [True, False])
+    def test_payload_flip_raises_checksum_error(self, compress):
+        t = _trace([[0, 1] * 6, [2] * 4])
+        blob = bytearray(t.to_bytes(compress=compress))
+        start, _end = section_spans(bytes(blob))["cst.payload"]
+        blob[start] ^= 0x10
+        with pytest.raises(ChecksumError) as ei:
+            TraceFile.from_bytes(bytes(blob))
+        assert ei.value.section == "CST"
+        assert ei.value.stored != ei.value.computed
+
+    def test_crc_field_flip_raises_checksum_error(self):
+        blob = bytearray(_trace([[0, 1, 0]]).to_bytes())
+        start, _end = section_spans(bytes(blob))["cfg.crc"]
+        blob[start] ^= 0x01
+        with pytest.raises(ChecksumError):
+            TraceFile.from_bytes(bytes(blob))
+
+    def test_section_spans_tile_the_blob(self):
+        blob = _trace([[0, 1] * 3, [0, 1] * 3], with_timing=True).to_bytes()
+        spans = sorted(section_spans(blob).values())
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(blob)
+        for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+            assert a_end == b_start
+
+    def test_uncompressed_roundtrip(self):
+        t = _trace([[0, 1] * 4])
+        back = TraceFile.from_bytes(t.to_bytes(compress=False))
+        assert back.cfg.final.expand() == t.cfg.final.expand()
 
 
 class TestSectionSizes:
