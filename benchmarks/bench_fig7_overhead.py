@@ -64,12 +64,13 @@ def test_fig7_execution_time(benchmark):
     # (With MPI_Waitall unrecorded — the paper had to comment the wrapper
     # out — the baseline also never observes request completions, so its
     # single id pool grows and loop folding degrades further.)
-    from repro.scalatrace import ScalaTraceTracer
+    from repro.core.backends import TracerOptions, make_tracer
     from repro.workloads import make as _make
     costs = {}
     entries = {}
     for code in ("flash_cellular", "flash_stirturb"):
-        st = ScalaTraceTracer(record_waitall=(code == "flash_stirturb"))
+        st = make_tracer("scalatrace", TracerOptions(
+            extra={"record_waitall": code == "flash_stirturb"}))
         _make(code, 27, iters=40).run(seed=1, tracer=st)
         costs[code] = st.result.time_intra / max(st.result.recorded_calls, 1)
         entries[code] = sum(st.result.per_rank_entries) / 27

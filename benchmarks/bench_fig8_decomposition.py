@@ -7,6 +7,11 @@ two findings we assert:
 * the CST merge is a negligible sliver (0.2–0.4% in the paper);
 * the CFG merge share grows with the number of unique grammars
   (StirTurb: 2 grammars, tiny share; Cellular: 498 grammars, dominant).
+
+All tracers are constructed through the :mod:`repro.core.backends`
+registry (via ``run_experiment``), and the sharded pipeline reports each
+CST-reduction level as a ``merge.level.<k>`` phase, so the fine-grained
+table below decomposes the inter-CST sliver level by level.
 """
 
 from __future__ import annotations
@@ -71,6 +76,12 @@ def test_fig8_overhead_decomposition(benchmark):
                       ("encode", "cst", "sequitur", "timing", "mem"))
         assert percall >= 0.9 * r.time_intra, code
         assert "cfg_merge" in r.phases and "serialize" in r.phases, code
+        # the sharded pipeline reports each reduction level of the CST
+        # merge: ceil(log2 48) = 6 levels, all sub-slivers of cst_merge
+        levels = [p for p in r.phases if p.startswith("merge.level.")]
+        assert levels == [f"merge.level.{k}" for k in range(6)], code
+        assert sum(r.phases[p] for p in levels) <= \
+            r.phases["cst_merge"] + 1e-6, code
 
     for code, r in rows.items():
         intra, cst, cfg = shares(r)

@@ -12,9 +12,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..core import PilgrimTracer
+from ..core.backends import TracerOptions, make_tracer
 from ..obs import MetricsRegistry
-from ..scalatrace import ScalaTraceTracer
 from ..workloads import make
 
 
@@ -59,15 +58,17 @@ def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
                    baseline: bool = True,
                    pilgrim_kwargs: Optional[dict] = None,
                    scalatrace_kwargs: Optional[dict] = None,
-                   profile: bool = False,
+                   profile: bool = False, jobs: int = 1,
                    metrics: Optional[MetricsRegistry] = None,
                    **params) -> ExperimentRow:
-    """Run one configuration under all requested tracers.
+    """Run one configuration under all requested tracers (constructed
+    through the :mod:`repro.core.backends` registry).
 
     ``profile=True`` attaches an enabled metrics registry to both tracers
     so the fine-grained phase decomposition (Fig 8) lands in
     ``row.phases`` — slightly slower, so off by default.  Pass an
-    explicit ``metrics`` registry to accumulate across several rows."""
+    explicit ``metrics`` registry to accumulate across several rows.
+    ``jobs > 1`` parallelizes Pilgrim's finalize tree reduction."""
     row = ExperimentRow(workload=workload, nprocs=nprocs, params=params)
     if profile and metrics is None:
         metrics = MetricsRegistry()
@@ -78,7 +79,8 @@ def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
         row.app_seconds = time.perf_counter() - t0
 
     if pilgrim:
-        tracer = PilgrimTracer(metrics=metrics, **(pilgrim_kwargs or {}))
+        tracer = make_tracer("pilgrim", TracerOptions(
+            metrics=metrics, jobs=jobs, extra=dict(pilgrim_kwargs or {})))
         t0 = time.perf_counter()
         res = make(workload, nprocs, **params).run(seed=seed, tracer=tracer)
         row.pilgrim_seconds = time.perf_counter() - t0
@@ -93,8 +95,8 @@ def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
         row.phases = dict(r.phases)
 
     if scalatrace:
-        tracer = ScalaTraceTracer(metrics=metrics,
-                                  **(scalatrace_kwargs or {}))
+        tracer = make_tracer("scalatrace", TracerOptions(
+            metrics=metrics, extra=dict(scalatrace_kwargs or {})))
         t0 = time.perf_counter()
         make(workload, nprocs, **params).run(seed=seed, tracer=tracer)
         row.scalatrace_seconds = time.perf_counter() - t0

@@ -2,7 +2,7 @@
 
 The workflows a downstream user actually runs:
 
-* ``trace``    — run a workload under Pilgrim, write the trace file
+* ``trace``    — run a workload under a tracer backend, write the trace
 * ``verify``   — differential lossless round-trip check on workload(s)
 * ``fuzz``     — corruption-fuzz the decoder (structured errors only)
 * ``info``     — summarize a trace file (sizes, signatures, grammars)
@@ -12,6 +12,7 @@ The workflows a downstream user actually runs:
 * ``compare``  — Pilgrim vs the ScalaTrace baseline on one workload
 * ``stats``    — render a ``--metrics`` JSONL dump as paper-style tables
 * ``workloads``— list available workloads
+* ``backends`` — list registered tracer backends
 """
 
 from __future__ import annotations
@@ -22,9 +23,9 @@ import json
 import sys
 
 from .analysis import fmt_kb, print_table, run_experiment
-from .core import (PilgrimTracer, TIMING_LOSSY, TraceDecoder,
-                   TraceFormatError, run_fuzz, verify_roundtrip,
-                   verify_workload)
+from .core import (TraceDecoder, TraceFormatError, TracerOptions,
+                   available_backends, make_tracer, run_fuzz,
+                   verify_roundtrip, verify_workload)
 from .core.export import to_text, write_otf_text
 from .obs import EventLog, MetricsRegistry, write_metrics_jsonl
 from .replay import generate_miniapp, replay_trace, structurally_equal
@@ -47,17 +48,24 @@ def _parse_params(pairs: list[str]) -> dict:
 def cmd_trace(args) -> int:
     metrics = MetricsRegistry() if args.metrics else None
     events = EventLog() if args.events else None
-    tracer = PilgrimTracer(
-        timing_mode=TIMING_LOSSY if args.lossy_timing else "aggregate",
-        keep_raw=args.verify, metrics=metrics)
+    if args.verify and args.backend != "pilgrim":
+        raise SystemExit(f"--verify requires the pilgrim backend, "
+                         f"not {args.backend!r}")
+    tracer = make_tracer(args.backend, TracerOptions(
+        lossy_timing=args.lossy_timing, keep_raw=args.verify,
+        jobs=args.jobs, metrics=metrics))
     wl = make(args.workload, args.procs, **_parse_params(args.param))
     wl.run(seed=args.seed, tracer=tracer, events=events)
     r = tracer.result
     with open(args.output, "wb") as fh:
         fh.write(r.trace_bytes)
-    print(f"traced {args.workload} on {args.procs} ranks: "
-          f"{r.total_calls} calls, {r.n_signatures} signatures, "
-          f"{r.n_unique_grammars} unique grammars")
+    detail = "".join(
+        f", {getattr(r, attr)} {label}"
+        for attr, label in (("n_signatures", "signatures"),
+                            ("n_unique_grammars", "unique grammars"))
+        if hasattr(r, attr))
+    print(f"traced {args.workload} on {args.procs} ranks with "
+          f"{args.backend}: {r.total_calls} calls{detail}")
     print(f"wrote {r.trace_size} bytes to {args.output}")
     if metrics is not None:
         # one self-contained dump: metrics plus any captured events
@@ -90,6 +98,7 @@ def cmd_verify(args) -> int:
     for name in args.workload:
         report = verify_workload(name, args.procs, seed=args.seed,
                                  lossy_timing=args.lossy_timing,
+                                 jobs=args.jobs,
                                  **_parse_params(args.param))
         rows.append((name, report.nprocs, report.total_calls,
                      fmt_kb(report.trace_bytes),
@@ -106,8 +115,8 @@ def cmd_verify(args) -> int:
 
 def cmd_fuzz(args) -> int:
     """Corruption-fuzz the decoder against a freshly traced workload."""
-    tracer = PilgrimTracer(
-        timing_mode=TIMING_LOSSY if args.lossy_timing else "aggregate")
+    tracer = make_tracer("pilgrim", TracerOptions(
+        lossy_timing=args.lossy_timing))
     make(args.workload, args.procs, **_parse_params(args.param)).run(
         seed=args.seed, tracer=tracer)
     blob = tracer.result.trace_bytes
@@ -162,7 +171,7 @@ def cmd_dump(args) -> int:
 
 def cmd_replay(args) -> int:
     blob = open(args.trace, "rb").read()
-    tracer = PilgrimTracer() if args.check else None
+    tracer = make_tracer("pilgrim") if args.check else None
     result = replay_trace(blob, seed=args.seed, tracer=tracer)
     print(f"replayed {result.nprocs} ranks, virtual makespan "
           f"{result.app_time * 1e3:.3f} ms")
@@ -186,7 +195,8 @@ def cmd_miniapp(args) -> int:
 def cmd_compare(args) -> int:
     metrics = MetricsRegistry() if args.metrics else None
     rows = [run_experiment(args.workload, P, seed=args.seed, baseline=False,
-                           metrics=metrics, **_parse_params(args.param))
+                           metrics=metrics, jobs=args.jobs,
+                           **_parse_params(args.param))
             for P in args.procs]
     if metrics is not None:
         write_metrics_jsonl(args.metrics, metrics,
@@ -267,11 +277,24 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+def cmd_backends(args) -> int:
+    for name in available_backends():
+        print(name)
+    return 0
+
+
+def _add_jobs_flag(p) -> None:
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the finalize tree "
+                        "reduction (byte-identical to serial; default 1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("trace", help="run a workload under Pilgrim")
+    p = sub.add_parser("trace",
+                       help="run a workload under a tracer backend")
     p.add_argument("workload")
     p.add_argument("-n", "--procs", type=int, default=16)
     p.add_argument("-o", "--output", default="trace.pilgrim")
@@ -279,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--param", action="append", default=[],
                    metavar="KEY=VALUE")
     p.add_argument("--lossy-timing", action="store_true")
+    p.add_argument("--backend", default="pilgrim",
+                   choices=available_backends(),
+                   help="tracer backend from the repro.core.backends "
+                        "registry (default: pilgrim)")
+    _add_jobs_flag(p)
     p.add_argument("--verify", action="store_true",
                    help="run the lossless round-trip check")
     p.add_argument("--metrics", metavar="FILE",
@@ -297,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--param", action="append", default=[],
                    metavar="KEY=VALUE")
     p.add_argument("--lossy-timing", action="store_true")
+    _add_jobs_flag(p)
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("fuzz",
@@ -351,6 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "as JSONL")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON rows instead of a table")
+    _add_jobs_flag(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("stats",
@@ -371,6 +401,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("workloads", help="list available workloads")
     p.set_defaults(fn=cmd_workloads)
+
+    p = sub.add_parser("backends", help="list registered tracer backends")
+    p.set_defaults(fn=cmd_backends)
     return ap
 
 

@@ -11,6 +11,13 @@ Public surface:
 * :func:`run_fuzz` — deterministic trace-corruption fuzzer; together
   with the :class:`TraceFormatError` hierarchy (:mod:`repro.core.errors`)
   it makes "lossless" a checked property of the format.
+* The sharded pipeline: :class:`RankShard` / :class:`RankCompressor` /
+  :func:`merge_shards` (:mod:`repro.core.shard`), the tree-reduction
+  scheduler :func:`tree_reduce` and :class:`TracePipeline`
+  (:mod:`repro.core.pipeline`).
+* The tracer-backend registry (:mod:`repro.core.backends`):
+  :func:`make_tracer` / :func:`register_backend` / :class:`TracerOptions`
+  — the one construction path the CLI, runner, and benchmarks share.
 * Building blocks, exported for tests/benchmarks: :class:`Sequitur`,
   :class:`Grammar`, :class:`CST`, :func:`merge_csts`,
   :func:`merge_grammars`, :class:`IntervalTree`,
@@ -18,6 +25,8 @@ Public surface:
 """
 
 from .avl import IntervalTree
+from .backends import (NullTracer, RawTracer, TracerOptions,
+                       available_backends, make_tracer, register_backend)
 from .cst import CST, MergedCST, merge_csts
 from .decoder import TraceDecoder
 from .encoder import CommIdSpace, MemoryTable, PerRankEncoder
@@ -26,8 +35,10 @@ from .errors import (ChecksumError, CorruptTraceError, TraceFormatError,
 from .fuzz import FuzzOutcome, FuzzReport, iter_mutations, run_fuzz
 from .grammar import Grammar
 from .interproc import CFGMergeResult, expand_rank, merge_grammars
+from .pipeline import PipelineResult, TracePipeline, tree_reduce
 from .records import DecodedCall, sig_to_params
 from .sequitur import Sequitur
+from .shard import GrammarSet, RankCompressor, RankShard, merge_shards
 from .symbolic import IdPool, ObjectIdTable, RequestIdAllocator
 from .timing import TimingCompressor, bin_value, reconstruct_times, unbin_value
 from .trace_format import TraceFile, section_spans
@@ -37,12 +48,15 @@ from .verify import VerifyReport, verify_roundtrip, verify_workload
 __all__ = [
     "CFGMergeResult", "CST", "ChecksumError", "CommIdSpace",
     "CorruptTraceError", "DecodedCall", "FuzzOutcome", "FuzzReport",
-    "Grammar", "IdPool", "IntervalTree", "MemoryTable", "MergedCST",
-    "ObjectIdTable", "PerRankEncoder", "PilgrimResult", "PilgrimTracer",
-    "RequestIdAllocator", "Sequitur", "TIMING_AGGREGATE", "TIMING_LOSSY",
-    "TimingCompressor", "TraceDecoder", "TraceFile", "TraceFormatError",
+    "Grammar", "GrammarSet", "IdPool", "IntervalTree", "MemoryTable",
+    "MergedCST", "NullTracer", "ObjectIdTable", "PerRankEncoder",
+    "PilgrimResult", "PilgrimTracer", "PipelineResult", "RankCompressor",
+    "RankShard", "RawTracer", "RequestIdAllocator", "Sequitur",
+    "TIMING_AGGREGATE", "TIMING_LOSSY", "TimingCompressor", "TraceDecoder",
+    "TraceFile", "TraceFormatError", "TracePipeline", "TracerOptions",
     "TruncatedTraceError", "UnsupportedVersionError", "VerifyReport",
-    "bin_value", "expand_rank", "iter_mutations", "merge_csts",
-    "merge_grammars", "reconstruct_times", "run_fuzz", "section_spans",
-    "sig_to_params", "unbin_value", "verify_roundtrip", "verify_workload",
+    "available_backends", "bin_value", "expand_rank", "iter_mutations",
+    "make_tracer", "merge_csts", "merge_grammars", "merge_shards",
+    "reconstruct_times", "run_fuzz", "section_spans", "sig_to_params",
+    "tree_reduce", "unbin_value", "verify_roundtrip", "verify_workload",
 ]

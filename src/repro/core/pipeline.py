@@ -1,0 +1,168 @@
+"""The explicit three-stage compression pipeline (shard → reduce →
+serialize).
+
+Stage 1 (**shard**) freezes every rank's intra-process state into a
+self-contained :class:`~repro.core.shard.RankShard`.  Stage 2
+(**reduce**) folds the shards through :func:`~repro.core.shard.
+merge_shards` in ceil(log2 P) pairwise levels — the paper's Fig 3/4 tree
+reduction — serially by default or in parallel over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=N``).  Because
+the merge is associative (see :mod:`repro.core.shard`), every tree shape
+and every ``jobs`` setting yields byte-identical traces.  Stage 3
+(**serialize**) runs the final CFG dedup/merge/Sequitur pass over the
+reduced shard's per-rank grammars and emits the v2 on-disk format.
+
+Each reduction level is timed as a ``merge.level.<k>`` phase in the
+attached :class:`~repro.obs.PhaseProfiler`, so ``repro stats`` renders
+the per-level breakdown of the Fig 8 decomposition.
+
+:func:`tree_reduce` is generic (any associative ``merge(a, b)``), so
+later subsystems — timing reduction, multi-trace aggregation — can reuse
+the scheduler unchanged.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, TypeVar
+
+from ..obs import PhaseProfiler
+from .interproc import CFGMergeResult, merge_grammars
+from .shard import GrammarSet, RankShard, merge_shards
+from .trace_format import TraceFile
+
+T = TypeVar("T")
+
+
+def _merge_level(items: list, merge: Callable, pool) -> list:
+    """One reduction level: merge adjacent pairs, pass an odd tail
+    through unchanged.  With a pool, pair merges run concurrently; the
+    gather is in order, so the next level sees a deterministic list."""
+    pairs = [(items[i], items[i + 1])
+             for i in range(0, len(items) - 1, 2)]
+    if pool is not None:
+        futures = [pool.submit(merge, a, b) for a, b in pairs]
+        merged = [f.result() for f in futures]
+    else:
+        merged = [merge(a, b) for a, b in pairs]
+    if len(items) % 2:
+        merged.append(items[-1])
+    return merged
+
+
+def tree_reduce(items: Sequence[T], merge: Callable[[T, T], T], *,
+                jobs: int = 1,
+                profiler: Optional[PhaseProfiler] = None,
+                phase_prefix: str = "merge.level") -> T:
+    """Fold *items* with an associative *merge* in ceil(log2 N) pairwise
+    levels.
+
+    ``jobs=1`` runs serially in-process; ``jobs>1`` dispatches each
+    level's pair merges to a process pool (*merge* must then be a
+    picklable module-level callable, as must the items).  Per-level wall
+    time is recorded as ``<phase_prefix>.<k>`` phases in *profiler*.
+    """
+    if not items:
+        raise ValueError("tree_reduce needs at least one item")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if profiler is None:
+        profiler = PhaseProfiler()
+    work = list(items)
+    if len(work) == 1:
+        return work[0]
+    # a pool is pure overhead unless at least one level has >= 2 pairs
+    use_pool = jobs > 1 and len(work) >= 4
+    pool = ProcessPoolExecutor(max_workers=jobs) if use_pool else None
+    try:
+        level = 0
+        while len(work) > 1:
+            with profiler.phase(f"{phase_prefix}.{level}"):
+                work = _merge_level(work, merge, pool)
+            level += 1
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return work[0]
+
+
+@dataclass
+class PipelineResult:
+    """Everything the serialize stage produced."""
+
+    trace: TraceFile
+    trace_bytes: bytes
+    cfg: CFGMergeResult
+    shard: RankShard
+    #: wall seconds: shard freeze + tree reduction (the "inter CST" cost)
+    time_reduce: float = 0.0
+    #: wall seconds: final CFG dedup/merge/Sequitur (the "inter CFG" cost)
+    time_cfg: float = 0.0
+
+
+class TracePipeline:
+    """Drives shard → reduce → serialize over a set of
+    :class:`~repro.core.shard.RankCompressor` objects (or pre-built
+    shards), timing every stage through *profiler*."""
+
+    def __init__(self, *, loop_detection: bool = True,
+                 cfg_dedup: bool = True, jobs: int = 1,
+                 profiler: Optional[PhaseProfiler] = None):
+        self.loop_detection = loop_detection
+        self.cfg_dedup = cfg_dedup
+        self.jobs = jobs
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
+
+    # -- stage 1: shard ----------------------------------------------------------------
+
+    def shard(self, compressors) -> list[RankShard]:
+        with self.profiler.phase("shard"):
+            return [rc.freeze() for rc in compressors]
+
+    # -- stage 2: reduce ---------------------------------------------------------------
+
+    def reduce(self, shards: Sequence[RankShard]) -> RankShard:
+        with self.profiler.phase("cst_merge"):
+            if not shards:
+                # a never-run tracer still finalizes to a valid empty trace
+                return RankShard(base_rank=0, nranks=0, sigs=[], counts=[],
+                                 dur_ns=[], cfg=GrammarSet(unique=[], uid=[]),
+                                 calls=[])
+            return tree_reduce(shards, merge_shards, jobs=self.jobs,
+                               profiler=self.profiler)
+
+    # -- stage 3: serialize ------------------------------------------------------------
+
+    def serialize(self, shard: RankShard) -> PipelineResult:
+        prof = self.profiler
+        with prof.phase("cfg_merge") as ph_cfg:
+            cfg = merge_grammars(shard.cfg.per_rank(),
+                                 loop_detection=self.loop_detection,
+                                 dedup=self.cfg_dedup)
+        timing_d = timing_i = None
+        if shard.timing_duration is not None:
+            with prof.phase("timing_merge"):
+                timing_d = merge_grammars(shard.timing_duration.per_rank(),
+                                          loop_detection=self.loop_detection,
+                                          dedup=self.cfg_dedup)
+                timing_i = merge_grammars(shard.timing_interval.per_rank(),
+                                          loop_detection=self.loop_detection,
+                                          dedup=self.cfg_dedup)
+        with prof.phase("serialize"):
+            trace = TraceFile(nprocs=shard.nranks, cst=shard.merged_cst(),
+                              cfg=cfg, timing_duration=timing_d,
+                              timing_interval=timing_i)
+            blob = trace.to_bytes()
+        return PipelineResult(trace=trace, trace_bytes=blob, cfg=cfg,
+                              shard=shard, time_cfg=ph_cfg.wall)
+
+    # -- the whole flow ----------------------------------------------------------------
+
+    def run(self, compressors) -> PipelineResult:
+        shards = self.shard(compressors)
+        final = self.reduce(shards)
+        result = self.serialize(final)
+        result.time_reduce = (self.profiler.wall("shard")
+                              + self.profiler.wall("cst_merge"))
+        return result

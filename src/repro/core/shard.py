@@ -1,0 +1,375 @@
+"""Per-rank shard artifacts: the unit of the sharded compression pipeline.
+
+Pilgrim's inter-process compression (§3.5) is a ceil(log2 P) tree
+reduction over per-rank partial results.  This module makes those
+partials first-class:
+
+* :class:`RankCompressor` owns one rank's intra-process state (encoder,
+  CST, Sequitur grammar, optional timing compressor) and freezes it into
+* :class:`RankShard` — a self-contained, picklable, byte-serializable
+  artifact covering a contiguous rank range ``[base_rank, base_rank +
+  nranks)``: the merged signature table, the per-rank grammars (dedup'd
+  into a :class:`GrammarSet`), and the timing partials; and
+* :func:`merge_shards` — the **associative** pairwise reduction step.
+
+Associativity is what lets any reduction tree (left fold, balanced,
+parallel) produce byte-identical final traces.  It holds because
+
+* the merged signature order is the *ordered union* "left order, then
+  novel right signatures in right order", and ordered union is
+  associative (``(c \\ b) \\ a == c \\ (a ∪ b)`` as subsequences of c);
+* duration sums are accumulated as **integer nanoseconds** (float
+  addition is not associative; integer addition is), converted back to
+  seconds exactly once at serialization time;
+* grammar dedup order is first appearance in rank order — the same
+  ordered-union argument.
+
+Shard bytes round-trip through the v2 section writers of
+:mod:`repro.core.trace_format` (length prefix + CRC32 per section), so a
+shard on disk enjoys the same integrity checking as a finished trace.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .cst import CST, MergedCST
+from .encoder import PerRankEncoder
+from .errors import (CorruptTraceError, TraceFormatError, TruncatedTraceError,
+                     UnsupportedVersionError)
+from .grammar import Grammar
+from .packing import Reader, read_value, write_uvarint, write_value
+from .sequitur import Sequitur
+from .timing import TimingCompressor
+
+SHARD_MAGIC = b"PSHD"
+SHARD_VERSION = 1
+_SHARD_FLAG_TIMING = 1
+_SHARD_FLAG_COMPRESSED = 2
+
+#: durations are carried through the reduction as integer nanoseconds so
+#: that merging is exactly associative; 1 ns is far below the simulator's
+#: clock resolution
+NS_PER_SECOND = 1_000_000_000
+
+
+def _dur_to_ns(seconds: float) -> int:
+    return int(round(seconds * NS_PER_SECOND))
+
+
+@dataclass
+class GrammarSet:
+    """Per-rank grammars deduplicated into first-appearance order.
+
+    ``uid[i]`` names the grammar of the i-th covered rank; ``unique``
+    holds each distinct grammar once.  In SPMD codes most ranks build
+    identical grammars (§3.5.2), so a merged shard covering thousands of
+    ranks typically stores a handful of grammars plus an int list.
+    """
+
+    unique: list[Grammar]
+    uid: list[int]
+
+    @classmethod
+    def single(cls, g: Grammar) -> "GrammarSet":
+        return cls(unique=[g], uid=[0])
+
+    def per_rank(self) -> list[Grammar]:
+        """The covered ranks' grammars, in rank order."""
+        return [self.unique[u] for u in self.uid]
+
+    def merge(self, other: "GrammarSet") -> "GrammarSet":
+        """Ordered-union dedup merge (associative, not commutative)."""
+        unique = list(self.unique)
+        index = {g: i for i, g in enumerate(unique)}
+        remap = []
+        for g in other.unique:
+            i = index.get(g)
+            if i is None:
+                i = len(unique)
+                index[g] = i
+                unique.append(g)
+            remap.append(i)
+        return GrammarSet(unique=unique,
+                          uid=list(self.uid) + [remap[u] for u in other.uid])
+
+    # -- serialization (one v2 section payload) ----------------------------------
+
+    def write_to(self, out: bytearray) -> None:
+        write_uvarint(out, len(self.unique))
+        write_uvarint(out, len(self.uid))
+        for u in self.uid:
+            write_uvarint(out, u)
+        for g in self.unique:
+            g.write_to(out)
+
+    @classmethod
+    def read_from(cls, r: Reader, name: str = "grammar-set") -> "GrammarSet":
+        n_unique = r.read_uvarint()
+        n_uid = r.read_uvarint()
+        if max(n_unique, n_uid) > r.remaining():
+            raise CorruptTraceError(
+                f"{name} section claims {n_unique} grammars over {n_uid} "
+                f"ranks but only {r.remaining()} bytes remain")
+        uid = [r.read_uvarint() for _ in range(n_uid)]
+        bad = [u for u in uid if u >= n_unique]
+        if bad:
+            raise CorruptTraceError(
+                f"{name} section rank map references grammar {bad[0]} "
+                f"but only {n_unique} exist")
+        unique = [Grammar.from_reader(r) for _ in range(n_unique)]
+        return cls(unique=unique, uid=uid)
+
+
+@dataclass
+class RankShard:
+    """Self-contained partial result covering ranks
+    ``[base_rank, base_rank + nranks)``.
+
+    ``sigs`` is the shard-local merged CST (ordered union across the
+    covered ranks); every grammar in ``cfg`` uses *this* numbering for
+    its terminals.  ``dur_ns`` holds per-signature duration sums in
+    integer nanoseconds (see module docstring).
+    """
+
+    base_rank: int
+    nranks: int
+    sigs: list[tuple]
+    counts: list[int]
+    dur_ns: list[int]
+    cfg: GrammarSet
+    #: per covered rank, the number of traced calls (conservation checks)
+    calls: list[int] = field(default_factory=list)
+    timing_duration: Optional[GrammarSet] = None
+    timing_interval: Optional[GrammarSet] = None
+
+    @property
+    def n_signatures(self) -> int:
+        return len(self.sigs)
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls)
+
+    def merged_cst(self) -> MergedCST:
+        """The shard's CST as a :class:`MergedCST` (durations back in
+        seconds — the exact division ``ns / 1e9`` is deterministic, so
+        the serialized bytes do not depend on the reduction tree)."""
+        return MergedCST(sigs=list(self.sigs), counts=list(self.counts),
+                         dur_sums=[ns / NS_PER_SECOND for ns in self.dur_ns],
+                         remaps=[])
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_bytes(self, compress: bool = True) -> bytes:
+        """Serialize through the trace-format v2 section writers (length
+        prefix + CRC32 per section), so shards on disk are integrity-
+        checked exactly like finished traces."""
+        from .trace_format import emit_section
+
+        out = bytearray()
+        out.extend(SHARD_MAGIC)
+        out.append(SHARD_VERSION)
+        flags = (_SHARD_FLAG_TIMING if self.timing_duration is not None
+                 else 0) | (_SHARD_FLAG_COMPRESSED if compress else 0)
+        out.append(flags)
+        write_uvarint(out, self.base_rank)
+        write_uvarint(out, self.nranks)
+
+        cst_b = bytearray()
+        write_uvarint(cst_b, len(self.sigs))
+        for sig, count, ns in zip(self.sigs, self.counts, self.dur_ns):
+            write_value(cst_b, sig)
+            write_uvarint(cst_b, count)
+            write_uvarint(cst_b, ns)
+        calls_b = bytearray()
+        write_uvarint(calls_b, len(self.calls))
+        for c in self.calls:
+            write_uvarint(calls_b, c)
+        cfg_b = bytearray()
+        self.cfg.write_to(cfg_b)
+        payloads = [bytes(cst_b), bytes(calls_b), bytes(cfg_b)]
+        if self.timing_duration is not None:
+            d = bytearray()
+            self.timing_duration.write_to(d)
+            i = bytearray()
+            self.timing_interval.write_to(i)
+            payloads.extend((bytes(d), bytes(i)))
+        for payload in payloads:
+            emit_section(out, payload, compress)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RankShard":
+        from .trace_format import take_section
+
+        if len(data) < 6:
+            raise TruncatedTraceError(
+                f"shard of {len(data)} bytes is shorter than the header")
+        if data[:4] != SHARD_MAGIC:
+            raise TraceFormatError("not a Pilgrim rank shard (bad magic)")
+        if data[4] != SHARD_VERSION:
+            raise UnsupportedVersionError(data[4], SHARD_VERSION)
+        flags = data[5]
+        if flags & ~(_SHARD_FLAG_TIMING | _SHARD_FLAG_COMPRESSED):
+            raise CorruptTraceError(
+                f"unknown shard flag bits in {flags:#04x}")
+        compressed = bool(flags & _SHARD_FLAG_COMPRESSED)
+        try:
+            r = Reader(data, 6)
+            base_rank = r.read_uvarint()
+            nranks = r.read_uvarint()
+            cr = take_section(r, compressed, "shard-CST")
+            n = cr.read_uvarint()
+            if n > cr.remaining():
+                raise CorruptTraceError(
+                    f"shard CST claims {n} signatures but only "
+                    f"{cr.remaining()} bytes remain")
+            sigs, counts, dur_ns = [], [], []
+            for i in range(n):
+                sig = read_value(cr)
+                if not isinstance(sig, tuple):
+                    raise CorruptTraceError(
+                        f"shard CST entry {i} is a {type(sig).__name__}, "
+                        f"not a signature tuple")
+                sigs.append(sig)
+                counts.append(cr.read_uvarint())
+                dur_ns.append(cr.read_uvarint())
+            lr = take_section(r, compressed, "shard-calls")
+            calls = [lr.read_uvarint() for _ in range(lr.read_uvarint())]
+            cfg = GrammarSet.read_from(
+                take_section(r, compressed, "shard-CFG"), "shard-CFG")
+            td = ti = None
+            if flags & _SHARD_FLAG_TIMING:
+                td = GrammarSet.read_from(
+                    take_section(r, compressed, "shard-timing-duration"),
+                    "shard-timing-duration")
+                ti = GrammarSet.read_from(
+                    take_section(r, compressed, "shard-timing-interval"),
+                    "shard-timing-interval")
+            if not r.exhausted:
+                raise CorruptTraceError(
+                    f"{len(data) - r.pos} trailing bytes after the last "
+                    f"shard section")
+        except TraceFormatError:
+            raise
+        except (IndexError, KeyError, ValueError, OverflowError,
+                RecursionError, MemoryError, struct.error) as e:
+            raise CorruptTraceError(
+                f"malformed shard ({type(e).__name__}: {e})") from e
+        if len(calls) != nranks or len(cfg.uid) != nranks:
+            raise CorruptTraceError(
+                f"shard covers {nranks} ranks but carries {len(calls)} "
+                f"call counts and {len(cfg.uid)} grammar assignments")
+        return cls(base_rank=base_rank, nranks=nranks, sigs=sigs,
+                   counts=counts, dur_ns=dur_ns, cfg=cfg, calls=calls,
+                   timing_duration=td, timing_interval=ti)
+
+
+def merge_shards(a: RankShard, b: RankShard) -> RankShard:
+    """The associative reduction step: merge two adjacent shards.
+
+    *a* must cover the ranks immediately below *b* (the operation is
+    associative but **not** commutative — rank order is the trace's
+    meaning).  The merged signature table preserves *a*'s numbering and
+    appends *b*'s novel signatures in *b*'s order (Fig 3); *b*'s grammars
+    are renumbered into the merged table before the dedup merge.
+    """
+    if a.base_rank + a.nranks != b.base_rank:
+        raise ValueError(
+            f"shards are not adjacent: left covers "
+            f"[{a.base_rank}, {a.base_rank + a.nranks}), right starts at "
+            f"{b.base_rank}")
+    sigs = list(a.sigs)
+    counts = list(a.counts)
+    dur_ns = list(a.dur_ns)
+    index = {sig: i for i, sig in enumerate(sigs)}
+    remap: list[int] = []
+    for i, sig in enumerate(b.sigs):
+        j = index.get(sig)
+        if j is None:
+            j = len(sigs)
+            index[sig] = j
+            sigs.append(sig)
+            counts.append(b.counts[i])
+            dur_ns.append(b.dur_ns[i])
+        else:
+            counts[j] += b.counts[i]
+            dur_ns[j] += b.dur_ns[i]
+        remap.append(j)
+
+    b_cfg = GrammarSet(
+        unique=[g.remap_terminals(lambda t, m=remap: m[t])
+                for g in b.cfg.unique],
+        uid=b.cfg.uid)
+    merged = RankShard(
+        base_rank=a.base_rank, nranks=a.nranks + b.nranks,
+        sigs=sigs, counts=counts, dur_ns=dur_ns,
+        cfg=a.cfg.merge(b_cfg), calls=list(a.calls) + list(b.calls))
+    if a.timing_duration is not None and b.timing_duration is not None:
+        # timing terminals are exponential bins, not CST symbols: no remap
+        merged.timing_duration = a.timing_duration.merge(b.timing_duration)
+        merged.timing_interval = a.timing_interval.merge(b.timing_interval)
+    elif a.timing_duration is not None or b.timing_duration is not None:
+        raise ValueError("cannot merge a timing shard with a non-timing one")
+    return merged
+
+
+class RankCompressor:
+    """One rank's intra-process compression state, extracted from the
+    tracer so it can be frozen into a :class:`RankShard` independently of
+    every other rank (the paper's embarrassingly parallel stage)."""
+
+    __slots__ = ("rank", "encoder", "cst", "grammar", "timing",
+                 "raw_terms", "keep_raw", "n_calls")
+
+    def __init__(self, rank: int, comm_space, *, win_space=None,
+                 relative_ranks: bool = True,
+                 per_signature_request_pools: bool = True,
+                 loop_detection: bool = True,
+                 timing: Optional[TimingCompressor] = None,
+                 keep_raw: bool = False,
+                 encoder: Optional[PerRankEncoder] = None):
+        self.rank = rank
+        self.encoder = encoder if encoder is not None else PerRankEncoder(
+            rank, comm_space, win_space=win_space,
+            relative_ranks=relative_ranks,
+            per_signature_request_pools=per_signature_request_pools)
+        self.cst = CST()
+        self.grammar = Sequitur(loop_detection=loop_detection)
+        self.timing = timing
+        self.keep_raw = keep_raw
+        self.raw_terms: list[int] = []
+        self.n_calls = 0
+
+    def observe(self, fname: str, args: dict, t0: float, t1: float) -> int:
+        """Run one call through the intra-process pipeline (Fig 2):
+        symbolic encode → CST intern → grammar append → timing."""
+        sig = self.encoder.encode_call(fname, args)
+        term = self.cst.intern(sig, t1 - t0)
+        self.grammar.append(term)
+        if self.timing is not None:
+            self.timing.record(term, fname, t0, t1)
+        if self.keep_raw:
+            self.raw_terms.append(term)
+        self.n_calls += 1
+        return term
+
+    def freeze(self) -> RankShard:
+        """Snapshot this rank into a self-contained single-rank shard.
+        Terminals in the frozen grammar are this rank's local CST
+        indices, which *are* the shard's signature numbering."""
+        g = Grammar.freeze(self.grammar)
+        shard = RankShard(
+            base_rank=self.rank, nranks=1,
+            sigs=list(self.cst.sigs), counts=list(self.cst.counts),
+            dur_ns=[_dur_to_ns(d) for d in self.cst.dur_sums],
+            cfg=GrammarSet.single(g),
+            calls=[self.grammar.n_input])
+        if self.timing is not None:
+            d, i = self.timing.freeze()
+            shard.timing_duration = GrammarSet.single(d)
+            shard.timing_interval = GrammarSet.single(i)
+        return shard

@@ -65,7 +65,7 @@ ZLIB_LEVEL = 6
 CRC_BYTES = 4
 
 
-def _emit_section(out: bytearray, payload: bytes, compress: bool) -> None:
+def emit_section(out: bytearray, payload: bytes, compress: bool) -> None:
     if compress:
         payload = zlib.compress(payload, ZLIB_LEVEL)
     write_uvarint(out, len(payload))
@@ -73,7 +73,7 @@ def _emit_section(out: bytearray, payload: bytes, compress: bool) -> None:
     out.extend(payload)
 
 
-def _take_section(r: Reader, compressed: bool, name: str) -> Reader:
+def take_section(r: Reader, compressed: bool, name: str) -> Reader:
     n = r.read_uvarint()
     (stored,) = struct.unpack("<I", r.read_bytes(CRC_BYTES))
     blob = r.read_bytes(n)
@@ -184,7 +184,7 @@ class TraceFile:
         out.append(flags)
         write_uvarint(out, self.nprocs)
         for payload in self._section_payloads():
-            _emit_section(out, payload, compress)
+            emit_section(out, payload, compress)
         return bytes(out)
 
     def _section_payloads(self) -> list[bytes]:
@@ -220,15 +220,15 @@ class TraceFile:
         try:
             r = Reader(data, HEADER_FIXED)
             nprocs = r.read_uvarint()
-            cst = MergedCST.read_from(_take_section(r, compressed, "CST"))
-            cfg = _read_cfg_section(_take_section(r, compressed, "CFG"))
+            cst = MergedCST.read_from(take_section(r, compressed, "CST"))
+            cfg = _read_cfg_section(take_section(r, compressed, "CFG"))
             td = ti = None
             if flags & FLAG_TIMING:
                 td = _read_cfg_section(
-                    _take_section(r, compressed, "timing-duration"),
+                    take_section(r, compressed, "timing-duration"),
                     "timing-duration")
                 ti = _read_cfg_section(
-                    _take_section(r, compressed, "timing-interval"),
+                    take_section(r, compressed, "timing-interval"),
                     "timing-interval")
             if not r.exhausted:
                 raise CorruptTraceError(
@@ -265,7 +265,7 @@ class TraceFile:
         sizes = {"header": HEADER_FIXED + len(_uvarint_bytes(self.nprocs))}
         for name, payload in zip(names, payloads):
             section = bytearray()
-            _emit_section(section, payload, compress)
+            emit_section(section, payload, compress)
             sizes[name] = len(section)
         sizes["total"] = sum(sizes.values())
         return sizes

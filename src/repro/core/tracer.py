@@ -11,9 +11,13 @@ Attach an instance to a :class:`repro.mpisim.SimMPI` run::
 
 Pipeline per intercepted call (Fig 2): encode parameters symbolically →
 intern the signature in this rank's CST → grow this rank's CFG with the
-terminal (optimized Sequitur) → optionally compress timing.  At
-``MPI_Finalize`` time the inter-process compression runs: CST merge +
-terminal renumbering, then grammar dedup/merge/final-Sequitur.
+terminal (optimized Sequitur) → optionally compress timing.  Each rank's
+state lives in a :class:`~repro.core.shard.RankCompressor`; at
+``MPI_Finalize`` time the inter-process compression runs as the explicit
+shard → reduce → serialize pipeline of :mod:`repro.core.pipeline` — a
+ceil(log2 P) tree reduction over per-rank shards that runs serially by
+default and in parallel with ``jobs=N`` (byte-identical either way,
+because the shard merge is associative).
 
 All the paper's optimizations are individually toggleable for the
 ablation benchmarks: ``relative_ranks`` (§3.4.2),
@@ -29,11 +33,11 @@ from typing import Any, Optional
 
 from ..mpisim.hooks import TracerHooks
 from ..obs import NULL_REGISTRY, MetricsRegistry, PhaseProfiler
-from .cst import CST, merge_csts
+from .cst import CST
 from .encoder import CommIdSpace, PerRankEncoder, WinIdSpace
-from .grammar import Grammar
-from .interproc import merge_grammars
+from .pipeline import TracePipeline
 from .sequitur import Sequitur
+from .shard import RankCompressor
 from .timing import TimingCompressor
 from .trace_format import TraceFile
 
@@ -52,12 +56,13 @@ class PilgrimResult:
     n_signatures: int
     #: real CPU seconds spent in per-call tracing (Fig 8 "intra-process")
     time_intra: float
-    #: real CPU seconds in the CST merge + grammar renumbering (Fig 8)
+    #: real CPU seconds in the shard freeze + CST tree reduction (Fig 8)
     time_cst_merge: float
     #: real CPU seconds in the CFG dedup/merge/final Sequitur (Fig 8)
     time_cfg_merge: float
     per_rank_calls: list[int] = field(default_factory=list)
-    #: profiler phase -> wall seconds (always holds the finalize phases;
+    #: profiler phase -> wall seconds (always holds the finalize phases —
+    #: including the per-level ``merge.level.<k>`` reduction timings;
     #: also the per-call split encode/cst/sequitur/timing when the tracer
     #: ran with an enabled metrics registry)
     phases: dict[str, float] = field(default_factory=dict)
@@ -101,9 +106,12 @@ class PilgrimTracer(TracerHooks):
                  timing_base: float = 1.2,
                  per_function_base: Optional[dict[str, float]] = None,
                  keep_raw: bool = False,
+                 jobs: int = 1,
                  metrics: Optional[MetricsRegistry] = None):
         if timing_mode not in (TIMING_AGGREGATE, TIMING_LOSSY):
             raise ValueError(f"unknown timing mode {timing_mode!r}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.relative_ranks = relative_ranks
         self.per_signature_request_pools = per_signature_request_pools
         self.loop_detection = loop_detection
@@ -112,6 +120,8 @@ class PilgrimTracer(TracerHooks):
         self.timing_base = timing_base
         self.per_function_base = per_function_base
         self.keep_raw = keep_raw
+        #: worker processes for the finalize tree reduction (1 = serial)
+        self.jobs = jobs
         #: observability: disabled by default (NULL_REGISTRY) so the
         #: benchmarked hot path pays nothing unless profiling is requested
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -132,6 +142,10 @@ class PilgrimTracer(TracerHooks):
         #: introspection on a never-run tracer see None instead of dying
         #: with AttributeError
         self.win_space: Optional[WinIdSpace] = None
+        #: per-rank compression state (the shard stage's input)
+        self.ranks: list[RankCompressor] = []
+        #: aliases into self.ranks, kept for the hot path and for
+        #: existing consumers (verify, tests, benchmarks) — same objects
         self.encoders: list[PerRankEncoder] = []
         self.csts: list[CST] = []
         self.grammars: list[Sequitur] = []
@@ -148,24 +162,28 @@ class PilgrimTracer(TracerHooks):
         self.nprocs = sim.nprocs
         self.comm_space = CommIdSpace(sim.nprocs)
         self.win_space = WinIdSpace(sim.nprocs)
-        self.encoders = []
+        self.ranks = []
         for r in range(sim.nprocs):
-            enc = PerRankEncoder(
+            timing = TimingCompressor(
+                self.timing_base, self.per_function_base,
+                loop_detection=self.loop_detection) \
+                if self.timing_mode == TIMING_LOSSY else None
+            rc = RankCompressor(
                 r, self.comm_space, win_space=self.win_space,
                 relative_ranks=self.relative_ranks,
-                per_signature_request_pools=self.per_signature_request_pools)
-            enc.set_comm_resolver(sim.comm_by_cid)
-            self.encoders.append(enc)
-        self.csts = [CST() for _ in range(sim.nprocs)]
-        self.grammars = [Sequitur(loop_detection=self.loop_detection)
-                         for _ in range(sim.nprocs)]
-        if self.timing_mode == TIMING_LOSSY:
-            self.timing = [TimingCompressor(
-                self.timing_base, self.per_function_base,
-                loop_detection=self.loop_detection)
-                for _ in range(sim.nprocs)]
-        if self.keep_raw:
-            self.raw_terms = [[] for _ in range(sim.nprocs)]
+                per_signature_request_pools=self.per_signature_request_pools,
+                loop_detection=self.loop_detection,
+                timing=timing, keep_raw=self.keep_raw)
+            rc.encoder.set_comm_resolver(sim.comm_by_cid)
+            self.ranks.append(rc)
+        self.encoders = [rc.encoder for rc in self.ranks]
+        self.csts = [rc.cst for rc in self.ranks]
+        self.grammars = [rc.grammar for rc in self.ranks]
+        self.timing = [rc.timing for rc in self.ranks] \
+            if self.timing_mode == TIMING_LOSSY else []
+        self.raw_terms = [rc.raw_terms for rc in self.ranks] \
+            if self.keep_raw else []
+        self.result = None
 
     def on_call(self, rank: int, fname: str, args: dict[str, Any],
                 t0: float, t1: float) -> None:
@@ -194,13 +212,7 @@ class PilgrimTracer(TracerHooks):
             self.time_intra += end - tick
             return
         tick = _time.perf_counter()
-        sig = self.encoders[rank].encode_call(fname, args)
-        term = self.csts[rank].intern(sig, t1 - t0)
-        self.grammars[rank].append(term)
-        if self.timing:
-            self.timing[rank].record(term, fname, t0, t1)
-        if self.keep_raw:
-            self.raw_terms[rank].append(term)
+        self.ranks[rank].observe(fname, args, t0, t1)
         self.total_calls += 1
         self.time_intra += _time.perf_counter() - tick
 
@@ -233,6 +245,11 @@ class PilgrimTracer(TracerHooks):
     # -- finalize (inter-process compression) ------------------------------------------------
 
     def finalize(self) -> PilgrimResult:
+        # Idempotent: a second call must neither redo the pipeline nor
+        # re-fold the per-call accumulators (which would double-count the
+        # profiler's phases) — it returns the cached result.
+        if self.result is not None:
+            return self.result
         prof = self.profiler
         # Fold the per-call accumulators into the profiler (fine mode only
         # — in coarse mode there is just the undivided intra total).
@@ -245,60 +262,39 @@ class PilgrimTracer(TracerHooks):
             if self._ph_mem:
                 prof.add("mem", self._ph_mem)
 
-        # Phase 1: CST merge (pairwise, log2 P) + grammar renumbering.
-        with prof.phase("cst_merge") as ph_cst:
-            merged_cst = merge_csts(self.csts)
-            frozen: list[Grammar] = []
-            for r, seq in enumerate(self.grammars):
-                g = Grammar.freeze(seq)
-                remap = merged_cst.remaps[r]
-                frozen.append(g.remap_terminals(lambda t, m=remap: m[t]))
-
-        # Phase 2: CFG identity check + merge + final Sequitur pass.
-        with prof.phase("cfg_merge") as ph_cfg:
-            cfg = merge_grammars(frozen, loop_detection=self.loop_detection,
-                                 dedup=self.cfg_dedup)
-
-        timing_d = timing_i = None
-        if self.timing:
-            with prof.phase("timing_merge"):
-                frozen_t = [tc.freeze() for tc in self.timing]
-                timing_d = merge_grammars([d for d, _ in frozen_t],
-                                          loop_detection=self.loop_detection,
-                                          dedup=self.cfg_dedup)
-                timing_i = merge_grammars([i for _, i in frozen_t],
-                                          loop_detection=self.loop_detection,
-                                          dedup=self.cfg_dedup)
-
-        # Phase 3: serialization to the on-disk format.
-        with prof.phase("serialize"):
-            trace = TraceFile(nprocs=self.nprocs, cst=merged_cst, cfg=cfg,
-                              timing_duration=timing_d,
-                              timing_interval=timing_i)
-            blob = trace.to_bytes()
+        # Shard → reduce → serialize (see repro.core.pipeline).  The
+        # reduce stage is the paper's log2 P tree over per-rank partials;
+        # jobs > 1 distributes each level over a process pool.
+        pipeline = TracePipeline(loop_detection=self.loop_detection,
+                                 cfg_dedup=self.cfg_dedup, jobs=self.jobs,
+                                 profiler=prof)
+        out = pipeline.run(self.ranks)
+        trace, blob, cfg = out.trace, out.trace_bytes, out.cfg
 
         phases = prof.phases()
-        finalize_wall = (prof.wall("cst_merge") + prof.wall("cfg_merge")
+        finalize_wall = (out.time_reduce + prof.wall("cfg_merge")
                          + prof.wall("timing_merge") + prof.wall("serialize"))
         if self.obs.enabled:
             self.obs.counter("calls").inc(self.total_calls)
             self.obs.gauge("ranks").set(self.nprocs)
-            self.obs.gauge("signatures").set(len(merged_cst))
+            self.obs.gauge("signatures").set(out.shard.n_signatures)
             self.obs.gauge("unique_grammars").set(cfg.n_unique)
             self.obs.gauge("trace_bytes").set(len(blob))
+            self.obs.gauge("merge_jobs").set(self.jobs)
             self.obs.timer("intra").add(self.time_intra,
                                         count=self.total_calls)
             self.obs.timer("total").add(self.time_intra + finalize_wall)
 
-        return PilgrimResult(
+        self.result = PilgrimResult(
             trace=trace,
             trace_bytes=blob,
             n_unique_grammars=cfg.n_unique,
             total_calls=self.total_calls,
-            n_signatures=len(merged_cst),
+            n_signatures=out.shard.n_signatures,
             time_intra=self.time_intra,
-            time_cst_merge=ph_cst.wall,
-            time_cfg_merge=ph_cfg.wall,
+            time_cst_merge=out.time_reduce,
+            time_cfg_merge=out.time_cfg,
             per_rank_calls=[g.n_input for g in self.grammars],
             phases=phases,
         )
+        return self.result

@@ -167,15 +167,16 @@ def _global_term(decoder: TraceDecoder, sig: tuple,
 
 
 def verify_workload(name: str, nprocs: int, *, seed: int = 1,
-                    lossy_timing: bool = False,
+                    lossy_timing: bool = False, jobs: int = 1,
                     **params) -> VerifyReport:
     """Trace a registered workload with ``keep_raw=True`` and round-trip
-    verify it (the ``repro verify`` CLI entry point)."""
+    verify it (the ``repro verify`` CLI entry point).  ``jobs > 1``
+    exercises the parallel tree reduction, so CI proves the parallel
+    finalize path is lossless too."""
     from ..workloads import make
-    from .tracer import TIMING_AGGREGATE, TIMING_LOSSY
+    from .backends import TracerOptions, make_tracer
 
-    tracer = PilgrimTracer(
-        keep_raw=True,
-        timing_mode=TIMING_LOSSY if lossy_timing else TIMING_AGGREGATE)
+    tracer = make_tracer("pilgrim", TracerOptions(
+        lossy_timing=lossy_timing, keep_raw=True, jobs=jobs))
     make(name, nprocs, **params).run(seed=seed, tracer=tracer)
     return verify_roundtrip(tracer)

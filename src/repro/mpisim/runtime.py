@@ -115,10 +115,13 @@ class SimMPI:
         self.type_tables = [DatatypeTable() for _ in range(nprocs)]
         #: completion-order RNG (Waitany/Waitsome/Testany picks)
         self.rng = random.Random(seed ^ 0x9E3779B9)
-        #: runtime event log; None unless observability was requested
+        #: runtime event log; None unless observability was requested.
+        #: Normalized once, and the *normalized* value is what the
+        #: scheduler gets — a disabled log must never be consulted on the
+        #: scheduler hot path.
         self.events = events if events is not None and events.enabled \
             else None
-        self.scheduler = Scheduler(spin_limit=spin_limit, events=events)
+        self.scheduler = Scheduler(spin_limit=spin_limit, events=self.events)
         self._seq = 0
         self._next_wid = 0
         self._bridges: dict = {}

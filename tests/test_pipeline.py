@@ -1,0 +1,309 @@
+"""The sharded compression pipeline: shard artifacts, associative tree
+reduction, parallel finalize, and the tracer-backend registry.
+
+The load-bearing property: :func:`repro.core.shard.merge_shards` is
+associative, so *every* reduction shape — left fold, right fold,
+balanced tree, and the parallel ``jobs=N`` scheduler — must produce
+byte-identical final traces.  That is what makes ``--jobs`` safe to
+enable anywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (GrammarSet, NullTracer, PilgrimTracer, RankShard,
+                        RawTracer, TracePipeline, TracerOptions,
+                        available_backends, make_tracer, merge_shards,
+                        register_backend, tree_reduce, verify_workload)
+from repro.core.backends import _BACKENDS
+from repro.core.errors import TraceFormatError
+from repro.mpisim import SimMPI
+from repro.obs import EventLog, MetricsRegistry, PhaseProfiler
+from repro.scalatrace import ScalaTraceTracer
+from repro.workloads import make
+
+#: the four workload families every merge-order property is proven on
+FAMILIES = [
+    ("stencil2d", 8, {}),
+    ("osu_latency", 4, {}),
+    ("npb_mg", 8, {}),
+    ("flash_sedov", 8, {"iters": 6}),
+]
+
+
+def _trace(name: str, nprocs: int, params: dict, *, jobs: int = 1,
+           lossy: bool = False, seed: int = 1) -> PilgrimTracer:
+    tracer = PilgrimTracer(jobs=jobs,
+                           timing_mode="lossy" if lossy else "aggregate")
+    make(name, nprocs, **params).run(seed=seed, tracer=tracer)
+    return tracer
+
+
+def _serialize(shard: RankShard, *, lossy: bool = False) -> bytes:
+    return TracePipeline().serialize(shard).trace_bytes
+
+
+def _fold_left(shards):
+    acc = shards[0]
+    for s in shards[1:]:
+        acc = merge_shards(acc, s)
+    return acc
+
+
+def _fold_right(shards):
+    acc = shards[-1]
+    for s in reversed(shards[:-1]):
+        acc = merge_shards(s, acc)
+    return acc
+
+
+class TestMergeAssociativity:
+    """Every merge order/tree shape yields byte-identical traces."""
+
+    @pytest.mark.parametrize("name,nprocs,params", FAMILIES)
+    def test_all_tree_shapes_byte_identical(self, name, nprocs, params):
+        tracer = _trace(name, nprocs, params)
+        serial = tracer.result.trace_bytes
+        shards = [rc.freeze() for rc in tracer.ranks]
+
+        left = _serialize(_fold_left(shards))
+        right = _serialize(_fold_right(shards))
+        balanced = _serialize(tree_reduce(shards, merge_shards))
+        assert left == serial
+        assert right == serial
+        assert balanced == serial
+
+    @pytest.mark.parametrize("name,nprocs,params", FAMILIES)
+    def test_parallel_jobs_byte_identical(self, name, nprocs, params):
+        serial = _trace(name, nprocs, params).result.trace_bytes
+        parallel = _trace(name, nprocs, params,
+                          jobs=4).result.trace_bytes
+        assert parallel == serial
+
+    def test_lossy_timing_tree_shapes(self):
+        tracer = _trace("stencil2d", 8, {}, lossy=True)
+        serial = tracer.result.trace_bytes
+        shards = [rc.freeze() for rc in tracer.ranks]
+        assert _serialize(_fold_left(shards)) == serial
+        assert _serialize(_fold_right(shards)) == serial
+        assert _trace("stencil2d", 8, {}, lossy=True,
+                      jobs=2).result.trace_bytes == serial
+
+    def test_uneven_split_points(self):
+        """Any split of the rank range reduces to the same trace: merge
+        (0..k) with (k..P) for every k."""
+        tracer = _trace("npb_mg", 8, {})
+        serial = tracer.result.trace_bytes
+        shards = [rc.freeze() for rc in tracer.ranks]
+        for k in range(1, len(shards)):
+            combined = merge_shards(_fold_left(shards[:k]),
+                                    _fold_left(shards[k:]))
+            assert _serialize(combined) == serial, f"split at {k}"
+
+    def test_non_adjacent_merge_rejected(self):
+        tracer = _trace("osu_latency", 4, {})
+        shards = [rc.freeze() for rc in tracer.ranks]
+        with pytest.raises(ValueError, match="not adjacent"):
+            merge_shards(shards[0], shards[2])
+        with pytest.raises(ValueError, match="not adjacent"):
+            merge_shards(shards[1], shards[0])
+
+    def test_merged_shard_accounting(self):
+        tracer = _trace("stencil2d", 8, {})
+        final = _fold_left([rc.freeze() for rc in tracer.ranks])
+        assert final.nranks == 8
+        assert final.total_calls == tracer.total_calls
+        assert final.calls == tracer.result.per_rank_calls
+        assert sum(final.counts) == tracer.total_calls
+
+    def test_parallel_verify_workload(self):
+        report = verify_workload("stencil2d", 8, jobs=2)
+        assert report.ok, report.mismatches
+
+
+class TestShardSerialization:
+    def _roundtrip(self, shard: RankShard) -> RankShard:
+        blob = shard.to_bytes()
+        back = RankShard.from_bytes(blob)
+        # the byte form is a fixed point of the reader
+        assert back.to_bytes() == blob
+        return back
+
+    @pytest.mark.parametrize("lossy", [False, True])
+    def test_single_rank_roundtrip(self, lossy):
+        tracer = _trace("stencil2d", 4, {}, lossy=lossy)
+        for rc in tracer.ranks:
+            shard = rc.freeze()
+            back = self._roundtrip(shard)
+            assert back.sigs == shard.sigs
+            assert back.counts == shard.counts
+            assert back.dur_ns == shard.dur_ns
+            assert back.calls == shard.calls
+            assert back.cfg == shard.cfg
+            assert back.timing_duration == shard.timing_duration
+            assert (back.base_rank, back.nranks) == (rc.rank, 1)
+
+    def test_merged_shard_roundtrip_preserves_trace(self):
+        """A merged shard survives the wire: serializing the deserialized
+        shard yields the same final trace bytes."""
+        tracer = _trace("flash_sedov", 8, {"iters": 6})
+        final = _fold_left([rc.freeze() for rc in tracer.ranks])
+        back = self._roundtrip(final)
+        assert _serialize(back) == tracer.result.trace_bytes
+
+    def test_uncompressed_roundtrip(self):
+        shard = _trace("osu_latency", 4, {}).ranks[0].freeze()
+        blob = shard.to_bytes(compress=False)
+        assert RankShard.from_bytes(blob).cfg == shard.cfg
+
+    def test_corruption_raises_structured_errors(self):
+        blob = _trace("osu_latency", 4, {}).ranks[0].freeze().to_bytes()
+        for pos in range(len(blob)):
+            for mutated in (blob[:pos], # every truncation
+                            blob[:pos] + bytes([blob[pos] ^ 0x40])
+                            + blob[pos + 1:]):  # and a bit flip
+                try:
+                    RankShard.from_bytes(mutated)
+                except TraceFormatError:
+                    pass  # structured rejection is the contract
+
+    def test_bad_magic_and_version(self):
+        blob = _trace("osu_latency", 4, {}).ranks[0].freeze().to_bytes()
+        with pytest.raises(TraceFormatError, match="magic"):
+            RankShard.from_bytes(b"XXXX" + blob[4:])
+        with pytest.raises(TraceFormatError):
+            RankShard.from_bytes(blob[:4] + b"\x63" + blob[5:])
+
+
+class TestTreeReduce:
+    """The generic scheduler, on a plain non-commutative monoid."""
+
+    def test_matches_left_fold(self):
+        items = [f"<{i}>" for i in range(11)]
+        prof = PhaseProfiler()
+        got = tree_reduce(items, lambda a, b: a + b, profiler=prof)
+        assert got == "".join(items)
+        # ceil(log2 11) = 4 levels, each timed
+        assert [p for p in prof.phases() if p.startswith("merge.level.")] \
+            == [f"merge.level.{k}" for k in range(4)]
+
+    def test_single_item_and_empty(self):
+        assert tree_reduce(["x"], lambda a, b: a + b) == "x"
+        with pytest.raises(ValueError):
+            tree_reduce([], lambda a, b: a + b)
+        with pytest.raises(ValueError):
+            tree_reduce(["x"], lambda a, b: a + b, jobs=0)
+
+    def test_parallel_matches_serial(self):
+        import operator
+        items = [f"<{i}>" for i in range(13)]
+        assert tree_reduce(items, operator.concat, jobs=3) \
+            == "".join(items)
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert {"pilgrim", "scalatrace", "raw", "null"} \
+            <= set(available_backends())
+
+    def test_make_tracer_types(self):
+        assert isinstance(make_tracer("pilgrim"), PilgrimTracer)
+        assert isinstance(make_tracer("scalatrace"), ScalaTraceTracer)
+        assert isinstance(make_tracer("raw"), RawTracer)
+        assert isinstance(make_tracer("null"), NullTracer)
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError, match="unknown tracer backend"):
+            make_tracer("recorder")
+
+    def test_options_and_overrides(self):
+        opts = TracerOptions(lossy_timing=True, keep_raw=True)
+        t = make_tracer("pilgrim", opts, jobs=3)
+        assert (t.timing_mode, t.keep_raw, t.jobs) == ("lossy", True, 3)
+        assert opts.jobs == 1  # the shared options object is untouched
+        t = make_tracer("pilgrim", extra={"cfg_dedup": False})
+        assert t.cfg_dedup is False
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("pilgrim", lambda opts: None)
+        # replace=True is the explicit escape hatch
+        original = _BACKENDS["pilgrim"]
+        try:
+            marker = lambda opts: NullTracer()  # noqa: E731
+            register_backend("pilgrim", marker, replace=True)
+            assert isinstance(make_tracer("pilgrim"), NullTracer)
+        finally:
+            _BACKENDS["pilgrim"] = original
+
+    def test_null_and_raw_observe_every_call(self):
+        pilgrim = _trace("stencil2d", 4, {})
+        null = make_tracer("null")
+        raw = make_tracer("raw")
+        make("stencil2d", 4).run(seed=1, tracer=null)
+        make("stencil2d", 4).run(seed=1, tracer=raw)
+        assert null.result.total_calls == pilgrim.total_calls
+        assert raw.result.total_calls == pilgrim.total_calls
+        assert null.result.trace_bytes == b""
+        assert null.result.trace_size == 0
+        # raw is the uncompressed baseline: strictly larger than Pilgrim
+        assert raw.result.trace_size > pilgrim.result.trace_size
+        assert raw.result.per_rank_calls == pilgrim.result.per_rank_calls
+
+
+class TestFinalizeIdempotence:
+    def test_second_finalize_returns_cached(self):
+        tracer = _trace("osu_latency", 4, {})
+        first = tracer.result
+        assert tracer.finalize() is first
+        assert tracer.result is first
+
+    def test_no_phase_double_counting(self):
+        """A second finalize() must not re-fold the per-call accumulators
+        into the profiler (the old behavior doubled every phase)."""
+        tracer = PilgrimTracer(metrics=MetricsRegistry())
+        make("osu_latency", 4).run(seed=1, tracer=tracer)
+        phases = dict(tracer.profiler.phases())
+        encode_count = tracer.profiler.count("encode")
+        tracer.finalize()
+        tracer.finalize()
+        assert tracer.profiler.phases() == phases
+        assert tracer.profiler.count("encode") == encode_count
+
+
+class TestEventLogNormalization:
+    def test_disabled_log_not_wired_anywhere(self):
+        log = EventLog(enabled=False)
+        sim = SimMPI(nprocs=2, events=log)
+        assert sim.events is None
+        assert sim.scheduler.events is None
+
+    def test_enabled_log_shared(self):
+        log = EventLog()
+        sim = SimMPI(nprocs=2, events=log)
+        assert sim.events is log
+        assert sim.scheduler.events is log
+
+
+class TestPipelinePhases:
+    def test_merge_level_phases_recorded(self):
+        tracer = PilgrimTracer(metrics=MetricsRegistry(), jobs=1)
+        make("stencil2d", 8, ).run(seed=1, tracer=tracer)
+        phases = tracer.result.phases
+        # 8 ranks -> 3 reduction levels, plus the named stage phases
+        assert {"shard", "cst_merge", "cfg_merge", "serialize"} \
+            <= set(phases)
+        assert [p for p in phases if p.startswith("merge.level.")] \
+            == ["merge.level.0", "merge.level.1", "merge.level.2"]
+        # level timings are sub-phases of the reduce stage
+        level_sum = sum(t for p, t in phases.items()
+                        if p.startswith("merge.level."))
+        assert level_sum <= phases["cst_merge"] + 1e-6
+
+    def test_grammar_set_merge_dedups(self):
+        tracer = _trace("stencil2d", 8, {})
+        final = _fold_left([rc.freeze() for rc in tracer.ranks])
+        assert len(final.cfg.unique) == tracer.result.n_unique_grammars
+        assert len(final.cfg.uid) == 8
+        assert final.cfg.per_rank()[0] is final.cfg.unique[final.cfg.uid[0]]
