@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import once, save_results
-from repro.analysis import classify_growth, fmt_kb, print_table, run_experiment
+from repro.analysis import fmt_kb, print_table, run_experiment
 
 PROCS = (8, 16, 27, 48, 64, 125)
 
@@ -44,7 +44,6 @@ def test_fig6_trace_size_vs_procs(code, benchmark):
              "count growth")
     save_results(f"fig6_procs_{code}", [vars(r) for r in rows])
 
-    xs = [r.nprocs for r in rows]
     pilgrim = [r.pilgrim_size for r in rows]
     calls = [r.mpi_calls for r in rows]
 

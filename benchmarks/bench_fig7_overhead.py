@@ -17,7 +17,6 @@ patterns the paper explains causally do, and are asserted:
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import once, save_results
 from repro.analysis import fmt_time, print_table, run_experiment

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from conftest import once, save_results
 from repro.analysis import fmt_kb, fmt_time, print_table
@@ -102,7 +101,7 @@ def test_sec6_exporters(benchmark):
         return blob, text, otf, tracer.result.total_calls
 
     blob, text, otf, calls = once(benchmark, run)
-    n_lines = sum(1 for l in text.splitlines() if not l.startswith("#"))
+    n_lines = sum(1 for ln in text.splitlines() if not ln.startswith("#"))
     n_enter = otf.count("ENTER ")
     print_table(
         "exporters: compressed trace -> flat formats",

@@ -26,7 +26,6 @@ from typing import Union
 import numpy as np
 
 from ..core.decoder import TraceDecoder
-from ..mpisim import constants as C
 
 TraceLike = Union[bytes, TraceDecoder]
 

@@ -75,7 +75,7 @@ def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
 
     if baseline:
         t0 = time.perf_counter()
-        res = make(workload, nprocs, **params).run(seed=seed)
+        make(workload, nprocs, **params).run(seed=seed)
         row.app_seconds = time.perf_counter() - t0
 
     if pilgrim:

@@ -1,0 +1,38 @@
+"""Decode microbenchmark.
+
+Times the consumer side: parsing a serialized trace and expanding every
+rank's grammar back to its full terminal stream ("recursive rule
+application", §3.6).  Trace blobs are produced once at setup.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..core.backends import TracerOptions, make_tracer
+from ..core.decoder import TraceDecoder
+from ..workloads import make
+from . import register
+from .hotpath import DEFAULT_FAMILIES
+
+
+@register("decode", "trace parse + full grammar expansion time")
+def _decode(params: dict):
+    families = list(params.setdefault("families", list(DEFAULT_FAMILIES)))
+    nprocs = int(params.setdefault("nprocs", 8))
+    seed = int(params.setdefault("seed", 1))
+    blobs = []
+    for fam in families:
+        tracer = make_tracer("pilgrim", TracerOptions())
+        make(fam, nprocs).run(seed=seed, tracer=tracer)
+        blobs.append((fam, tracer.result.trace_bytes))
+
+    def sample() -> dict:
+        out: dict = {}
+        for fam, blob in blobs:
+            start = perf_counter()
+            TraceDecoder.from_bytes(blob).all_terminals()
+            out[f"{fam}.decode_ms"] = (perf_counter() - start) * 1e3
+        return out
+
+    return sample

@@ -1,0 +1,40 @@
+"""Finalize-stage microbenchmark.
+
+Times the inter-process half of the pipeline (§3.5): shard freeze →
+ceil(log2 P) tree reduction of CSTs and grammars → trace-file
+serialization.  The per-call stream is replayed untimed into a fresh
+tracer each repeat (finalize is destructive of tracer state and
+idempotently cached, so it cannot be timed twice on one instance).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..core.backends import TracerOptions, make_tracer
+from . import register
+from .capture import CapturedRun
+from .hotpath import DEFAULT_FAMILIES
+
+
+@register("finalize",
+          "shard freeze + tree reduction + serialization time")
+def _finalize(params: dict):
+    families = list(params.setdefault("families", list(DEFAULT_FAMILIES)))
+    nprocs = int(params.setdefault("nprocs", 8))
+    seed = int(params.setdefault("seed", 1))
+    jobs = int(params.setdefault("jobs", 1))
+    captures = [CapturedRun.record(f, nprocs, seed=seed) for f in families]
+
+    def sample() -> dict:
+        out: dict = {}
+        for cap in captures:
+            tracer = make_tracer("pilgrim", TracerOptions(jobs=jobs))
+            cap.replay(tracer)
+            start = perf_counter()
+            tracer.finalize()
+            out[f"{cap.family}.finalize_ms"] = \
+                (perf_counter() - start) * 1e3
+        return out
+
+    return sample

@@ -1,0 +1,51 @@
+"""Per-call hot-path microbenchmark (the intra-process axis of Fig 7/8).
+
+Replays captured workload event streams into fresh Pilgrim tracers and
+times exactly the ``on_call`` path — encode → CST intern → Sequitur
+append — once with the signature/CST caches on and once off.  The
+cache-off ablation is the pre-overhaul hot path, so per family three
+metrics come out:
+
+* ``<family>.cached_us_per_call``   — the shipping configuration
+* ``<family>.uncached_us_per_call`` — the ablation baseline
+* ``<family>.cached_over_uncached`` — their ratio, machine-independent
+
+CI gates on the ratios (absolute µs/call vary across runners); the
+absolute numbers are what ``BENCH_hotpath.json`` records for humans.
+"""
+
+from __future__ import annotations
+
+from ..core.backends import TracerOptions, make_tracer
+from . import register
+from .capture import CapturedRun
+
+DEFAULT_FAMILIES = ("stencil2d", "osu_latency", "npb_mg",
+                    "flash_sedov", "milc_su3_rmd")
+
+
+@register("hotpath",
+          "per-call tracing time, cached vs cache-disabled encoder")
+def _hotpath(params: dict):
+    families = list(params.setdefault("families", list(DEFAULT_FAMILIES)))
+    nprocs = int(params.setdefault("nprocs", 8))
+    seed = int(params.setdefault("seed", 1))
+    captures = [CapturedRun.record(f, nprocs, seed=seed) for f in families]
+
+    def sample() -> dict:
+        out: dict = {}
+        for cap in captures:
+            per_call_us = 1e6 / max(cap.n_calls, 1)
+            cached = make_tracer("pilgrim", TracerOptions(
+                signature_cache=True))
+            t_cached = cap.timed_replay(cached) * per_call_us
+            uncached = make_tracer("pilgrim", TracerOptions(
+                signature_cache=False))
+            t_uncached = cap.timed_replay(uncached) * per_call_us
+            out[f"{cap.family}.cached_us_per_call"] = t_cached
+            out[f"{cap.family}.uncached_us_per_call"] = t_uncached
+            out[f"{cap.family}.cached_over_uncached"] = \
+                t_cached / t_uncached if t_uncached else 1.0
+        return out
+
+    return sample

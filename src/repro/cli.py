@@ -9,6 +9,8 @@ The workflows a downstream user actually runs:
 * ``dump``     — decode a trace to flat text (or OTF-style events)
 * ``replay``   — re-execute a trace on a fresh simulated world
 * ``miniapp``  — generate a proxy mini-app from a trace
+* ``bench``    — run registered microbenchmarks, optionally gating a
+  stored baseline (``--compare ... --max-regression PCT``)
 * ``compare``  — Pilgrim vs the ScalaTrace baseline on one workload
 * ``stats``    — render a ``--metrics`` JSONL dump as paper-style tables
 * ``workloads``— list available workloads
@@ -192,6 +194,64 @@ def cmd_miniapp(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run microbenchmarks from the ``repro.bench`` registry."""
+    from . import bench
+    if args.list:
+        for name in bench.available_benchmarks():
+            print(f"{name:10s} {bench.REGISTRY[name].description}")
+        return 0
+    names = args.benchmark or ["hotpath"]
+    unknown = [n for n in names if n not in bench.REGISTRY]
+    if unknown:
+        raise SystemExit(f"repro bench: unknown benchmark(s) {unknown}; "
+                         f"known: {bench.available_benchmarks()}")
+    baseline = None
+    if args.compare:
+        with open(args.compare) as fh:
+            try:
+                baseline = json.load(fh)
+            except ValueError as e:
+                raise SystemExit(f"repro bench: {args.compare} is not a "
+                                 f"benchmark JSON document ({e})")
+    params: dict = {"nprocs": args.procs, "seed": args.seed}
+    if args.families:
+        params["families"] = args.families
+    if args.jobs != 1:
+        params["jobs"] = args.jobs
+    failed = False
+    for name in names:
+        doc = bench.run_benchmark(name, repeats=args.repeats,
+                                  warmup=args.warmup, params=dict(params))
+        paths = bench.write_results(doc, args.output_dir)
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print_table(
+                f"benchmark {name} ({args.repeats} repeats, "
+                f"{args.warmup} warmup)",
+                ["metric", "median", "iqr"],
+                [(m, f"{s['median']:.4g}", f"{s['iqr']:.3g}")
+                 for m, s in doc["stats"].items()])
+        print("wrote " + ", ".join(str(p) for p in paths))
+        if baseline is not None:
+            if baseline.get("benchmark") not in (None, name):
+                print(f"note: baseline {args.compare} is for benchmark "
+                      f"{baseline['benchmark']!r}")
+            regressions, missing = bench.compare_results(
+                doc, baseline, args.max_regression)
+            for r in regressions:
+                print(f"REGRESSION {r}")
+            for m in missing:
+                print(f"MISSING baseline metric {m} absent from this run")
+            if regressions or missing:
+                failed = True
+            else:
+                print(f"{name}: within {args.max_regression:g}% of "
+                      f"{args.compare}")
+    return 1 if failed else 0
+
+
 def cmd_compare(args) -> int:
     metrics = MetricsRegistry() if args.metrics else None
     rows = [run_experiment(args.workload, P, seed=args.seed, baseline=False,
@@ -367,6 +427,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     p.add_argument("-o", "--output", default="miniapp.py")
     p.set_defaults(fn=cmd_miniapp)
+
+    p = sub.add_parser("bench",
+                       help="run microbenchmarks, optionally gating "
+                            "against a stored baseline")
+    p.add_argument("benchmark", nargs="*",
+                   help="benchmark name(s); default: hotpath")
+    p.add_argument("--list", action="store_true",
+                   help="list registered benchmarks and exit")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="timed repetitions per benchmark (default 5)")
+    p.add_argument("--warmup", type=int, default=1,
+                   help="untimed warmup repetitions (default 1)")
+    p.add_argument("-n", "--procs", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--families", nargs="+", metavar="NAME",
+                   help="workload families (default: the 5-family "
+                        "representative set)")
+    _add_jobs_flag(p)
+    p.add_argument("--output-dir", default="benchmarks/results",
+                   help="where <name>.json lands (default "
+                        "benchmarks/results); BENCH_<name>.json is "
+                        "always written to the current directory")
+    p.add_argument("--compare", metavar="BASELINE.json",
+                   help="gate each benchmark's metrics against this "
+                        "stored result document")
+    p.add_argument("--max-regression", type=float, default=25.0,
+                   metavar="PCT",
+                   help="allowed slowdown over the baseline before "
+                        "exiting nonzero (default 25)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full result document instead of a "
+                        "table")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("compare", help="Pilgrim vs the baseline")
     p.add_argument("workload")

@@ -44,6 +44,9 @@ class TracerOptions:
     keep_raw: bool = False
     #: worker processes for a parallelizable finalize (1 = serial)
     jobs: int = 1
+    #: hot-path signature/CST memoization (False = the uncached
+    #: benchmark baseline; traces are byte-identical either way)
+    signature_cache: bool = True
     #: self-instrumentation registry (None = disabled, zero overhead)
     metrics: Any = None
     #: backend-specific constructor kwargs, passed through verbatim
@@ -94,7 +97,8 @@ def _make_pilgrim(opts: TracerOptions) -> TracerHooks:
     from .tracer import TIMING_AGGREGATE, TIMING_LOSSY, PilgrimTracer
     return PilgrimTracer(
         timing_mode=TIMING_LOSSY if opts.lossy_timing else TIMING_AGGREGATE,
-        keep_raw=opts.keep_raw, jobs=opts.jobs, metrics=opts.metrics,
+        keep_raw=opts.keep_raw, jobs=opts.jobs,
+        signature_cache=opts.signature_cache, metrics=opts.metrics,
         **opts.extra)
 
 

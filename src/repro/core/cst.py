@@ -21,18 +21,53 @@ from .packing import Reader, read_value, write_uvarint, write_value
 
 
 class CST:
-    """One process's signature → terminal table with timing stats."""
+    """One process's signature → terminal table with timing stats.
 
-    __slots__ = ("_table", "sigs", "counts", "dur_sums")
+    ``intern`` has a two-level fast path for the hot per-call loop, both
+    keyed on object *identity* so no (potentially large, nested)
+    signature tuple is hashed: a last-hit slot for the just-seen
+    signature, and an ``id()``-keyed map valid because every entry pins a
+    strong reference to its signature object (a live object's ``id`` is
+    never reused).  The memoizing encoder returns canonical signature
+    objects, so repeating call sites hit these paths; the fallback is the
+    ordinary hash probe, byte-identical either way.  ``fast_path=False``
+    disables both levels (for the cache-ablation property tests)."""
 
-    def __init__(self) -> None:
+    __slots__ = ("_table", "sigs", "counts", "dur_sums",
+                 "_fast", "_last_sig", "_last_term", "_by_id")
+
+    #: id-map entries beyond this are churn from non-canonical callers;
+    #: drop the map rather than track eviction order
+    _BY_ID_CAP = 1 << 16
+
+    def __init__(self, fast_path: bool = True) -> None:
         self._table: dict[tuple, int] = {}
         self.sigs: list[tuple] = []
         self.counts: list[int] = []
         self.dur_sums: list[float] = []
+        self._fast = fast_path
+        self._last_sig: Optional[tuple] = None
+        self._last_term = -1
+        #: id(sig) -> (sig, term); the stored sig both verifies identity
+        #: and keeps the object alive so the id stays unambiguous
+        self._by_id: dict[int, tuple] = {}
 
     def intern(self, sig: tuple, duration: float) -> int:
         """Terminal symbol of *sig*, creating an entry on first sight."""
+        if self._fast:
+            if sig is self._last_sig:
+                term = self._last_term
+                self.counts[term] += 1
+                self.dur_sums[term] += duration
+                return term
+            hit = self._by_id.get(id(sig))
+            if hit is not None and hit[0] is sig:
+                term = hit[1]
+                self.counts[term] += 1
+                self.dur_sums[term] += duration
+                self._last_sig = sig
+                self._last_term = term
+                return term
         term = self._table.get(sig)
         if term is None:
             term = len(self.sigs)
@@ -43,7 +78,38 @@ class CST:
         else:
             self.counts[term] += 1
             self.dur_sums[term] += duration
+        if self._fast:
+            self._last_sig = sig
+            self._last_term = term
+            by_id = self._by_id
+            if len(by_id) >= self._BY_ID_CAP:
+                by_id.clear()
+            by_id[id(sig)] = (sig, term)
         return term
+
+    def reset_cache(self) -> None:
+        """Drop the identity fast-path state (shard freeze time); the
+        table itself — the actual CST — is untouched."""
+        self._last_sig = None
+        self._last_term = -1
+        self._by_id = {}
+
+    def __getstate__(self) -> dict:
+        # fast-path state is a pure accelerator keyed on object ids,
+        # which are meaningless in another process: never pickle it
+        return {"_table": self._table, "sigs": self.sigs,
+                "counts": self.counts, "dur_sums": self.dur_sums,
+                "_fast": self._fast}
+
+    def __setstate__(self, state: dict) -> None:
+        self._table = state["_table"]
+        self.sigs = state["sigs"]
+        self.counts = state["counts"]
+        self.dur_sums = state["dur_sums"]
+        self._fast = state.get("_fast", True)
+        self._last_sig = None
+        self._last_term = -1
+        self._by_id = {}
 
     def lookup(self, sig: tuple) -> Optional[int]:
         return self._table.get(sig)

@@ -107,12 +107,16 @@ class MemoryTable:
         self._pool = IdPool()
         self._stack_ids: dict[int, int] = {}
         self._next_stack = 0
+        #: bumped on every live-segment mutation; signature caches keyed
+        #: on raw addresses must invalidate when this changes
+        self.epoch = 0
 
     # -- allocation interception ------------------------------------------------
 
     def on_alloc(self, addr: int, size: int, device: int = -1) -> int:
         sid = self._pool.acquire()
         self.tree.insert(addr, max(size, 1), (sid, device))
+        self.epoch += 1
         return sid
 
     def on_free(self, addr: int) -> Optional[int]:
@@ -122,6 +126,7 @@ class MemoryTable:
         sid, _dev = node.payload
         self.tree.remove(addr)
         self._pool.release(sid)
+        self.epoch += 1
         return sid
 
     # -- pointer encoding ----------------------------------------------------------
@@ -146,13 +151,120 @@ class MemoryTable:
         return (PTR_STACK, sid)
 
 
+# -- signature-construction plans (shared, immutable per function) -----------------
+
+#: completion calls that release request ids in ``_post_call``
+_RELEASING = frozenset((
+    "MPI_Wait", "MPI_Waitall", "MPI_Waitany", "MPI_Waitsome",
+    "MPI_Test", "MPI_Testall", "MPI_Testany", "MPI_Testsome",
+    "MPI_Request_free",
+))
+
+#: lifecycle calls that mutate symbolic tables and must both run
+#: ``_post_call`` and invalidate the signature cache
+_LIFECYCLE_EXTRA = frozenset(("MPI_Type_free", "MPI_Group_free"))
+
+# static-key categories: how a raw argument is resolved into the hashable
+# cache key.  Everything the *static* encoding depends on must flow into
+# the key (object identities for handle-keyed tables, raw addresses for
+# the memory table — the latter additionally guarded by MemoryTable.epoch).
+_C_RAW = 0      # hashable scalar, stored verbatim
+_C_PTR = 1      # raw address (memory-epoch guarded)
+_C_CID = 2      # communicator -> cid
+_C_WID = 3      # window -> wid
+_C_HANDLE = 4   # datatype -> handle (handles are never reused)
+_C_GID = 5      # group -> id(obj), pinned alive via _group_refs
+_C_OP = 6       # op -> handle
+_C_FLAG = 7     # coerced to bool
+_C_TUPLE = 8    # int array -> tuple
+
+_KEY_CATS = {
+    F.K_PTR: _C_PTR,
+    F.K_COMM: _C_CID, F.K_NEWCOMM: _C_CID,
+    F.K_WIN: _C_WID, F.K_NEWWIN: _C_WID,
+    F.K_DATATYPE: _C_HANDLE, F.K_NEWTYPE: _C_HANDLE,
+    F.K_GROUP: _C_GID,
+    F.K_OP: _C_OP,
+    F.K_FLAG: _C_FLAG,
+    F.K_INTV: _C_TUPLE, F.K_INDEXV: _C_TUPLE,
+}
+
+
+class _CallPlan:
+    """Precomputed per-function encoding plan: parameter walk order, the
+    static-key extraction recipe, and the positions of the *dynamic*
+    parameters (requests and statuses) that must be re-encoded on every
+    call because they depend on per-call allocator/runtime state."""
+
+    __slots__ = ("fname", "fid", "params", "key_plan", "dyn_status",
+                 "dyn_req", "req_skip", "lifecycle", "cacheable", "is_any")
+
+    def __init__(self, fname: str):
+        spec = F.FUNCS[fname]
+        self.fname = fname
+        self.fid = spec.fid
+        self.params = tuple((p.name, p.kind) for p in spec.params)
+        key_plan = []
+        dyn_status = []
+        dyn_req = []
+        for i, (name, kind) in enumerate(self.params):
+            pos = i + 1  # parts[0] is the fid
+            if kind == F.K_STATUS:
+                dyn_status.append((pos, name, False))
+            elif kind == F.K_STATUSV:
+                dyn_status.append((pos, name, True))
+            elif kind == F.K_REQUEST:
+                dyn_req.append((pos, name, False))
+            elif kind == F.K_REQUESTV:
+                dyn_req.append((pos, name, True))
+            else:
+                key_plan.append((name, _KEY_CATS.get(kind, _C_RAW)))
+        self.key_plan = tuple(key_plan)
+        self.dyn_status = tuple(dyn_status)
+        self.dyn_req = tuple(dyn_req)
+        self.req_skip = frozenset(pos for pos, _, _ in dyn_req)
+        self.lifecycle = fname in _RELEASING or fname in _LIFECYCLE_EXTRA
+        # Type_free/Group_free clear the cache right after encoding, so
+        # caching their signatures would be wasted work
+        self.cacheable = fname not in _LIFECYCLE_EXTRA
+        self.is_any = fname in ("MPI_Waitany", "MPI_Testany")
+
+
+_PLANS: dict[str, _CallPlan] = {}
+
+
+def _plan_for(fname: str) -> _CallPlan:
+    plan = _PLANS.get(fname)
+    if plan is None:
+        plan = _PLANS[fname] = _CallPlan(fname)
+    return plan
+
+
+#: entries beyond this are assumed to be churn (e.g. per-call varying
+#: out-params); the whole cache is dropped rather than evicted piecemeal
+_SIG_CACHE_CAP = 8192
+#: per-entry bound on memoized dynamic-value combinations
+_SIG_MEMO_CAP = 512
+
+
 class PerRankEncoder:
-    """One rank's symbolic state + signature construction."""
+    """One rank's symbolic state + signature construction.
+
+    ``signature_cache=True`` (the default) memoizes signature
+    construction per call site: the cache key is ``(fid, resolved static
+    args)`` and the cached value is the finished signature (or, for calls
+    carrying requests/statuses, a template whose dynamic slots are
+    re-encoded per call).  Hits skip the registry walk, AVL pointer
+    lookups, and relative-rank re-encoding.  The cache is a pure
+    accelerator: it is invalidated on memory-table mutations and
+    object-lifecycle calls, excluded from pickles, and byte-identical to
+    the uncached path (property-tested across all workload families)."""
 
     def __init__(self, rank: int, comm_space: CommIdSpace, *,
                  win_space: Optional[WinIdSpace] = None,
                  relative_ranks: bool = True,
-                 per_signature_request_pools: bool = True):
+                 per_signature_request_pools: bool = True,
+                 signature_cache: bool = True):
         self.rank = rank
         self.comm_space = comm_space
         self.win_space = win_space
@@ -163,6 +275,9 @@ class PerRankEncoder:
         self._group_refs: dict[int, Group] = {}
         self.requests = RequestIdAllocator()
         self.memory = MemoryTable()
+        #: (fid, static args) -> signature/template; None = disabled
+        self._sig_cache: Optional[dict] = {} if signature_cache else None
+        self._mem_epoch = 0
 
     # -- helpers per kind ------------------------------------------------------------
 
@@ -215,21 +330,183 @@ class PerRankEncoder:
 
     # -- main entry --------------------------------------------------------------------
 
-    #: per-function (fid, ((name, kind), ...)) cache — avoids dataclass
-    #: attribute access in the hot per-call loop
-    _SPEC_CACHE: dict[str, tuple[int, tuple[tuple[str, str], ...]]] = {}
-
-    @classmethod
-    def _spec_info(cls, fname: str):
-        got = cls._SPEC_CACHE.get(fname)
-        if got is None:
-            spec = F.FUNCS[fname]
-            got = (spec.fid, tuple((p.name, p.kind) for p in spec.params))
-            cls._SPEC_CACHE[fname] = got
-        return got
-
     def encode_call(self, fname: str, args: dict[str, Any]) -> tuple:
-        fid, param_info = self._spec_info(fname)
+        plan = _PLANS.get(fname)
+        if plan is None:
+            plan = _plan_for(fname)
+        cache = self._sig_cache
+        if cache is not None and plan.cacheable:
+            mem_epoch = self.memory.epoch
+            if mem_epoch != self._mem_epoch:
+                # heap segments changed: raw addresses may now resolve to
+                # different (segment, displacement) encodings
+                cache.clear()
+                self._mem_epoch = mem_epoch
+            key = self._static_key(plan, args)
+            if key is not None:
+                try:
+                    entry = cache.get(key)
+                except TypeError:     # unhashable argument: bypass
+                    entry = None
+                    key = None
+            if key is not None:
+                if entry is not None:
+                    if entry[3] is None:   # fully static signature
+                        sig = entry[0]
+                    else:
+                        sig = self._resolve_dynamic(plan, entry, args)
+                    if plan.lifecycle:
+                        self._post_call(fname, args)
+                    return sig
+                sig, parts, ctx_rank, base = self._encode_walk(plan, args)
+                if len(cache) >= _SIG_CACHE_CAP:
+                    cache.clear()
+                if plan.dyn_status or plan.dyn_req:
+                    template = list(parts)
+                    for pos, _n, _v in plan.dyn_status:
+                        template[pos] = None
+                    for pos, _n, _v in plan.dyn_req:
+                        template[pos] = None
+                    # the request-creation base is static only when no
+                    # per-call status values feed into it
+                    cache[key] = (template, ctx_rank,
+                                  base if not plan.dyn_status else None, {})
+                else:
+                    cache[key] = (sig, ctx_rank, None, None)
+                if plan.lifecycle:
+                    self._post_call(fname, args)
+                return sig
+        sig, _parts, _ctx, _base = self._encode_walk(plan, args)
+        if plan.lifecycle:
+            self._post_call(fname, args)
+        return sig
+
+    def _static_key(self, plan: _CallPlan, args: dict[str, Any]):
+        """The cache key: fid plus each static argument resolved to the
+        stable primitive its encoding depends on.  Returns None when an
+        argument cannot be keyed (unknown shape), forcing the slow path."""
+        key: list[Any] = [plan.fid]
+        append = key.append
+        get = args.get
+        try:
+            for name, cat in plan.key_plan:
+                v = get(name)
+                if cat == 0:
+                    append(v)
+                elif cat == 1:
+                    append(v or 0)
+                elif v is None:
+                    append(None)
+                elif cat == 2:
+                    append(v.cid)
+                elif cat == 3:
+                    append(v.wid)
+                elif cat == 4:
+                    append(v.handle)
+                elif cat == 5:
+                    append(id(v))
+                elif cat == 6:
+                    append(v.handle if isinstance(v, Op) else v)
+                elif cat == 7:
+                    append(bool(v))
+                else:
+                    append(tuple(v))
+        except (TypeError, AttributeError):
+            return None
+        return tuple(key)
+
+    def _resolve_dynamic(self, plan: _CallPlan, entry: tuple,
+                         args: dict[str, Any]) -> tuple:
+        """Cache hit for a call with request/status parameters: copy the
+        static template and re-encode only the dynamic slots (whose
+        values depend on per-call allocator and runtime state)."""
+        template, ctx_rank, static_base, memo = entry
+        parts = template.copy()
+        vals: list[Any] = []
+        if plan.dyn_status:
+            req_list = args.get("array_of_requests")
+            for pos, name, is_vec in plan.dyn_status:
+                v = args.get(name)
+                if is_vec:
+                    if v is None:
+                        enc = None
+                    else:
+                        idxs = self._completed_indices(plan.fname, args,
+                                                       len(v))
+                        enc = tuple(
+                            self._enc_status(st, self._status_ctx(
+                                args, req_list, ctx_rank,
+                                idxs[i] if idxs is not None and i < len(idxs)
+                                else None))
+                            for i, st in enumerate(v))
+                else:
+                    ridx = None
+                    if plan.is_any:
+                        idx = args.get("index")
+                        if isinstance(idx, int) and idx >= 0:
+                            ridx = idx
+                    enc = self._enc_status(v, self._status_ctx(
+                        args, req_list, ctx_rank, ridx))
+                parts[pos] = enc
+                vals.append(enc)
+        if plan.dyn_req:
+            base = static_base
+            if base is None:
+                skip = plan.req_skip
+                base = tuple(x for i, x in enumerate(parts)
+                             if i not in skip)
+            for pos, name, is_vec in plan.dyn_req:
+                v = args.get(name)
+                if is_vec:
+                    enc = tuple(self._enc_request(r, base)
+                                for r in (v or ()))
+                else:
+                    enc = self._enc_request(v, base)
+                parts[pos] = enc
+                vals.append(enc)
+        memo_key = tuple(vals)
+        sig = memo.get(memo_key)
+        if sig is None:
+            sig = tuple(parts)
+            if len(memo) >= _SIG_MEMO_CAP:
+                memo.clear()
+            memo[memo_key] = sig
+        return sig
+
+    def reset_cache(self) -> None:
+        """Drop the signature cache (called at shard-freeze time; the
+        cache never outlives the tracing phase it accelerated)."""
+        if self._sig_cache is not None:
+            self._sig_cache = {}
+        self._mem_epoch = self.memory.epoch
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._sig_cache is not None
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._sig_cache) if self._sig_cache is not None else 0
+
+    def __getstate__(self) -> dict:
+        # the signature cache is a pure accelerator: shards and pickled
+        # compressors must never carry it across process boundaries
+        state = self.__dict__.copy()
+        if state.get("_sig_cache") is not None:
+            state["_sig_cache"] = {}
+        state["_mem_epoch"] = -1   # force a resync on first use
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def _encode_walk(self, plan: _CallPlan, args: dict[str, Any]):
+        """The full (uncached) signature construction walk.  Returns the
+        signature plus the raw parts, context rank, and request-creation
+        base the caller needs to build a cache entry."""
+        fname = plan.fname
+        fid = plan.fid
+        param_info = plan.params
         my_rank = self.rank
         rel = self.relative_ranks
         # caller's rank within the call's communicator, for relative ranks
@@ -314,6 +591,7 @@ class PerRankEncoder:
                 parts.append(v)
 
         # resolve deferred request encodings with the creation signature
+        base = None
         if deferred_requests:
             if len(deferred_requests) == 1:
                 pos = deferred_requests[0][0]
@@ -328,12 +606,7 @@ class PerRankEncoder:
                 else:
                     parts[pos] = self._enc_request(v, base)
 
-        sig = tuple(parts)
-
-        # post-encoding lifecycle: release ids of requests this call
-        # consumed, and pick up comm ids delivered by non-blocking creation
-        self._post_call(fname, args)
-        return sig
+        return tuple(parts), parts, ctx_rank, base
 
     def _status_ctx(self, args, req_list, default_ctx: int,
                     req_index: Optional[int]) -> int:
@@ -375,11 +648,9 @@ class PerRankEncoder:
 
     # -- lifecycle ------------------------------------------------------------------------
 
-    _RELEASING = frozenset((
-        "MPI_Wait", "MPI_Waitall", "MPI_Waitany", "MPI_Waitsome",
-        "MPI_Test", "MPI_Testall", "MPI_Testany", "MPI_Testsome",
-        "MPI_Request_free",
-    ))
+    #: kept as a class attribute for introspection/back-compat; the
+    #: authoritative set lives at module level so _CallPlan can use it
+    _RELEASING = _RELEASING
 
     def _post_call(self, fname: str, args: dict[str, Any]) -> None:
         if fname == "MPI_Type_free":
@@ -387,6 +658,10 @@ class PerRankEncoder:
             if dt is not None and dt.handle >= 0 \
                     and self.type_ids.lookup(dt.handle) is not None:
                 self.type_ids.release(dt.handle)
+            if self._sig_cache:
+                # released symbolic ids may be re-handed to new handles;
+                # cached signatures must not outlive the assignment
+                self._sig_cache.clear()
             return
         if fname == "MPI_Group_free":
             grp = args.get("group")
@@ -394,6 +669,10 @@ class PerRankEncoder:
             if grp is not None and self.group_ids.lookup(key) is not None:
                 self.group_ids.release(key)
                 self._group_refs.pop(key, None)
+            if self._sig_cache:
+                # the freed group may be garbage-collected and its id()
+                # reused by a new Group object
+                self._sig_cache.clear()
             return
         if fname not in self._RELEASING:
             return

@@ -82,7 +82,7 @@ class Rule:
 
     def tokens(self) -> Iterator[tuple[int, int]]:
         s = self.guard.next
-        while not s.is_guard:
+        while s.rule_of is None:   # only guard nodes carry rule_of
             yield (s.value, s.exp)
             s = s.next
 
@@ -151,7 +151,7 @@ class Sequitur:
         sym.next = anchor.next
         anchor.next.prev = sym
         anchor.next = sym
-        if sym.is_rule_ref:
+        if sym.value < 0:          # rule reference (guards never get here)
             rule = self.rules[sym.value]
             rule.refcount += 1
             self._users[sym.value].add(sym)
@@ -162,7 +162,7 @@ class Sequitur:
         self._delete_digram_at(sym)
         sym.prev.next = sym.next
         sym.next.prev = sym.prev
-        if sym.is_rule_ref:
+        if sym.value < 0:
             rule = self.rules[sym.value]
             rule.refcount -= 1
             self._users[sym.value].discard(sym)
@@ -207,7 +207,7 @@ class Sequitur:
             # overlapping occurrence; with run-length merging this can only
             # happen transiently — leave the index as-is
             return False
-        self._match(left, found)
+        self._match(left, found, key)
         return True
 
     def _unlink_merged(self, sym: Symbol) -> None:
@@ -215,7 +215,7 @@ class Sequitur:
         already cleaned by the caller)."""
         sym.prev.next = sym.next
         sym.next.prev = sym.prev
-        if sym.is_rule_ref:
+        if sym.value < 0:
             rule = self.rules[sym.value]
             rule.refcount -= 1
             self._users[sym.value].discard(sym)
@@ -223,8 +223,11 @@ class Sequitur:
                 self._pending_underused.append(rule)
         sym.prev = sym.next = None
 
-    def _match(self, left: Symbol, found: Symbol) -> None:
-        """The digram at *left* equals the indexed one at *found*."""
+    def _match(self, left: Symbol, found: Symbol,
+               key: Optional[tuple[int, int, int, int]] = None) -> None:
+        """The digram at *left* equals the indexed one at *found*.
+        *key* is the digram's index key when the caller already built it
+        (reused for the new rule's RHS, which is the same digram)."""
         if found.prev.rule_of is not None \
                 and found.next.next.rule_of is not None:
             # the found occurrence is the entire RHS of an existing rule
@@ -239,7 +242,7 @@ class Sequitur:
             # order matters: replacing `found` first keeps `left` valid
             self._substitute(found, rule)
             self._substitute(left, rule)
-            self._digrams[self._key(a)] = a
+            self._digrams[key if key is not None else self._key(a)] = a
 
     def _substitute(self, left: Symbol, rule: Rule) -> None:
         """Replace the digram starting at *left* by a reference to *rule*."""
@@ -312,7 +315,18 @@ class Sequitur:
                     self._bump_tail()
                 return
             self._flush_prediction()
-        self._append_raw(value, exp)
+        # the body of _append_raw, inlined into the per-call hot path
+        last = self.start.guard.prev
+        if last.rule_of is None and last.value == value:
+            self._delete_digram_at(last.prev)
+            last.exp += exp
+            self._check(last.prev)
+        else:
+            sym = Symbol(value, exp)
+            self._link_after(last, sym)
+            self._check(last)
+        if self._pending_underused:
+            self._process_underused()
         if self.loop_detection:
             self._arm_prediction()
 

@@ -331,13 +331,15 @@ class RankCompressor:
                  loop_detection: bool = True,
                  timing: Optional[TimingCompressor] = None,
                  keep_raw: bool = False,
-                 encoder: Optional[PerRankEncoder] = None):
+                 encoder: Optional[PerRankEncoder] = None,
+                 signature_cache: bool = True):
         self.rank = rank
         self.encoder = encoder if encoder is not None else PerRankEncoder(
             rank, comm_space, win_space=win_space,
             relative_ranks=relative_ranks,
-            per_signature_request_pools=per_signature_request_pools)
-        self.cst = CST()
+            per_signature_request_pools=per_signature_request_pools,
+            signature_cache=signature_cache)
+        self.cst = CST(fast_path=signature_cache)
         self.grammar = Sequitur(loop_detection=loop_detection)
         self.timing = timing
         self.keep_raw = keep_raw
@@ -360,7 +362,14 @@ class RankCompressor:
     def freeze(self) -> RankShard:
         """Snapshot this rank into a self-contained single-rank shard.
         Terminals in the frozen grammar are this rank's local CST
-        indices, which *are* the shard's signature numbering."""
+        indices, which *are* the shard's signature numbering.
+
+        Freezing also drops the hot-path accelerator caches (encoder
+        signature memo, CST identity fast path): they are meaningless
+        after tracing ends and must never ride along when a compressor
+        or its shard is serialized for the parallel reduction."""
+        self.encoder.reset_cache()
+        self.cst.reset_cache()
         g = Grammar.freeze(self.grammar)
         shard = RankShard(
             base_rank=self.rank, nranks=1,

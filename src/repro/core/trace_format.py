@@ -48,7 +48,6 @@ from .errors import (ChecksumError, CorruptTraceError, TraceFormatError,
 from .grammar import Grammar
 from .interproc import CFGMergeResult
 from .packing import Reader, write_uvarint
-from .sequitur import Sequitur
 
 MAGIC = b"PILG"
 VERSION = 2

@@ -107,6 +107,7 @@ class PilgrimTracer(TracerHooks):
                  per_function_base: Optional[dict[str, float]] = None,
                  keep_raw: bool = False,
                  jobs: int = 1,
+                 signature_cache: bool = True,
                  metrics: Optional[MetricsRegistry] = None):
         if timing_mode not in (TIMING_AGGREGATE, TIMING_LOSSY):
             raise ValueError(f"unknown timing mode {timing_mode!r}")
@@ -120,6 +121,10 @@ class PilgrimTracer(TracerHooks):
         self.timing_base = timing_base
         self.per_function_base = per_function_base
         self.keep_raw = keep_raw
+        #: hot-path memoization (encoder signature cache + CST identity
+        #: fast path); byte-identical traces either way — False is the
+        #: ablation/benchmark baseline
+        self.signature_cache = signature_cache
         #: worker processes for the finalize tree reduction (1 = serial)
         self.jobs = jobs
         #: observability: disabled by default (NULL_REGISTRY) so the
@@ -173,7 +178,8 @@ class PilgrimTracer(TracerHooks):
                 relative_ranks=self.relative_ranks,
                 per_signature_request_pools=self.per_signature_request_pools,
                 loop_detection=self.loop_detection,
-                timing=timing, keep_raw=self.keep_raw)
+                timing=timing, keep_raw=self.keep_raw,
+                signature_cache=self.signature_cache)
             rc.encoder.set_comm_resolver(sim.comm_by_cid)
             self.ranks.append(rc)
         self.encoders = [rc.encoder for rc in self.ranks]

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
-from . import constants as C
 from . import datatypes as dt
 from .api_base import ApiBase
 from .comm import Comm

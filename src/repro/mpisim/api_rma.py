@@ -100,7 +100,6 @@ class ApiRMA(ApiBase):
         """Collective fence: closes the current epoch (queued RMA effects
         land in window memory) and opens the next."""
         win.check_usable()
-        rt = self.rt
 
         def compute(g, c):
             win.apply_effects()
@@ -120,7 +119,6 @@ class ApiRMA(ApiBase):
         win.check_target(target_rank)
         target_datatype.check_usable()
         nbytes = target_count * target_datatype.size
-        disp_limit = win.sizes[target_rank]
         return nbytes
 
     def put(self, origin_addr: int, origin_count: int,

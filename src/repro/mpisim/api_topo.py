@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from . import constants as C
 from .api_base import ApiBase
 from .comm import Comm
 from .errors import InvalidArgumentError

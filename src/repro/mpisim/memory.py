@@ -72,7 +72,7 @@ class RankHeap:
     def realloc(self, addr: int, size: int) -> int:
         if addr == 0:
             return self.malloc(size)
-        old = self._lookup(addr)
+        self._lookup(addr)  # validates the address before freeing
         self.free(addr)
         return self.malloc(size)
 

@@ -34,7 +34,6 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..mpisim import constants as C
-from ..mpisim import funcs as F
 from ..mpisim.comm import Comm
 from ..mpisim.datatypes import BUILTINS, Datatype
 from ..mpisim.errors import MpiSimError

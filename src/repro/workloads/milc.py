@@ -19,7 +19,6 @@ Scaling behaviour, matching the paper's observations:
 
 from __future__ import annotations
 
-from ..mpisim import constants as C
 from ..mpisim import datatypes as dt
 from ..mpisim import ops
 from ..mpisim.topology import dims_create

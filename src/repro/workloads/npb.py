@@ -122,8 +122,8 @@ def npb_mg(nprocs: int, *, iters: int = 8, base_elems: int = 4096
                     k += 1
             return reqs
 
-        max_active = max(l for l in range(nlevels)
-                         if (1 << l) <= max(px, py, pz)) + 1
+        max_active = max(lvl for lvl in range(nlevels)
+                         if (1 << lvl) <= max(px, py, pz)) + 1
         for _ in range(iters):
             # down-sweep then up-sweep of the V-cycle
             for lev in list(range(max_active)) + \
@@ -154,7 +154,6 @@ def npb_cg(nprocs: int, *, iters: int = 15, row_elems: int = 2048
 
     def program(m):
         me = m.comm_rank()
-        col = me % npcols
         buf = m.malloc(row_elems * 8)
         rbuf = m.malloc(row_elems * 8)
         for _ in range(iters):

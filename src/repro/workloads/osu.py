@@ -10,7 +10,6 @@ reduction/print — the exact call mix a tracer sees.
 
 from __future__ import annotations
 
-from ..mpisim import constants as C
 from ..mpisim import datatypes as dt
 from ..mpisim import ops
 from ..mpisim.errors import InvalidArgumentError

@@ -44,7 +44,7 @@ def stencil2d(nprocs: int, *, iters: int = 50, msg_elems: int = 512,
 
     def program(m):
         me = m.comm_rank()
-        n = m.comm_size()
+        m.comm_size()  # traced call; the value itself is unused
         mx, my = divmod(me, py)
         nbrs = [
             _neighbor_2d(mx, my, 0, -1, px, py, periodic),   # west  (i-1)

@@ -1,6 +1,5 @@
 """Tests for the PARAMESH-style Morton-tree AMR substrate."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.workloads.amr import Block, MortonTree

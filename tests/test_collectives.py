@@ -4,8 +4,7 @@ non-blocking variants."""
 import pytest
 
 from conftest import run_program
-from repro.mpisim import (CollectiveMismatchError, SimMPI, constants as C,
-                          datatypes as dt, ops)
+from repro.mpisim import CollectiveMismatchError, datatypes as dt, ops
 from repro.mpisim.errors import RankProgramError
 
 

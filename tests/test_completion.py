@@ -1,10 +1,9 @@
 """Wait*/Test* family semantics, including the non-determinism the paper
 insists a lossless tracer must capture."""
 
-import pytest
 
 from conftest import run_program
-from repro.mpisim import SimMPI, constants as C, datatypes as dt
+from repro.mpisim import constants as C, datatypes as dt
 
 
 def _post_pair(m, peer, tag=1):

@@ -1,6 +1,5 @@
 """CST interning/merging and inter-process grammar compression tests."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.cst import CST, MergedCST, merge_csts

@@ -1,13 +1,12 @@
 """Signature-encoding tests: symbolic ids, relative ranks, pointers,
 request pools, communicator id agreement."""
 
-import pytest
 
-from conftest import run_program, trace_program
+from conftest import trace_program
 from repro.core import PilgrimTracer
 from repro.core.encoder import (PTR_DEVICE, PTR_HEAP, PTR_NULL, PTR_STACK,
                                 CommIdSpace, MemoryTable)
-from repro.mpisim import SimMPI, constants as C, datatypes as dt, ops
+from repro.mpisim import SimMPI, constants as C, datatypes as dt
 from repro.mpisim.comm import Comm
 from repro.mpisim.group import Group
 

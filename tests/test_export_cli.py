@@ -5,7 +5,7 @@ import pytest
 
 from repro.cli import main as cli_main
 from repro.core import PilgrimTracer, TIMING_LOSSY
-from repro.core.export import OtfEvent, to_otf_events, to_text, write_otf_text
+from repro.core.export import to_otf_events, to_text, write_otf_text
 from repro.workloads import make
 
 
@@ -26,7 +26,7 @@ def timed_blob():
 class TestTextExport:
     def test_one_line_per_call(self, stencil_blob):
         text = to_text(stencil_blob, ranks=[0])
-        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        lines = [ln for ln in text.splitlines() if not ln.startswith("#")]
         from repro.core import TraceDecoder
         dec = TraceDecoder.from_bytes(stencil_blob)
         assert len(lines) == dec.call_count(0)
@@ -39,7 +39,7 @@ class TestTextExport:
 
     def test_limit_truncates(self, stencil_blob):
         text = to_text(stencil_blob, ranks=[0], max_calls_per_rank=3)
-        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        lines = [ln for ln in text.splitlines() if not ln.startswith("#")]
         assert len(lines) == 3
         assert "truncated" in text
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.insights import (CommMatrix, call_time_share,
+from repro.analysis.insights import (call_time_share,
                                      collective_participation, comm_matrix,
                                      load_balance, message_size_histogram)
 from repro.core import PilgrimTracer

@@ -64,7 +64,7 @@ class TestFree:
     def test_live_accounting(self):
         h = RankHeap()
         a = h.malloc(100)
-        b = h.malloc(50)
+        h.malloc(50)
         assert h.live_count == 2 and h.live_bytes == 150
         h.free(a)
         assert h.live_count == 1 and h.live_bytes == 50

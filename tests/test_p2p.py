@@ -4,9 +4,9 @@ persistent requests, cancellation."""
 import pytest
 
 from conftest import run_program
-from repro.mpisim import (DeadlockError, SimMPI, TruncationError, constants
-                          as C, datatypes as dt)
-from repro.mpisim.errors import InvalidArgumentError, RankProgramError
+from repro.mpisim import (DeadlockError, TruncationError, constants as C,
+                          datatypes as dt)
+from repro.mpisim.errors import RankProgramError
 
 
 class TestBasicSendRecv:

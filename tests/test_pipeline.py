@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import (GrammarSet, NullTracer, PilgrimTracer, RankShard,
-                        RawTracer, TracePipeline, TracerOptions,
-                        available_backends, make_tracer, merge_shards,
-                        register_backend, tree_reduce, verify_workload)
+from repro.core import (NullTracer, PilgrimTracer, RankShard, RawTracer,
+                        TracePipeline, TracerOptions, available_backends,
+                        make_tracer, merge_shards, register_backend,
+                        tree_reduce, verify_workload)
 from repro.core.backends import _BACKENDS
 from repro.core.errors import TraceFormatError
 from repro.mpisim import SimMPI

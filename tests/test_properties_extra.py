@@ -1,6 +1,5 @@
 """Additional cross-cutting property tests (hypothesis where useful)."""
 
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.core import Grammar, PilgrimTracer, Sequitur, merge_grammars
@@ -97,7 +96,7 @@ class TestTraceSizeMonotonicity:
         """A run with strictly more distinct signatures cannot produce a
         smaller CST section."""
         def uniform(m):
-            buf = m.malloc(64)
+            m.malloc(64)
             for _ in range(20):
                 yield from m.barrier()
 

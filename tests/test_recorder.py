@@ -17,7 +17,7 @@ def run(tracer_cls, name, P, **kw):
 class TestWindowCompression:
     def test_repeats_become_backrefs(self):
         def prog(m):
-            buf = m.malloc(64)
+            m.malloc(64)
             for _ in range(30):
                 yield from m.barrier()
 
@@ -25,7 +25,6 @@ class TestWindowCompression:
         SimMPI(2, seed=0, tracer=tracer).run(prog)
         # 30 identical barriers: 1 literal + 29 back-references per rank
         tokens = tracer._tokens[0]
-        lits = [t for t in tokens if t[0] == "lit"]
         refs = [t for t in tokens if t[0] == "ref"]
         assert len(refs) >= 29
         assert all(d == 1 for _k, d in refs if _k == "ref")

@@ -5,8 +5,8 @@ import pytest
 
 from conftest import run_program
 from repro.core import PilgrimTracer, verify_roundtrip
-from repro.mpisim import DeadlockError, SimMPI, constants as C, datatypes as dt, ops
-from repro.mpisim.errors import InvalidArgumentError, RankProgramError
+from repro.mpisim import DeadlockError, SimMPI, datatypes as dt, ops
+from repro.mpisim.errors import RankProgramError
 from repro.mpisim.win import LOCK_EXCLUSIVE, LOCK_SHARED
 from repro.replay import replay_trace, structurally_equal
 
@@ -39,7 +39,7 @@ class TestWindowLifecycle:
     def test_bad_args_rejected(self):
         def prog(m):
             buf = m.malloc(64)
-            win = yield from m.win_create(buf, -1)
+            yield from m.win_create(buf, -1)
         with pytest.raises(RankProgramError):
             run_program(1, prog)
 

@@ -5,7 +5,7 @@ import pytest
 
 from conftest import run_program
 from repro.mpisim import (DeadlockError, NetworkModel, RankProgramError,
-                          SimMPI, constants as C, datatypes as dt, ops)
+                          SimMPI, constants as C, datatypes as dt)
 from repro.mpisim.clock import RankClock
 from repro.mpisim.errors import MpiSimError
 

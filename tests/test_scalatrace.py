@@ -1,10 +1,8 @@
 """ScalaTrace baseline tests: RSD compression, coverage gaps, merging."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import run_program
-from repro.mpisim import SimMPI, constants as C, datatypes as dt, ops
+from repro.mpisim import SimMPI, constants as C, datatypes as dt
 from repro.scalatrace import (RSDCompressor, SCALATRACE_RECORDED,
                               ScalaTraceTracer, UNRECORDED, expand_entries)
 from repro.workloads import make

@@ -13,7 +13,8 @@ class TestIdPool:
 
     def test_lowest_free_id_reused(self):
         p = IdPool()
-        ids = [p.acquire() for _ in range(5)]
+        for _ in range(5):
+            p.acquire()
         p.release(1)
         p.release(3)
         assert p.acquire() == 1  # smallest freed first

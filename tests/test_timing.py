@@ -1,13 +1,11 @@
 """Tests for lossy timing compression (§3.2, Fig 10)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.grammar import Grammar
-from repro.core.timing import (BIN_OFFSET, TimingCompressor, bin_value,
-                               reconstruct_times, unbin_value)
+from repro.core.timing import (TimingCompressor, bin_value, reconstruct_times,
+                               unbin_value)
 
 
 class TestBinning:

@@ -2,9 +2,7 @@
 non-blocking communicator creation, inter-communicators, persistent
 requests, derived datatypes in flight, device memory, stack buffers."""
 
-import pytest
 
-from conftest import run_program
 from repro.core import PilgrimTracer, TraceDecoder, verify_roundtrip
 from repro.core.encoder import PTR_DEVICE, PTR_HEAP, PTR_STACK
 from repro.mpisim import SimMPI, constants as C, datatypes as dt, ops

@@ -3,10 +3,9 @@ workloads, decoder output, ablation toggles, timing mode."""
 
 import pytest
 
-from conftest import run_program
 from repro.core import (PilgrimTracer, TIMING_LOSSY, TraceDecoder,
                         verify_roundtrip)
-from repro.mpisim import SimMPI, constants as C, datatypes as dt, ops
+from repro.mpisim import SimMPI, constants as C, datatypes as dt
 from repro.workloads import make
 
 
