@@ -1,11 +1,24 @@
 """Reproduction of *Pilgrim: Scalable and (near) Lossless MPI Tracing*
 (Wang, Balaji, Snir — SC '21) on a simulated MPI substrate.
 
+The supported programmatic entry point is the :mod:`repro.api` facade,
+re-exported here::
+
+    import repro
+
+    result = repro.trace("stencil2d", 16)          # -> TraceResult
+    decoder = repro.decode(result.trace_bytes)
+    report = repro.verify("stencil2d", 16)         # lossless round-trip
+
 Packages:
 
+* :mod:`repro.api` — the stable facade (trace/decode/verify/compare/
+  bench); its signatures are snapshot-pinned in CI.
 * :mod:`repro.mpisim` — the simulated MPI runtime (substrate).
 * :mod:`repro.core` — the Pilgrim tracer: CST + Sequitur CFG compression,
   symbolic ids, timing grammars, inter-process merge, decoder.
+* :mod:`repro.resilience` — fault injection, retry supervision, and
+  partial-trace salvage (tracing under failure).
 * :mod:`repro.scalatrace` — the ScalaTrace-style baseline tracer.
 * :mod:`repro.workloads` — stencils, OSU, NPB, FLASH, MILC skeletons.
 * :mod:`repro.analysis` — size accounting, overhead timers, report tables.
@@ -13,4 +26,18 @@ Packages:
   phase profiler, and the runtime event log.
 """
 
-__version__ = "1.0.0"
+from .api import (TraceResult, TracerOptions, VerifyReport, compare,
+                  decode, trace, verify)
+from .resilience import FaultPlan, RetryPolicy, SalvageReport
+
+# ``repro.bench`` is the benchmark subpackage, made callable so it also
+# serves as the facade verb (``repro.bench("hotpath")``).
+from . import bench
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "FaultPlan", "RetryPolicy", "SalvageReport", "TraceResult",
+    "TracerOptions", "VerifyReport", "bench", "compare", "decode",
+    "trace", "verify", "__version__",
+]

@@ -9,11 +9,11 @@ and Pilgrim's overhead decomposition.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from ..core.backends import TracerOptions, make_tracer
-from ..obs import MetricsRegistry
+from ..core.backends import TracerOptions, resolve_metrics
 from ..workloads import make
 
 
@@ -53,25 +53,43 @@ class ExperimentRow:
         return (self.scalatrace_seconds - self.app_seconds) / self.app_seconds
 
 
+#: run_experiment keywords that moved onto TracerOptions; honored for
+#: one release with a DeprecationWarning
+_LEGACY_KEYS = ("profile", "jobs", "metrics")
+
+
 def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
                    pilgrim: bool = True, scalatrace: bool = True,
                    baseline: bool = True,
+                   options: Optional[TracerOptions] = None,
                    pilgrim_kwargs: Optional[dict] = None,
                    scalatrace_kwargs: Optional[dict] = None,
-                   profile: bool = False, jobs: int = 1,
-                   metrics: Optional[MetricsRegistry] = None,
                    **params) -> ExperimentRow:
-    """Run one configuration under all requested tracers (constructed
-    through the :mod:`repro.core.backends` registry).
+    """Run one configuration under all requested tracers, each built and
+    driven through :func:`repro.api.trace`.
 
-    ``profile=True`` attaches an enabled metrics registry to both tracers
-    so the fine-grained phase decomposition (Fig 8) lands in
-    ``row.phases`` — slightly slower, so off by default.  Pass an
-    explicit ``metrics`` registry to accumulate across several rows.
-    ``jobs > 1`` parallelizes Pilgrim's finalize tree reduction."""
+    Tracer configuration travels in *options* (one
+    :class:`TracerOptions` shared by both tracers):
+    ``options.profile`` attaches an enabled metrics registry to both so
+    the fine-grained phase decomposition (Fig 8) lands in
+    ``row.phases``; ``options.metrics`` accumulates across rows;
+    ``options.jobs > 1`` parallelizes Pilgrim's finalize tree
+    reduction.  The historical loose keywords (``profile=``, ``jobs=``,
+    ``metrics=``) still work for one release with a
+    DeprecationWarning."""
+    from .. import api  # late import: repro.api sits above repro.analysis
+    legacy = {k: params.pop(k) for k in _LEGACY_KEYS if k in params}
+    opts = options if options is not None else TracerOptions()
+    if legacy:
+        warnings.warn(
+            f"passing {sorted(legacy)} to run_experiment() as loose "
+            f"keywords is deprecated; set them on TracerOptions(...) and "
+            f"pass options=", DeprecationWarning, stacklevel=2)
+        opts = replace(opts, **legacy)
+    # one registry shared by both tracers (profile=True on the options
+    # would otherwise mint a fresh registry per tracer)
+    opts = replace(opts, metrics=resolve_metrics(opts), profile=False)
     row = ExperimentRow(workload=workload, nprocs=nprocs, params=params)
-    if profile and metrics is None:
-        metrics = MetricsRegistry()
 
     if baseline:
         t0 = time.perf_counter()
@@ -79,12 +97,13 @@ def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
         row.app_seconds = time.perf_counter() - t0
 
     if pilgrim:
-        tracer = make_tracer("pilgrim", TracerOptions(
-            metrics=metrics, jobs=jobs, extra=dict(pilgrim_kwargs or {})))
         t0 = time.perf_counter()
-        res = make(workload, nprocs, **params).run(seed=seed, tracer=tracer)
+        tr = api.trace(workload, nprocs, backend="pilgrim", seed=seed,
+                       params=params,
+                       options=replace(opts,
+                                       extra=dict(pilgrim_kwargs or {})))
         row.pilgrim_seconds = time.perf_counter() - t0
-        r = tracer.result
+        r = tr.result
         row.mpi_calls = r.total_calls
         row.pilgrim_size = r.trace_size
         row.n_signatures = r.n_signatures
@@ -95,14 +114,15 @@ def run_experiment(workload: str, nprocs: int, *, seed: int = 1,
         row.phases = dict(r.phases)
 
     if scalatrace:
-        tracer = make_tracer("scalatrace", TracerOptions(
-            metrics=metrics, extra=dict(scalatrace_kwargs or {})))
         t0 = time.perf_counter()
-        make(workload, nprocs, **params).run(seed=seed, tracer=tracer)
+        tr = api.trace(workload, nprocs, backend="scalatrace", seed=seed,
+                       params=params,
+                       options=replace(opts,
+                                       extra=dict(scalatrace_kwargs or {})))
         row.scalatrace_seconds = time.perf_counter() - t0
-        row.scalatrace_size = tracer.result.trace_size
-        row.n_unique_scalatrace = tracer.result.n_unique_traces
+        row.scalatrace_size = tr.result.trace_size
+        row.n_unique_scalatrace = tr.result.n_unique_traces
         if not row.mpi_calls:
-            row.mpi_calls = tracer.result.total_calls
+            row.mpi_calls = tr.result.total_calls
 
     return row

@@ -1,0 +1,248 @@
+"""The stable public facade: ``repro.api``.
+
+Everything a downstream consumer does with this package goes through
+five verbs, re-exported from the ``repro`` top level:
+
+=============  ========================================================
+``trace``      run a registered workload under a tracer backend,
+               optionally with fault injection; returns a
+               :class:`TraceResult`
+``decode``     parse a trace blob (or file) back to a
+               :class:`~repro.core.decoder.TraceDecoder`; ``salvage=True``
+               recovers what it can from damaged traces
+``verify``     the differential lossless round-trip check on a workload
+               (``allow_degraded=True`` verifies the survivors of a
+               degraded trace and audits its salvage accounting)
+``compare``    Pilgrim vs the ScalaTrace baseline on one configuration
+               (an :class:`~repro.analysis.runner.ExperimentRow`)
+``bench``      run a registered microbenchmark and return its result
+               document
+=============  ========================================================
+
+The CLI (:mod:`repro.cli`), the experiment runner
+(:mod:`repro.analysis.runner`) and the chaos harness
+(:mod:`repro.resilience.chaos`) are all thin callers of this module;
+its signatures are pinned by ``tests/test_api_surface.py`` against a
+checked-in snapshot, so accidental breaks fail CI.
+
+Tracer configuration lives in one place —
+:class:`~repro.core.backends.TracerOptions`.  The historical loose
+keywords (``lossy_timing=``, ``jobs=``, ``metrics=``, ...) are still
+accepted for one release and folded into the options object with a
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Union
+
+from .core.backends import TracerOptions, make_tracer
+from .core.decoder import TraceDecoder
+from .core.verify import VerifyReport, verify_roundtrip
+from .resilience.faults import FaultInjector, arm
+from .workloads import make as _make_workload
+
+__all__ = [
+    "TraceResult", "TracerOptions", "VerifyReport",
+    "bench", "compare", "decode", "trace", "verify",
+]
+
+#: TracerOptions fields that used to travel as loose keyword arguments;
+#: still honored (folded into the options object) with a
+#: DeprecationWarning, removed next release
+_LEGACY_OPTION_KEYS = frozenset({
+    "lossy_timing", "keep_raw", "jobs", "signature_cache", "metrics",
+    "profile", "retry", "memory_watermark", "fault_plan",
+})
+
+
+def _resolve_options(options: Optional[TracerOptions], legacy: dict,
+                     *, where: str) -> TracerOptions:
+    """One TracerOptions from the explicit object plus any deprecated
+    loose keywords (which win, matching the historical call sites)."""
+    opts = options if options is not None else TracerOptions()
+    if not legacy:
+        return opts
+    unknown = sorted(set(legacy) - _LEGACY_OPTION_KEYS)
+    if unknown:
+        raise TypeError(f"{where}() got unexpected keyword argument(s) "
+                        f"{unknown}")
+    warnings.warn(
+        f"passing {sorted(legacy)} to repro.api.{where}() as loose "
+        f"keywords is deprecated; set them on TracerOptions(...) and "
+        f"pass options=",
+        DeprecationWarning, stacklevel=3)
+    return replace(opts, **legacy)
+
+
+def _split_legacy(params: dict) -> dict:
+    """Pop the deprecated tracer keywords out of a workload-params dict
+    (the two namespaces used to share one ``**kwargs``)."""
+    return {k: params.pop(k) for k in list(params)
+            if k in _LEGACY_OPTION_KEYS}
+
+
+@dataclass
+class TraceResult:
+    """What :func:`trace` returns: the run plus the tracer's result.
+
+    The commonly wanted fields are forwarded as properties so callers
+    never reach into backend-specific result objects.
+    """
+
+    workload: str
+    nprocs: int
+    backend: str
+    seed: int
+    #: the constructed tracer (still holds raw streams, CSTs, metrics)
+    tracer: Any
+    #: the simulator's RunResult (virtual times, scheduler steps)
+    run: Any
+    #: the fully resolved options the tracer was built with
+    options: TracerOptions = field(default_factory=TracerOptions)
+    #: the armed fault injector shared by run + pipeline (None when no
+    #: plan was given)
+    injector: Optional[FaultInjector] = None
+
+    @property
+    def result(self) -> Any:
+        """The backend's result object (PilgrimResult or equivalent)."""
+        return self.tracer.result
+
+    @property
+    def trace_bytes(self) -> bytes:
+        return self.result.trace_bytes
+
+    @property
+    def trace_size(self) -> int:
+        return self.result.trace_size
+
+    @property
+    def total_calls(self) -> int:
+        return self.result.total_calls
+
+    @property
+    def degraded(self) -> bool:
+        """True when the resilient pipeline had to abandon data."""
+        return bool(getattr(self.result, "degraded", False))
+
+    @property
+    def salvage(self):
+        """The SalvageReport accounting for lost data (None if intact)."""
+        return getattr(self.result, "salvage", None)
+
+    @property
+    def fired_faults(self) -> list:
+        """Human-readable log of every fault that actually fired."""
+        return list(getattr(self.result, "fired_faults", []))
+
+    def write(self, path: Union[str, os.PathLike]) -> int:
+        """Write the trace blob to *path*; returns the byte count."""
+        blob = self.trace_bytes
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        return len(blob)
+
+    def decode(self, *, salvage: Optional[bool] = None) -> TraceDecoder:
+        """Decode this result's trace (salvage defaults to degraded-ness)."""
+        return decode(self.trace_bytes,
+                      salvage=self.degraded if salvage is None else salvage)
+
+
+def trace(workload: str, nprocs: int = 16, *,
+          backend: str = "pilgrim",
+          options: Optional[TracerOptions] = None,
+          seed: int = 1,
+          params: Optional[dict] = None,
+          noise: float = 0.05,
+          events: Any = None,
+          fault_plan: Any = None,
+          **legacy) -> TraceResult:
+    """Run registered *workload* on *nprocs* simulated ranks under the
+    *backend* tracer and finalize the trace.
+
+    ``fault_plan`` (a :class:`~repro.resilience.faults.FaultPlan`, a
+    plan string for :meth:`FaultPlan.parse`, or a pre-armed injector)
+    turns on deterministic fault injection: ONE injector is shared by
+    the simulator's scheduler and the finalize pipeline, so a plan's
+    ``times=`` budgets are global to the run.  Without a plan every
+    injection point is a no-op ``None`` check.
+    """
+    opts = _resolve_options(options, legacy, where="trace")
+    if fault_plan is not None:
+        opts = replace(opts, fault_plan=fault_plan)
+    if isinstance(opts.fault_plan, str):
+        from .resilience.faults import FaultPlan
+        opts = replace(opts, fault_plan=FaultPlan.parse(opts.fault_plan))
+    injector = arm(opts.fault_plan)
+    if injector is not None:
+        # hand every consumer the *same* armed injector
+        opts = replace(opts, fault_plan=injector)
+    tracer = make_tracer(backend, opts)
+    wl = _make_workload(workload, nprocs, **(params or {}))
+    run = wl.run(seed=seed, tracer=tracer, noise=noise, events=events,
+                 faults=injector)
+    return TraceResult(workload=workload, nprocs=nprocs, backend=backend,
+                       seed=seed, tracer=tracer, run=run, options=opts,
+                       injector=injector)
+
+
+def decode(data: Union[bytes, str, os.PathLike], *,
+           salvage: bool = False) -> TraceDecoder:
+    """Parse a trace blob — or read it from a path — into a decoder.
+
+    ``salvage=True`` switches the parser to best-effort mode: damaged
+    or truncated sections are dropped instead of raising, and the
+    decoder's ``.salvage`` carries a
+    :class:`~repro.resilience.salvage.SalvageReport` of what was lost.
+    """
+    if isinstance(data, (str, os.PathLike)):
+        with open(data, "rb") as fh:
+            data = fh.read()
+    return TraceDecoder.from_bytes(data, salvage=salvage)
+
+
+def verify(workload: str, nprocs: int = 16, *, seed: int = 1,
+           options: Optional[TracerOptions] = None,
+           allow_degraded: bool = False,
+           fault_plan: Any = None,
+           **params) -> VerifyReport:
+    """Trace *workload* with raw streams retained and differentially
+    verify the lossless round-trip (the ``repro verify`` entry point).
+
+    Extra keywords are workload parameters; the deprecated tracer
+    keywords (``lossy_timing=``, ``jobs=``, ...) are still recognized
+    and folded into *options* with a warning.  With ``fault_plan`` and
+    ``allow_degraded=True`` this verifies the *survivors* of a degraded
+    trace and audits the salvage report's call accounting.
+    """
+    legacy = _split_legacy(params)
+    opts = _resolve_options(options, legacy, where="verify")
+    opts = replace(opts, keep_raw=True)
+    tr = trace(workload, nprocs, backend="pilgrim", options=opts,
+               seed=seed, params=params, fault_plan=fault_plan)
+    return verify_roundtrip(tr.tracer, allow_degraded=allow_degraded)
+
+
+def compare(workload: str, nprocs: int, *, seed: int = 1,
+            options: Optional[TracerOptions] = None,
+            baseline: bool = True,
+            params: Optional[dict] = None):
+    """Pilgrim vs the ScalaTrace baseline on one (workload, nprocs):
+    trace sizes, call counts, overheads.  Returns an ``ExperimentRow``."""
+    from .analysis.runner import run_experiment  # heavier import, lazy
+    return run_experiment(workload, nprocs, seed=seed, options=options,
+                          baseline=baseline, **(params or {}))
+
+
+def bench(name: str = "hotpath", *, repeats: int = 5, warmup: int = 1,
+          params: Optional[dict] = None) -> dict:
+    """Run one registered microbenchmark; returns its result document
+    (the JSON that ``repro bench`` writes).  See
+    :func:`repro.bench.available_benchmarks` for the registry."""
+    from . import bench as _bench  # heavier import, lazy
+    return _bench.run_benchmark(name, repeats=repeats, warmup=warmup,
+                                params=params)

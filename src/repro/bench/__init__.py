@@ -21,7 +21,9 @@ from __future__ import annotations
 import json
 import platform
 import statistics
+import sys
 import time
+import types
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional
@@ -171,3 +173,17 @@ def write_results(doc: dict, output_dir: str = "benchmarks/results", *,
 
 # built-in benchmarks register themselves on import
 from . import decode, finalize, hotpath  # noqa: E402,F401
+
+
+class _BenchFacadeModule(types.ModuleType):
+    """Make ``repro.bench`` callable: the package doubles as the facade
+    verb (``repro.bench("hotpath")``, see :func:`repro.api.bench`), so
+    importing the subpackage can never shadow the public API."""
+
+    def __call__(self, name: str = "hotpath", *, repeats: int = 5,
+                 warmup: int = 1, params: Optional[dict] = None) -> dict:
+        return run_benchmark(name, repeats=repeats, warmup=warmup,
+                             params=params)
+
+
+sys.modules[__name__].__class__ = _BenchFacadeModule

@@ -4,6 +4,7 @@ The workflows a downstream user actually runs:
 
 * ``trace``    — run a workload under a tracer backend, write the trace
 * ``verify``   — differential lossless round-trip check on workload(s)
+* ``faults``   — describe fault plans / run the chaos recovery matrix
 * ``fuzz``     — corruption-fuzz the decoder (structured errors only)
 * ``info``     — summarize a trace file (sizes, signatures, grammars)
 * ``dump``     — decode a trace to flat text (or OTF-style events)
@@ -24,13 +25,14 @@ import dataclasses
 import json
 import sys
 
+from . import api
 from .analysis import fmt_kb, print_table, run_experiment
-from .core import (TraceDecoder, TraceFormatError, TracerOptions,
-                   available_backends, make_tracer, run_fuzz,
-                   verify_roundtrip, verify_workload)
+from .core import (TraceFormatError, TracerOptions, available_backends,
+                   make_tracer, run_fuzz, verify_roundtrip)
 from .core.export import to_text, write_otf_text
 from .obs import EventLog, MetricsRegistry, write_metrics_jsonl
 from .replay import generate_miniapp, replay_trace, structurally_equal
+from .resilience import FaultPlan
 from .workloads import REGISTRY, make
 
 
@@ -47,20 +49,31 @@ def _parse_params(pairs: list[str]) -> dict:
     return out
 
 
+def _fault_plan_arg(args):
+    """The --fault-plan/--fault-seed pair as a parsed FaultPlan (None
+    when injection was not requested)."""
+    if not getattr(args, "fault_plan", None):
+        return None
+    return FaultPlan.parse(args.fault_plan,
+                           seed=getattr(args, "fault_seed", 0))
+
+
 def cmd_trace(args) -> int:
     metrics = MetricsRegistry() if args.metrics else None
     events = EventLog() if args.events else None
     if args.verify and args.backend != "pilgrim":
         raise SystemExit(f"--verify requires the pilgrim backend, "
                          f"not {args.backend!r}")
-    tracer = make_tracer(args.backend, TracerOptions(
-        lossy_timing=args.lossy_timing, keep_raw=args.verify,
-        jobs=args.jobs, metrics=metrics))
-    wl = make(args.workload, args.procs, **_parse_params(args.param))
-    wl.run(seed=args.seed, tracer=tracer, events=events)
-    r = tracer.result
-    with open(args.output, "wb") as fh:
-        fh.write(r.trace_bytes)
+    result = api.trace(
+        args.workload, args.procs, backend=args.backend, seed=args.seed,
+        params=_parse_params(args.param), events=events,
+        fault_plan=_fault_plan_arg(args),
+        options=TracerOptions(
+            lossy_timing=args.lossy_timing, keep_raw=args.verify,
+            jobs=args.jobs, metrics=metrics,
+            memory_watermark=args.watermark))
+    r = result.result
+    result.write(args.output)
     detail = "".join(
         f", {getattr(r, attr)} {label}"
         for attr, label in (("n_signatures", "signatures"),
@@ -69,6 +82,14 @@ def cmd_trace(args) -> int:
     print(f"traced {args.workload} on {args.procs} ranks with "
           f"{args.backend}: {r.total_calls} calls{detail}")
     print(f"wrote {r.trace_size} bytes to {args.output}")
+    if result.fired_faults:
+        print(f"injected {len(result.fired_faults)} fault(s): "
+              + ", ".join(result.fired_faults))
+    if result.degraded:
+        print(f"DEGRADED: {result.salvage.summary()}")
+        if not args.allow_degraded:
+            print("(pass --allow-degraded to accept a partial trace)")
+            return 1
     if metrics is not None:
         # one self-contained dump: metrics plus any captured events
         write_metrics_jsonl(args.metrics, metrics,
@@ -84,7 +105,8 @@ def cmd_trace(args) -> int:
         print(f"wrote {len(events)} runtime events to {args.events}"
               + (f" ({events.dropped} dropped)" if events.dropped else ""))
     if args.verify:
-        report = verify_roundtrip(tracer)
+        report = verify_roundtrip(result.tracer,
+                                  allow_degraded=args.allow_degraded)
         print(report.summary())
         if not report.ok:
             for m in report.mismatches:
@@ -98,13 +120,18 @@ def cmd_verify(args) -> int:
     rows = []
     failed = False
     for name in args.workload:
-        report = verify_workload(name, args.procs, seed=args.seed,
-                                 lossy_timing=args.lossy_timing,
-                                 jobs=args.jobs,
-                                 **_parse_params(args.param))
+        report = api.verify(name, args.procs, seed=args.seed,
+                            options=TracerOptions(
+                                lossy_timing=args.lossy_timing,
+                                jobs=args.jobs),
+                            fault_plan=_fault_plan_arg(args),
+                            allow_degraded=args.allow_degraded,
+                            **_parse_params(args.param))
+        status = "OK" if report.ok else "FAILED"
+        if report.ok and "salvage_accounting" in report.checks:
+            status = "OK (degraded)"
         rows.append((name, report.nprocs, report.total_calls,
-                     fmt_kb(report.trace_bytes),
-                     "OK" if report.ok else "FAILED"))
+                     fmt_kb(report.trace_bytes), status))
         if not report.ok:
             failed = True
             print(f"{name}: {report.summary()}")
@@ -115,15 +142,49 @@ def cmd_verify(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_faults(args) -> int:
+    """Describe fault plans and run the chaos recovery matrix."""
+    from .resilience.chaos import run_fault_matrix
+    plans = None
+    if args.plan:
+        plans = [FaultPlan.parse(p, seed=args.fault_seed)
+                 for p in args.plan]
+    elif args.plans:
+        plans = [FaultPlan.random(args.plan_seed + i, nprocs=args.procs)
+                 for i in range(args.plans)]
+    if not args.chaos:
+        # describe-only mode: print what each plan would inject
+        if plans is None:
+            raise SystemExit("repro faults: give PLAN strings, --plans N "
+                             "to sample random plans, or --chaos to run "
+                             "the recovery matrix")
+        for plan in plans:
+            print(plan.describe())
+        return 0
+    cases = run_fault_matrix(args.chaos, nprocs=args.procs,
+                             n_plans=args.plans or 8, seed=args.seed,
+                             base_plan_seed=args.plan_seed, plans=plans)
+    for case in cases:
+        print(case.describe())
+    bad = [c for c in cases if not c.ok]
+    recovered = sum(c.outcome == "recovered" for c in cases)
+    degraded = sum(c.outcome == "degraded" for c in cases)
+    print(f"chaos matrix: {len(cases)} cases, {recovered} recovered "
+          f"byte-identical, {degraded} degraded with conserving salvage, "
+          f"{len(bad)} FAILED")
+    return 1 if bad else 0
+
+
 def cmd_fuzz(args) -> int:
     """Corruption-fuzz the decoder against a freshly traced workload."""
-    tracer = make_tracer("pilgrim", TracerOptions(
-        lossy_timing=args.lossy_timing))
-    make(args.workload, args.procs, **_parse_params(args.param)).run(
-        seed=args.seed, tracer=tracer)
-    blob = tracer.result.trace_bytes
-    report = run_fuzz(blob, seed=args.fuzz_seed, n_random=args.mutations)
-    print(f"{args.workload} ({args.procs} ranks, {len(blob)} byte trace)")
+    blob = api.trace(
+        args.workload, args.procs, seed=args.seed,
+        params=_parse_params(args.param),
+        options=TracerOptions(lossy_timing=args.lossy_timing)).trace_bytes
+    report = run_fuzz(blob, seed=args.fuzz_seed, n_random=args.mutations,
+                      salvage=args.salvage)
+    print(f"{args.workload} ({args.procs} ranks, {len(blob)} byte trace"
+          + (", salvage mode" if args.salvage else "") + ")")
     print(report.summary())
     for failure in report.failures[:20]:
         print(f"  {failure}")
@@ -132,7 +193,9 @@ def cmd_fuzz(args) -> int:
 
 def cmd_info(args) -> int:
     blob = open(args.trace, "rb").read()
-    dec = TraceDecoder.from_bytes(blob)
+    dec = api.decode(blob, salvage=args.salvage)
+    if dec.salvage is not None:
+        print(f"note: {dec.salvage.summary()}")
     sizes = dec.trace.section_sizes()
     hist = dict(sorted(dec.function_histogram().items(),
                        key=lambda kv: -kv[1]))
@@ -255,7 +318,8 @@ def cmd_bench(args) -> int:
 def cmd_compare(args) -> int:
     metrics = MetricsRegistry() if args.metrics else None
     rows = [run_experiment(args.workload, P, seed=args.seed, baseline=False,
-                           metrics=metrics, jobs=args.jobs,
+                           options=TracerOptions(metrics=metrics,
+                                                 jobs=args.jobs),
                            **_parse_params(args.param))
             for P in args.procs]
     if metrics is not None:
@@ -349,6 +413,19 @@ def _add_jobs_flag(p) -> None:
                         "reduction (byte-identical to serial; default 1)")
 
 
+def _add_fault_flags(p) -> None:
+    p.add_argument("--fault-plan", metavar="PLAN",
+                   help="inject faults: 'kind@site[*times][:key=val];...' "
+                        "e.g. 'kill@merge*2;corrupt@shard.freeze:rank=1' "
+                        "(see repro faults)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for fault probability/byte-damage draws "
+                        "(default 0)")
+    p.add_argument("--allow-degraded", action="store_true",
+                   help="accept a partial trace when recovery is "
+                        "impossible (salvage report printed)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
@@ -367,6 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tracer backend from the repro.core.backends "
                         "registry (default: pilgrim)")
     _add_jobs_flag(p)
+    _add_fault_flags(p)
+    p.add_argument("--watermark", type=int, default=None, metavar="CALLS",
+                   help="soft per-rank memory watermark: spill the live "
+                        "grammar after this many calls (degraded-mode "
+                        "tracing; traces stay byte-identical)")
     p.add_argument("--verify", action="store_true",
                    help="run the lossless round-trip check")
     p.add_argument("--metrics", metavar="FILE",
@@ -386,7 +468,30 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="KEY=VALUE")
     p.add_argument("--lossy-timing", action="store_true")
     _add_jobs_flag(p)
+    _add_fault_flags(p)
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("faults",
+                       help="describe fault plans / run the chaos "
+                            "recovery matrix")
+    p.add_argument("plan", nargs="*",
+                   help="fault plan string(s) to describe (or to use "
+                        "for --chaos instead of random plans)")
+    p.add_argument("--chaos", nargs="+", metavar="WORKLOAD",
+                   help="run the recovery matrix on these workloads: "
+                        "every plan must recover byte-identically or "
+                        "degrade with a conserving salvage report")
+    p.add_argument("-n", "--procs", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1,
+                   help="workload seed for --chaos (default 1)")
+    p.add_argument("--plans", type=int, default=0, metavar="N",
+                   help="number of random plans to sample (default 8 "
+                        "for --chaos)")
+    p.add_argument("--plan-seed", type=int, default=100,
+                   help="base seed for random plan sampling (default 100)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for explicit PLAN strings (default 0)")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("fuzz",
                        help="corruption-fuzz the decoder (structured "
@@ -400,10 +505,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--param", action="append", default=[],
                    metavar="KEY=VALUE")
     p.add_argument("--lossy-timing", action="store_true")
+    p.add_argument("--salvage", action="store_true",
+                   help="fuzz the best-effort salvage parser instead: "
+                        "every mutation must be recovered or rejected "
+                        "with a structured error, never crash")
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("info", help="summarize a trace file")
     p.add_argument("trace")
+    p.add_argument("--salvage", action="store_true",
+                   help="best-effort parse of a damaged trace; prints "
+                        "the salvage report")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON instead of tables")
     p.set_defaults(fn=cmd_info)

@@ -30,9 +30,11 @@ from .backends import (NullTracer, RawTracer, TracerOptions,
 from .cst import CST, MergedCST, merge_csts
 from .decoder import TraceDecoder
 from .encoder import CommIdSpace, MemoryTable, PerRankEncoder
-from .errors import (ChecksumError, CorruptTraceError, TraceFormatError,
-                     TruncatedTraceError, UnsupportedVersionError)
-from .fuzz import FuzzOutcome, FuzzReport, iter_mutations, run_fuzz
+from .errors import (ChecksumError, CorruptTraceError, MissingRankError,
+                     TraceFormatError, TruncatedTraceError,
+                     UnsupportedVersionError)
+from .fuzz import (FuzzOutcome, FuzzReport, corpus_mutations, iter_mutations,
+                   run_fuzz)
 from .grammar import Grammar
 from .interproc import CFGMergeResult, expand_rank, merge_grammars
 from .pipeline import PipelineResult, TracePipeline, tree_reduce
@@ -49,13 +51,15 @@ __all__ = [
     "CFGMergeResult", "CST", "ChecksumError", "CommIdSpace",
     "CorruptTraceError", "DecodedCall", "FuzzOutcome", "FuzzReport",
     "Grammar", "GrammarSet", "IdPool", "IntervalTree", "MemoryTable",
-    "MergedCST", "NullTracer", "ObjectIdTable", "PerRankEncoder",
+    "MergedCST", "MissingRankError", "NullTracer", "ObjectIdTable",
+    "PerRankEncoder",
     "PilgrimResult", "PilgrimTracer", "PipelineResult", "RankCompressor",
     "RankShard", "RawTracer", "RequestIdAllocator", "Sequitur",
     "TIMING_AGGREGATE", "TIMING_LOSSY", "TimingCompressor", "TraceDecoder",
     "TraceFile", "TraceFormatError", "TracePipeline", "TracerOptions",
     "TruncatedTraceError", "UnsupportedVersionError", "VerifyReport",
-    "available_backends", "bin_value", "expand_rank", "iter_mutations",
+    "available_backends", "bin_value", "corpus_mutations", "expand_rank",
+    "iter_mutations",
     "make_tracer", "merge_csts", "merge_grammars", "merge_shards",
     "reconstruct_times", "run_fuzz", "section_spans", "sig_to_params",
     "tree_reduce", "unbin_value", "verify_roundtrip", "verify_workload",

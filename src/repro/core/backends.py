@@ -49,6 +49,19 @@ class TracerOptions:
     signature_cache: bool = True
     #: self-instrumentation registry (None = disabled, zero overhead)
     metrics: Any = None
+    #: convenience: create an enabled metrics registry when none is
+    #: given, so phase/stats profiling is one flag instead of a registry
+    profile: bool = False
+    #: a FaultPlan (or pre-armed FaultInjector) to inject during the
+    #: run and its finalize pipeline; None = every injection point is a
+    #: no-op None check
+    fault_plan: Any = None
+    #: RetryPolicy for the resilient pipeline (None = defaults when a
+    #: fault plan is armed, no supervision otherwise)
+    retry: Any = None
+    #: soft per-rank memory watermark for degraded-mode tracing
+    #: (see RankCompressor.spill); None = disabled
+    memory_watermark: Optional[int] = None
     #: backend-specific constructor kwargs, passed through verbatim
     extra: dict = field(default_factory=dict)
 
@@ -92,13 +105,27 @@ def make_tracer(name: str, options: Optional[TracerOptions] = None,
 # -- built-in backends ---------------------------------------------------------------------
 
 
+def resolve_metrics(opts: TracerOptions):
+    """The registry a backend should instrument into: the explicit one,
+    a fresh enabled registry when ``profile=True``, else None."""
+    if opts.metrics is not None:
+        return opts.metrics
+    if opts.profile:
+        from ..obs import MetricsRegistry
+        return MetricsRegistry()
+    return None
+
+
 @register_backend("pilgrim")
 def _make_pilgrim(opts: TracerOptions) -> TracerHooks:
     from .tracer import TIMING_AGGREGATE, TIMING_LOSSY, PilgrimTracer
     return PilgrimTracer(
         timing_mode=TIMING_LOSSY if opts.lossy_timing else TIMING_AGGREGATE,
         keep_raw=opts.keep_raw, jobs=opts.jobs,
-        signature_cache=opts.signature_cache, metrics=opts.metrics,
+        signature_cache=opts.signature_cache,
+        metrics=resolve_metrics(opts),
+        fault_plan=opts.fault_plan, retry=opts.retry,
+        memory_watermark=opts.memory_watermark,
         **opts.extra)
 
 
@@ -106,7 +133,7 @@ def _make_pilgrim(opts: TracerOptions) -> TracerHooks:
 def _make_scalatrace(opts: TracerOptions) -> TracerHooks:
     # late import: repro.scalatrace lives outside repro.core
     from ..scalatrace import ScalaTraceTracer
-    return ScalaTraceTracer(metrics=opts.metrics, **opts.extra)
+    return ScalaTraceTracer(metrics=resolve_metrics(opts), **opts.extra)
 
 
 @dataclass

@@ -12,39 +12,66 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from .errors import MissingRankError
 from .records import DecodedCall, sig_to_params
 from .trace_format import TraceFile
 
 
 class TraceDecoder:
-    """Random-access decoder over a parsed :class:`TraceFile`."""
+    """Random-access decoder over a parsed :class:`TraceFile`.
+
+    Asking for a rank outside ``[0, nprocs)`` is a caller bug and raises
+    :class:`IndexError`; asking for an in-range rank the trace has no
+    data for (a salvaged trace with losses) raises the structured
+    :class:`~repro.core.errors.MissingRankError`, so salvage-aware
+    callers can skip lost ranks deliberately instead of catching bare
+    ``KeyError``/``IndexError``.
+    """
 
     def __init__(self, trace: TraceFile):
         self.trace = trace
         self._sig_cache: dict[int, tuple[str, dict]] = {}
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "TraceDecoder":
-        return cls(TraceFile.from_bytes(data))
+    def from_bytes(cls, data: bytes, salvage: bool = False) -> "TraceDecoder":
+        return cls(TraceFile.from_bytes(data, salvage=salvage))
 
     @property
     def nprocs(self) -> int:
         return self.trace.nprocs
 
+    @property
+    def salvage(self):
+        """The trace's salvage report (None for an intact trace)."""
+        return self.trace.salvage
+
+    def _rank_uid(self, rank: int) -> int:
+        """The rank's unique-grammar index, with structured errors."""
+        if not 0 <= rank < self.trace.nprocs:
+            raise IndexError(f"rank {rank} out of range")
+        cfg = self.trace.cfg
+        if rank >= len(cfg.rank_uid):
+            raise MissingRankError(rank, "absent from the CFG rank map")
+        uid = cfg.rank_uid[rank]
+        if uid >= len(cfg.unique):
+            raise MissingRankError(
+                rank, f"rank map points at grammar {uid} but only "
+                f"{len(cfg.unique)} were recovered")
+        return uid
+
     # -- terminal level ------------------------------------------------------------------
 
     def rank_terminals(self, rank: int) -> list[int]:
         """One rank's call sequence as global CST terminal symbols."""
-        if not 0 <= rank < self.trace.nprocs:
-            raise IndexError(f"rank {rank} out of range")
         cfg = self.trace.cfg
-        return cfg.unique[cfg.rank_uid[rank]].expand()
+        return cfg.unique[self._rank_uid(rank)].expand()
 
     def all_terminals(self) -> list[list[int]]:
         """Every rank's sequence; identical ranks share one expansion."""
         cfg = self.trace.cfg
         expanded = [g.expand() for g in cfg.unique]
-        return [expanded[uid] for uid in cfg.rank_uid]
+        return [expanded[self._rank_uid(rank)]
+                for rank in range(len(cfg.rank_uid))]
 
     # -- record level ----------------------------------------------------------------------
 
@@ -70,11 +97,10 @@ class TraceDecoder:
         if rank is not None:
             # expand only the requested rank's unique grammar — asking for
             # one rank must not pay for every grammar in the trace
-            if not 0 <= rank < self.trace.nprocs:
-                raise IndexError(f"rank {rank} out of range")
-            return cfg.unique[cfg.rank_uid[rank]].expanded_length()
+            return cfg.unique[self._rank_uid(rank)].expanded_length()
         lengths = [g.expanded_length() for g in cfg.unique]
-        return sum(lengths[uid] for uid in cfg.rank_uid)
+        return sum(lengths[self._rank_uid(r)]
+                   for r in range(len(cfg.rank_uid)))
 
     # -- summaries ----------------------------------------------------------------------------
 

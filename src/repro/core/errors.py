@@ -48,3 +48,16 @@ class UnsupportedVersionError(TraceFormatError):
 class CorruptTraceError(TraceFormatError):
     """The blob is structurally inconsistent (bad tag, bad rule
     reference, impossible count, trailing bytes, ...)."""
+
+
+class MissingRankError(CorruptTraceError):
+    """A rank inside ``[0, nprocs)`` has no data in the trace — its
+    entry is absent from the CFG rank map (typically a salvaged or
+    degraded trace whose shard was lost).  Carries the rank so callers
+    like ``verify --allow-degraded`` can skip it deliberately."""
+
+    def __init__(self, rank: int, detail: str = ""):
+        super().__init__(
+            f"rank {rank} has no data in this trace"
+            + (f" ({detail})" if detail else ""))
+        self.rank = rank

@@ -19,18 +19,20 @@ tier-1 tests assert zero crashes and zero silent successes.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from .decoder import TraceDecoder
 from .errors import TraceFormatError
-from .trace_format import section_spans
+from .trace_format import HEADER_FIXED, section_spans
 
 #: outcome kinds
 STRUCTURED = "structured"   # raised a TraceFormatError subclass: correct
 CRASH = "crash"             # raised anything else: decoder bug
 SILENT = "silent"           # decoded without complaint: integrity bug
+SALVAGED = "salvaged"       # salvage mode recovered a partial decode
 
 
 @dataclass
@@ -48,6 +50,9 @@ class FuzzOutcome:
 class FuzzReport:
     total: int = 0
     structured: int = 0
+    #: mutations the salvage parser recovered a partial decode from
+    #: (only nonzero when fuzzing with ``salvage=True``)
+    salvaged: int = 0
     #: every non-structured outcome, for diagnosis
     failures: list[FuzzOutcome] = field(default_factory=list)
     #: histogram of raised error class names
@@ -62,7 +67,8 @@ class FuzzReport:
         errs = ", ".join(f"{k}×{v}" for k, v in sorted(self.by_error.items()))
         return (f"corruption fuzz: {status} ({self.total} mutations, "
                 f"{self.structured} structured errors, "
-                f"{len(self.failures)} failures; {errs})")
+                + (f"{self.salvaged} salvaged, " if self.salvaged else "")
+                + f"{len(self.failures)} failures; {errs})")
 
 
 def _flip(blob: bytes, offset: int, bit: int) -> bytes:
@@ -106,27 +112,75 @@ def iter_mutations(blob: bytes, seed: int = 0,
             yield f"truncate to {cut} bytes (random #{i})", blob[:cut]
 
 
-def _deep_decode(blob: bytes) -> None:
+def corpus_mutations(blob: bytes) -> Iterator[tuple[str, bytes]]:
+    """Semantically-targeted corpus: mutations every section checksum
+    still accepts.  Random bit flips essentially never survive the
+    CRCs, so the missing-rank regressions are built deliberately by
+    editing the (unprotected) header's ``nprocs`` varint — the trace
+    then declares more or fewer ranks than its CFG rank map covers.
+    Strict parsing must reject the mismatch with a structured error;
+    salvage parsing must recover the covered ranks and answer requests
+    for the others with :class:`~repro.core.errors.MissingRankError`,
+    never a bare ``IndexError``/``KeyError``."""
+    if len(blob) <= HEADER_FIXED:
+        return
+    nprocs = blob[HEADER_FIXED]
+    if nprocs >= 0x7f:  # multi-byte varint; the single-byte edits below
+        return          # would change its meaning, not its value
+    rest = blob[HEADER_FIXED + 1:]
+
+    def with_nprocs(n: int) -> bytes:
+        return blob[:HEADER_FIXED] + bytes([n]) + rest
+
+    yield ("header declares one more rank than the rank map covers",
+           with_nprocs(nprocs + 1))
+    if nprocs + 16 < 0x80:
+        yield ("header declares 16 phantom ranks past the rank map",
+               with_nprocs(nprocs + 16))
+    if nprocs >= 2:
+        yield ("header declares one fewer rank than the rank map covers",
+               with_nprocs(nprocs - 1))
+    yield "header declares zero ranks", with_nprocs(0)
+
+
+def _deep_decode(blob: bytes, *, salvage: bool = False) -> None:
     """Parse and then *fully* decode, so lazily-materialized corruption
-    (bad rule references, broken CST entries) cannot hide."""
-    dec = TraceDecoder.from_bytes(blob)
+    (bad rule references, broken CST entries) cannot hide.  In salvage
+    mode, ranks the salvage report declares lost are skipped — decoding
+    the survivors must still never crash."""
+    dec = TraceDecoder.from_bytes(blob, salvage=salvage)
+    lost = (set(dec.salvage.lost_ranks)
+            if salvage and dec.salvage is not None else set())
     dec.call_count()
     for rank in range(dec.nprocs):
+        if rank in lost:
+            continue
         for _ in dec.rank_calls(rank):
             pass
     dec.function_histogram()
 
 
-def run_fuzz(blob: bytes, seed: int = 0, n_random: int = 400) -> FuzzReport:
-    """Attack *blob* with the deterministic mutation set; every mutation
-    must make the decoder raise a :class:`TraceFormatError` subclass."""
+def run_fuzz(blob: bytes, seed: int = 0, n_random: int = 400, *,
+             salvage: bool = False) -> FuzzReport:
+    """Attack *blob* with the deterministic mutation set (semantic
+    corpus first, then boundary and random mutations).
+
+    Strict mode (the default): every mutation must make the decoder
+    raise a :class:`TraceFormatError` subclass — a silent decode is an
+    integrity bug.  Salvage mode (``salvage=True``): every mutation
+    must either raise a structured error (header-level damage) or
+    produce a partial decode whose surviving ranks decode cleanly —
+    a crash is a salvage-parser bug either way."""
     report = FuzzReport()
-    for desc, mut in iter_mutations(blob, seed=seed, n_random=n_random):
+    mutations = itertools.chain(
+        corpus_mutations(blob),
+        iter_mutations(blob, seed=seed, n_random=n_random))
+    for desc, mut in mutations:
         if mut == blob:
             continue
         report.total += 1
         try:
-            _deep_decode(mut)
+            _deep_decode(mut, salvage=salvage)
         except TraceFormatError as e:
             report.structured += 1
             cls = type(e).__name__
@@ -135,5 +189,8 @@ def run_fuzz(blob: bytes, seed: int = 0, n_random: int = 400) -> FuzzReport:
             report.failures.append(FuzzOutcome(
                 desc, CRASH, f"{type(e).__name__}: {e}"))
         else:
-            report.failures.append(FuzzOutcome(desc, SILENT))
+            if salvage:
+                report.salvaged += 1
+            else:
+                report.failures.append(FuzzOutcome(desc, SILENT))
     return report

@@ -1,5 +1,5 @@
 """The explicit three-stage compression pipeline (shard → reduce →
-serialize).
+serialize), with optional resilience.
 
 Stage 1 (**shard**) freezes every rank's intra-process state into a
 self-contained :class:`~repro.core.shard.RankShard`.  Stage 2
@@ -11,6 +11,21 @@ the merge is associative (see :mod:`repro.core.shard`), every tree shape
 and every ``jobs`` setting yields byte-identical traces.  Stage 3
 (**serialize**) runs the final CFG dedup/merge/Sequitur pass over the
 reduced shard's per-rank grammars and emits the v2 on-disk format.
+
+**Resilience** (``faults=`` / ``retry=``): every freeze, pair-merge, and
+the final serialize runs under a :class:`~repro.resilience.retry.
+TaskSupervisor` — per-task deadlines on pooled merges, bounded
+exponential backoff with seeded jitter, re-dispatch of a failed worker's
+subtree (the retry recomputes the merge serially in the parent), and a
+circuit breaker that abandons the process pool for serial merging after
+consecutive worker deaths.  A task whose retry budget is exhausted does
+not abort the run: its rank span is replaced by a placeholder shard and
+recorded in a :class:`~repro.resilience.salvage.SalvageReport`, and the
+result is marked ``degraded``.  The counters surface through the
+``pipeline.*`` metrics scope (``retries``, ``worker_deaths``,
+``breaker_trips``, ``degraded``).  When neither faults nor a retry
+policy are armed, every stage takes the exact pre-resilience code path
+— byte-identical output, no added work on the hot path.
 
 Each reduction level is timed as a ``merge.level.<k>`` phase in the
 attached :class:`~repro.obs.PhaseProfiler`, so ``repro stats`` renders
@@ -24,15 +39,29 @@ the scheduler unchanged.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, TypeVar
 
 from ..obs import PhaseProfiler
+from ..resilience.faults import (FaultInjector, WorkerDiedError,
+                                 WorkerStallError, arm)
+from ..resilience.retry import RetryPolicy, TaskSupervisor
+from ..resilience.salvage import SalvageReport
+from .errors import CorruptTraceError, TraceFormatError
 from .interproc import CFGMergeResult, merge_grammars
 from .shard import GrammarSet, RankShard, merge_shards
 from .trace_format import TraceFile
 
 T = TypeVar("T")
+
+#: what the supervisor retries: injected faults all subclass one of
+#: these, and their real-world counterparts (transient I/O, allocation
+#: failure, dead/hung worker, CRC-detected corruption) are exactly the
+#: failures a retry can plausibly cure.  Anything else is a bug and
+#: propagates immediately.
+RETRYABLE = (OSError, MemoryError, TraceFormatError, WorkerDiedError)
 
 
 def _merge_level(items: list, merge: Callable, pool) -> list:
@@ -99,26 +128,88 @@ class PipelineResult:
     time_reduce: float = 0.0
     #: wall seconds: final CFG dedup/merge/Sequitur (the "inter CFG" cost)
     time_cfg: float = 0.0
+    #: True when any rank span or section had to be abandoned; the
+    #: salvage report then says exactly what was lost
+    degraded: bool = False
+    salvage: Optional[SalvageReport] = None
 
 
 class TracePipeline:
     """Drives shard → reduce → serialize over a set of
     :class:`~repro.core.shard.RankCompressor` objects (or pre-built
-    shards), timing every stage through *profiler*."""
+    shards), timing every stage through *profiler*.
+
+    ``faults`` arms a :class:`~repro.resilience.faults.FaultPlan` (or an
+    already-armed injector, so the tracer and scheduler can share one);
+    ``retry`` overrides the default :class:`~repro.resilience.retry.
+    RetryPolicy`; ``scope`` is an optional ``repro.obs`` metrics scope
+    (conventionally ``pipeline``) the resilience counters report into.
+    """
 
     def __init__(self, *, loop_detection: bool = True,
                  cfg_dedup: bool = True, jobs: int = 1,
-                 profiler: Optional[PhaseProfiler] = None):
+                 profiler: Optional[PhaseProfiler] = None,
+                 faults=None, retry: Optional[RetryPolicy] = None,
+                 scope=None):
         self.loop_detection = loop_detection
         self.cfg_dedup = cfg_dedup
         self.jobs = jobs
         self.profiler = profiler if profiler is not None else PhaseProfiler()
+        self.injector: Optional[FaultInjector] = arm(faults)
+        if retry is None and self.injector is not None:
+            # tie the backoff jitter to the plan seed: one (plan, seed)
+            # pair must replay the identical recovery sequence
+            retry = RetryPolicy(seed=self.injector.plan.seed)
+        self.retry_policy = retry
+        self.supervisor: Optional[TaskSupervisor] = (
+            TaskSupervisor(retry, RETRYABLE, scope)
+            if retry is not None else None)
+        self.salvage = SalvageReport()
+        self._scope = scope
+
+    @property
+    def resilient(self) -> bool:
+        return self.supervisor is not None
 
     # -- stage 1: shard ----------------------------------------------------------------
 
     def shard(self, compressors) -> list[RankShard]:
         with self.profiler.phase("shard"):
-            return [rc.freeze() for rc in compressors]
+            if not self.resilient:
+                return [rc.freeze() for rc in compressors]
+            return [self._freeze_resilient(rc) for rc in compressors]
+
+    def _freeze_resilient(self, rc) -> RankShard:
+        inj = self.injector
+        timing = rc.timing is not None
+
+        def thunk(attempt: int) -> RankShard:
+            if inj is not None:
+                inj.raise_failure("shard.freeze", rc.rank)
+            shard = rc.freeze()
+            if inj is not None:
+                damaged = inj.corrupt_bytes("shard.freeze",
+                                            shard.to_bytes(), rc.rank)
+                if damaged is not None:
+                    # transmit through the serialized form, as a real
+                    # distributed pipeline would: the shard's per-section
+                    # CRCs turn silent damage into a retryable error
+                    shard = RankShard.from_bytes(damaged)
+                    if shard.base_rank != rc.rank or shard.nranks != 1:
+                        raise CorruptTraceError(
+                            f"rank {rc.rank} shard came back claiming "
+                            f"ranks [{shard.base_rank}, "
+                            f"{shard.base_rank + shard.nranks})")
+            return shard
+
+        def on_exhausted(exc: BaseException) -> RankShard:
+            self.salvage.lose_rank(
+                rc.rank, rc.observed_calls,
+                f"freeze abandoned ({type(exc).__name__}: {exc})")
+            return RankShard.empty(rc.rank, 1, timing=timing)
+
+        return self.supervisor.run(thunk, site="shard.freeze",
+                                   on_exhausted=on_exhausted)
 
     # -- stage 2: reduce ---------------------------------------------------------------
 
@@ -129,8 +220,92 @@ class TracePipeline:
                 return RankShard(base_rank=0, nranks=0, sigs=[], counts=[],
                                  dur_ns=[], cfg=GrammarSet(unique=[], uid=[]),
                                  calls=[])
-            return tree_reduce(shards, merge_shards, jobs=self.jobs,
-                               profiler=self.profiler)
+            if not self.resilient:
+                return tree_reduce(shards, merge_shards, jobs=self.jobs,
+                                   profiler=self.profiler)
+            return self._resilient_reduce(list(shards))
+
+    def _resilient_reduce(self, work: list[RankShard]) -> RankShard:
+        if len(work) == 1:
+            return work[0]
+        use_pool = self.jobs > 1 and len(work) >= 4
+        pool = ProcessPoolExecutor(max_workers=self.jobs) \
+            if use_pool else None
+        try:
+            level = 0
+            while len(work) > 1:
+                with self.profiler.phase(f"merge.level.{level}"):
+                    work = self._resilient_level(work, level, pool)
+                level += 1
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return work[0]
+
+    def _resilient_level(self, items: list[RankShard], level: int,
+                         pool) -> list[RankShard]:
+        site = f"merge.level.{level}"
+        sup = self.supervisor
+        inj = self.injector
+        deadline = self.retry_policy.deadline
+        pairs = [(items[i], items[i + 1])
+                 for i in range(0, len(items) - 1, 2)]
+        # submit the whole level up front (same shape as _merge_level);
+        # once the breaker is open, pooled dispatch is over for this run
+        futures: list = [None] * len(pairs)
+        if pool is not None and not sup.broken:
+            for i, (a, b) in enumerate(pairs):
+                futures[i] = pool.submit(merge_shards, a, b)
+
+        merged: list[RankShard] = []
+        for i, (a, b) in enumerate(pairs):
+            fut = futures[i]
+
+            def thunk(attempt: int, a=a, b=b, fut=fut) -> RankShard:
+                if inj is not None:
+                    inj.raise_failure(site)
+                if attempt == 0 and fut is not None and not sup.broken:
+                    try:
+                        out = fut.result(timeout=deadline)
+                    except _FuturesTimeout:
+                        raise WorkerStallError(
+                            f"merge worker blew its {deadline}s deadline "
+                            f"at {site}") from None
+                    except BrokenProcessPool as e:
+                        raise WorkerDiedError(
+                            f"merge worker died at {site}: {e}") from e
+                else:
+                    # re-dispatch of the failed subtree: recompute the
+                    # pair serially in the parent, which cannot die
+                    out = merge_shards(a, b)
+                if inj is not None:
+                    damaged = inj.corrupt_bytes(site, out.to_bytes())
+                    if damaged is not None:
+                        out = RankShard.from_bytes(damaged)
+                        if out.base_rank != a.base_rank or \
+                                out.nranks != a.nranks + b.nranks:
+                            raise CorruptTraceError(
+                                f"merged shard at {site} came back with "
+                                f"the wrong rank span")
+                return out
+
+            def on_exhausted(exc: BaseException, a=a, b=b) -> RankShard:
+                for off, c in enumerate(a.calls):
+                    self.salvage.lose_rank(a.base_rank + off, c)
+                for off, c in enumerate(b.calls):
+                    self.salvage.lose_rank(b.base_rank + off, c)
+                self.salvage.note(
+                    f"ranks [{a.base_rank}, {b.base_rank + b.nranks}) "
+                    f"lost at {site} ({type(exc).__name__}: {exc})")
+                return RankShard.empty(
+                    a.base_rank, a.nranks + b.nranks,
+                    timing=a.timing_duration is not None)
+
+            merged.append(sup.run(thunk, site=site,
+                                  on_exhausted=on_exhausted))
+        if len(items) % 2:
+            merged.append(items[-1])
+        return merged
 
     # -- stage 3: serialize ------------------------------------------------------------
 
@@ -153,9 +328,32 @@ class TracePipeline:
             trace = TraceFile(nprocs=shard.nranks, cst=shard.merged_cst(),
                               cfg=cfg, timing_duration=timing_d,
                               timing_interval=timing_i)
-            blob = trace.to_bytes()
+            if not self.resilient:
+                blob = trace.to_bytes()
+            else:
+                blob = self.supervisor.run(
+                    lambda attempt: self._serialize_once(trace),
+                    site="serialize")
+        degraded = self.salvage.degraded
+        if degraded and self._scope is not None:
+            self._scope.counter("degraded").inc()
         return PipelineResult(trace=trace, trace_bytes=blob, cfg=cfg,
-                              shard=shard, time_cfg=ph_cfg.wall)
+                              shard=shard, time_cfg=ph_cfg.wall,
+                              degraded=degraded,
+                              salvage=self.salvage if degraded else None)
+
+    def _serialize_once(self, trace: TraceFile) -> bytes:
+        inj = self.injector
+        if inj is not None:
+            inj.raise_failure("serialize")
+        blob = trace.to_bytes()
+        if inj is not None:
+            damaged = inj.corrupt_bytes("serialize", blob)
+            if damaged is not None:
+                # the reader's CRC pass is the corruption detector; a
+                # parse failure here is retryable like any other fault
+                TraceFile.from_bytes(damaged)
+        return blob
 
     # -- the whole flow ----------------------------------------------------------------
 

@@ -35,6 +35,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..resilience.salvage import SalvageReport
 from .cst import CST, MergedCST
 from .encoder import PerRankEncoder
 from .errors import (CorruptTraceError, TraceFormatError, TruncatedTraceError,
@@ -144,6 +145,11 @@ class RankShard:
     calls: list[int] = field(default_factory=list)
     timing_duration: Optional[GrammarSet] = None
     timing_interval: Optional[GrammarSet] = None
+    #: set by ``from_bytes(salvage=True)`` when anything was dropped;
+    #: excluded from equality so a salvaged shard still compares equal
+    #: to an intact one when the surviving data matches
+    salvage: Optional[SalvageReport] = field(default=None, compare=False,
+                                             repr=False)
 
     @property
     def n_signatures(self) -> int:
@@ -152,6 +158,26 @@ class RankShard:
     @property
     def total_calls(self) -> int:
         return sum(self.calls)
+
+    @classmethod
+    def empty(cls, base_rank: int, nranks: int, *,
+              timing: bool = False) -> "RankShard":
+        """A placeholder shard covering *nranks* ranks with no data —
+        what the resilient pipeline substitutes for a subtree it had to
+        abandon.  Every covered rank gets the empty grammar (expands to
+        zero calls), so downstream stages and the decoder handle the
+        span without special cases."""
+        g = Grammar(((),))
+        shard = cls(base_rank=base_rank, nranks=nranks, sigs=[],
+                    counts=[], dur_ns=[],
+                    cfg=GrammarSet(unique=[g], uid=[0] * nranks),
+                    calls=[0] * nranks)
+        if timing:
+            shard.timing_duration = GrammarSet(unique=[g],
+                                               uid=[0] * nranks)
+            shard.timing_interval = GrammarSet(unique=[g],
+                                               uid=[0] * nranks)
+        return shard
 
     def merged_cst(self) -> MergedCST:
         """The shard's CST as a :class:`MergedCST` (durations back in
@@ -202,9 +228,19 @@ class RankShard:
         return bytes(out)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "RankShard":
+    def from_bytes(cls, data: bytes, salvage: bool = False) -> "RankShard":
+        """Parse a shard blob.
+
+        With ``salvage=True``, optional sections that fail their CRC or
+        parse (the timing pair) are dropped instead of failing the whole
+        shard, and trailing garbage is tolerated; anything dropped is
+        recorded in the returned shard's ``salvage`` report.  The
+        header and the required sections (CST, calls, CFG) must still be
+        intact — without them there is no shard to salvage.
+        """
         from .trace_format import take_section
 
+        report = SalvageReport() if salvage else None
         if len(data) < 6:
             raise TruncatedTraceError(
                 f"shard of {len(data)} bytes is shorter than the header")
@@ -243,16 +279,26 @@ class RankShard:
                 take_section(r, compressed, "shard-CFG"), "shard-CFG")
             td = ti = None
             if flags & _SHARD_FLAG_TIMING:
-                td = GrammarSet.read_from(
-                    take_section(r, compressed, "shard-timing-duration"),
-                    "shard-timing-duration")
-                ti = GrammarSet.read_from(
-                    take_section(r, compressed, "shard-timing-interval"),
-                    "shard-timing-interval")
+                try:
+                    td = GrammarSet.read_from(
+                        take_section(r, compressed, "shard-timing-duration"),
+                        "shard-timing-duration")
+                    ti = GrammarSet.read_from(
+                        take_section(r, compressed, "shard-timing-interval"),
+                        "shard-timing-interval")
+                except TraceFormatError as e:
+                    if report is None:
+                        raise
+                    # timing is an optional enrichment: drop the pair
+                    # (the trace stays structurally valid without it)
+                    td = ti = None
+                    report.lose_section("shard-timing", str(e))
             if not r.exhausted:
-                raise CorruptTraceError(
-                    f"{len(data) - r.pos} trailing bytes after the last "
-                    f"shard section")
+                if report is None:
+                    raise CorruptTraceError(
+                        f"{len(data) - r.pos} trailing bytes after the "
+                        f"last shard section")
+                report.note(f"{len(data) - r.pos} trailing bytes ignored")
         except TraceFormatError:
             raise
         except (IndexError, KeyError, ValueError, OverflowError,
@@ -263,9 +309,11 @@ class RankShard:
             raise CorruptTraceError(
                 f"shard covers {nranks} ranks but carries {len(calls)} "
                 f"call counts and {len(cfg.uid)} grammar assignments")
+        if report is not None and not (report.degraded or report.notes):
+            report = None
         return cls(base_rank=base_rank, nranks=nranks, sigs=sigs,
                    counts=counts, dur_ns=dur_ns, cfg=cfg, calls=calls,
-                   timing_duration=td, timing_interval=ti)
+                   timing_duration=td, timing_interval=ti, salvage=report)
 
 
 def merge_shards(a: RankShard, b: RankShard) -> RankShard:
@@ -323,7 +371,9 @@ class RankCompressor:
     every other rank (the paper's embarrassingly parallel stage)."""
 
     __slots__ = ("rank", "encoder", "cst", "grammar", "timing",
-                 "raw_terms", "keep_raw", "n_calls")
+                 "raw_terms", "keep_raw", "n_calls", "loop_detection",
+                 "memory_watermark", "_spill_parts", "_spill_input",
+                 "watermark_spills")
 
     def __init__(self, rank: int, comm_space, *, win_space=None,
                  relative_ranks: bool = True,
@@ -332,7 +382,11 @@ class RankCompressor:
                  timing: Optional[TimingCompressor] = None,
                  keep_raw: bool = False,
                  encoder: Optional[PerRankEncoder] = None,
-                 signature_cache: bool = True):
+                 signature_cache: bool = True,
+                 memory_watermark: Optional[int] = None):
+        if memory_watermark is not None and memory_watermark < 1:
+            raise ValueError(
+                f"memory_watermark must be >= 1, got {memory_watermark}")
         self.rank = rank
         self.encoder = encoder if encoder is not None else PerRankEncoder(
             rank, comm_space, win_space=win_space,
@@ -340,11 +394,28 @@ class RankCompressor:
             per_signature_request_pools=per_signature_request_pools,
             signature_cache=signature_cache)
         self.cst = CST(fast_path=signature_cache)
+        self.loop_detection = loop_detection
         self.grammar = Sequitur(loop_detection=loop_detection)
         self.timing = timing
         self.keep_raw = keep_raw
         self.raw_terms: list[int] = []
         self.n_calls = 0
+        #: soft memory watermark (degraded-mode tracing): when the live
+        #: grammar has buffered this many input terminals, it is frozen
+        #: early into a continuation part and a fresh Sequitur takes
+        #: over, bounding the mutable grammar structures a rank keeps
+        #: resident.  None disables the watermark entirely.
+        self.memory_watermark = memory_watermark
+        self._spill_parts: list[Grammar] = []
+        self._spill_input = 0
+        #: how many times the watermark fired (observability/tests)
+        self.watermark_spills = 0
+
+    @property
+    def observed_calls(self) -> int:
+        """Calls this compressor has seen, spilled parts included (also
+        correct when the tracer appends to ``grammar`` directly)."""
+        return self._spill_input + self.grammar.n_input
 
     def observe(self, fname: str, args: dict, t0: float, t1: float) -> int:
         """Run one call through the intra-process pipeline (Fig 2):
@@ -357,7 +428,25 @@ class RankCompressor:
         if self.keep_raw:
             self.raw_terms.append(term)
         self.n_calls += 1
+        if self.memory_watermark is not None \
+                and self.grammar.n_input >= self.memory_watermark:
+            self.spill()
         return term
+
+    def spill(self) -> None:
+        """Watermark crossing: freeze the live grammar into a frozen
+        continuation part and restart Sequitur on a fresh grammar.
+
+        Only the *grammar* is rotated — the CST, encoder, timing
+        compressor, and raw-term buffer all key off stable CST terminal
+        numbers and stay live, so spilling is invisible to every other
+        stage.  ``freeze()`` later splices the parts back together."""
+        if self.grammar.n_input == 0:
+            return
+        self._spill_parts.append(Grammar.freeze(self.grammar))
+        self._spill_input += self.grammar.n_input
+        self.watermark_spills += 1
+        self.grammar = Sequitur(loop_detection=self.loop_detection)
 
     def freeze(self) -> RankShard:
         """Snapshot this rank into a self-contained single-rank shard.
@@ -367,9 +456,26 @@ class RankCompressor:
         Freezing also drops the hot-path accelerator caches (encoder
         signature memo, CST identity fast path): they are meaningless
         after tracing ends and must never ride along when a compressor
-        or its shard is serialized for the parallel reduction."""
+        or its shard is serialized for the parallel reduction.
+
+        If the memory watermark spilled continuation parts during the
+        run, they are re-expanded (terminals are stable CST indices)
+        and re-fed through one fresh Sequitur pass here.  The re-run
+        consumes the exact terminal stream an unsplit run would have,
+        so the frozen grammar — and the final trace — is byte-identical
+        to a run that never spilled."""
         self.encoder.reset_cache()
         self.cst.reset_cache()
+        if self._spill_parts:
+            seq = Sequitur(loop_detection=self.loop_detection)
+            for part in self._spill_parts:
+                for t in part.expand():
+                    seq.append(t)
+            for t in self.grammar.expand():
+                seq.append(t)
+            self.grammar = seq
+            self._spill_parts = []
+            self._spill_input = 0
         g = Grammar.freeze(self.grammar)
         shard = RankShard(
             base_rank=self.rank, nranks=1,

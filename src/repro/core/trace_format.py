@@ -39,9 +39,10 @@ from __future__ import annotations
 
 import struct
 import zlib
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
+from ..resilience.salvage import SalvageReport
 from .cst import MergedCST
 from .errors import (ChecksumError, CorruptTraceError, TraceFormatError,
                      TruncatedTraceError, UnsupportedVersionError)
@@ -171,6 +172,10 @@ class TraceFile:
     cfg: CFGMergeResult
     timing_duration: Optional[CFGMergeResult] = None
     timing_interval: Optional[CFGMergeResult] = None
+    #: set by ``from_bytes(salvage=True)`` when anything was dropped;
+    #: excluded from equality so a cleanly-salvaged trace compares equal
+    salvage: Optional[SalvageReport] = field(default=None, compare=False,
+                                             repr=False)
 
     # -- writing ---------------------------------------------------------------------
 
@@ -201,7 +206,20 @@ class TraceFile:
         return payloads
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "TraceFile":
+    def from_bytes(cls, data: bytes, salvage: bool = False) -> "TraceFile":
+        """Parse a trace blob.
+
+        ``salvage=True`` switches from all-or-nothing to best-effort:
+        every section that passes its CRC and parses is recovered, every
+        section that does not is dropped and recorded in the result's
+        ``salvage`` :class:`~repro.resilience.salvage.SalvageReport`
+        (a lost CFG or CST loses every rank; a lost timing pair only
+        loses timing; a rank map shorter than ``nprocs`` loses the
+        missing ranks).  The header must still be intact — without it
+        there is nothing to salvage.
+        """
+        if salvage:
+            return cls._salvage_from_bytes(data)
         if len(data) < HEADER_FIXED:
             raise TruncatedTraceError(
                 f"trace of {len(data)} bytes is shorter than the "
@@ -248,6 +266,89 @@ class TraceFile:
                 f"header declares {nprocs}")
         return cls(nprocs=nprocs, cst=cst, cfg=cfg,
                    timing_duration=td, timing_interval=ti)
+
+    @classmethod
+    def _salvage_from_bytes(cls, data: bytes) -> "TraceFile":
+        report = SalvageReport()
+        if len(data) < HEADER_FIXED:
+            raise TruncatedTraceError(
+                f"trace of {len(data)} bytes is shorter than the "
+                f"{HEADER_FIXED}-byte header — nothing to salvage")
+        if data[:4] != MAGIC:
+            raise TraceFormatError("not a Pilgrim trace (bad magic)")
+        if data[4] != VERSION:
+            raise UnsupportedVersionError(data[4], VERSION)
+        flags = data[5]
+        if flags & ~_KNOWN_FLAGS:
+            raise CorruptTraceError(
+                f"unknown flag bits in {flags:#04x} "
+                f"(known mask {_KNOWN_FLAGS:#04x})")
+        compressed = bool(flags & FLAG_COMPRESSED)
+        r = Reader(data, HEADER_FIXED)
+        try:
+            nprocs = r.read_uvarint()
+        except TraceFormatError:
+            raise
+        except (IndexError, ValueError) as e:
+            raise CorruptTraceError(
+                f"unreadable nprocs ({e}) — nothing to salvage") from e
+
+        truncated = False
+
+        def read_sec(name: str, parse: Callable[[Reader], object]):
+            nonlocal truncated
+            if truncated:
+                report.lose_section(name, "unreachable past truncation")
+                return None
+            try:
+                return parse(take_section(r, compressed, name))
+            except TruncatedTraceError as e:
+                truncated = True
+                report.lose_section(name, str(e))
+                return None
+            except (TraceFormatError, IndexError, KeyError, ValueError,
+                    OverflowError, RecursionError, MemoryError,
+                    struct.error, zlib.error) as e:
+                report.lose_section(name, f"{type(e).__name__}: {e}")
+                return None
+
+        cst = read_sec("CST", MergedCST.read_from)
+        cfg = read_sec("CFG", _read_cfg_section)
+        td = ti = None
+        if flags & FLAG_TIMING:
+            td = read_sec("timing-duration",
+                          lambda rr: _read_cfg_section(rr, "timing-duration"))
+            ti = read_sec("timing-interval",
+                          lambda rr: _read_cfg_section(rr, "timing-interval"))
+            if td is None or ti is None:
+                # the pair is only meaningful together
+                if td is not None or ti is not None:
+                    report.lose_section("timing", "half of the pair lost")
+                td = ti = None
+        if not truncated and not r.exhausted:
+            report.note(f"{len(data) - r.pos} trailing bytes ignored")
+
+        if cst is None:
+            # CFG terminals index the CST: without it nothing decodes
+            cst = MergedCST(sigs=[], counts=[], dur_sums=[], remaps=[])
+            cfg = None
+        if cfg is None:
+            cfg = CFGMergeResult(final=Grammar(((),)), rank_uid=[],
+                                 unique=[])
+            for rank in range(nprocs):
+                report.lose_rank(rank)
+        if len(cfg.rank_uid) > nprocs:
+            report.note(
+                f"rank map covers {len(cfg.rank_uid)} ranks, header "
+                f"declares {nprocs}; extra entries dropped")
+            cfg.rank_uid = cfg.rank_uid[:nprocs]
+        elif len(cfg.rank_uid) < nprocs:
+            for rank in range(len(cfg.rank_uid), nprocs):
+                report.lose_rank(rank, reason="absent from rank map")
+        if not (report.degraded or report.notes):
+            report = None
+        return cls(nprocs=nprocs, cst=cst, cfg=cfg,
+                   timing_duration=td, timing_interval=ti, salvage=report)
 
     # -- size accounting ----------------------------------------------------------------
 

@@ -33,6 +33,9 @@ from typing import Any, Optional
 
 from ..mpisim.hooks import TracerHooks
 from ..obs import NULL_REGISTRY, MetricsRegistry, PhaseProfiler
+from ..resilience.faults import FaultInjector, arm
+from ..resilience.retry import RetryPolicy
+from ..resilience.salvage import SalvageReport
 from .cst import CST
 from .encoder import CommIdSpace, PerRankEncoder, WinIdSpace
 from .pipeline import TracePipeline
@@ -66,6 +69,12 @@ class PilgrimResult:
     #: also the per-call split encode/cst/sequitur/timing when the tracer
     #: ran with an enabled metrics registry)
     phases: dict[str, float] = field(default_factory=dict)
+    #: True when the resilient pipeline had to abandon any rank span or
+    #: section; ``salvage`` then says exactly what was lost
+    degraded: bool = False
+    salvage: Optional[SalvageReport] = None
+    #: audit log of every injected fault that actually fired
+    fired_faults: list[str] = field(default_factory=list)
 
     @property
     def trace_size(self) -> int:
@@ -108,11 +117,17 @@ class PilgrimTracer(TracerHooks):
                  keep_raw: bool = False,
                  jobs: int = 1,
                  signature_cache: bool = True,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 fault_plan=None,
+                 retry: Optional[RetryPolicy] = None,
+                 memory_watermark: Optional[int] = None):
         if timing_mode not in (TIMING_AGGREGATE, TIMING_LOSSY):
             raise ValueError(f"unknown timing mode {timing_mode!r}")
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if memory_watermark is not None and memory_watermark < 1:
+            raise ValueError(
+                f"memory_watermark must be >= 1, got {memory_watermark}")
         self.relative_ranks = relative_ranks
         self.per_signature_request_pools = per_signature_request_pools
         self.loop_detection = loop_detection
@@ -127,12 +142,27 @@ class PilgrimTracer(TracerHooks):
         self.signature_cache = signature_cache
         #: worker processes for the finalize tree reduction (1 = serial)
         self.jobs = jobs
+        #: armed fault injector (None when no plan is given: every
+        #: injection point then reduces to a no-op None check).  An
+        #: already-armed FaultInjector is accepted too, so the tracer
+        #: and the simulator's scheduler can share one deterministic
+        #: fault stream.
+        self.faults: Optional[FaultInjector] = arm(fault_plan)
+        #: retry policy for the resilient pipeline (None = defaults when
+        #: faults are armed, no supervision otherwise)
+        self.retry = retry
+        #: soft per-rank memory watermark (degraded-mode tracing); see
+        #: RankCompressor.spill
+        self.memory_watermark = memory_watermark
         #: observability: disabled by default (NULL_REGISTRY) so the
         #: benchmarked hot path pays nothing unless profiling is requested
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.obs = self.metrics.scope("pilgrim")
         self.profiler = PhaseProfiler(self.obs)
-        self._fine = self.profiler.fine
+        # the fine per-call path appends through alias lists captured at
+        # run start; a watermark spill swaps rc.grammar mid-run, so the
+        # aliases would go stale — watermark runs use the coarse path
+        self._fine = self.profiler.fine and memory_watermark is None
         #: fine-grained per-call phase accumulators (seconds); folded into
         #: the profiler once at finalize to keep on_call cheap
         self._ph_encode = 0.0
@@ -179,7 +209,8 @@ class PilgrimTracer(TracerHooks):
                 per_signature_request_pools=self.per_signature_request_pools,
                 loop_detection=self.loop_detection,
                 timing=timing, keep_raw=self.keep_raw,
-                signature_cache=self.signature_cache)
+                signature_cache=self.signature_cache,
+                memory_watermark=self.memory_watermark)
             rc.encoder.set_comm_resolver(sim.comm_by_cid)
             self.ranks.append(rc)
         self.encoders = [rc.encoder for rc in self.ranks]
@@ -273,7 +304,9 @@ class PilgrimTracer(TracerHooks):
         # jobs > 1 distributes each level over a process pool.
         pipeline = TracePipeline(loop_detection=self.loop_detection,
                                  cfg_dedup=self.cfg_dedup, jobs=self.jobs,
-                                 profiler=prof)
+                                 profiler=prof, faults=self.faults,
+                                 retry=self.retry,
+                                 scope=self.metrics.scope("pipeline"))
         out = pipeline.run(self.ranks)
         trace, blob, cfg = out.trace, out.trace_bytes, out.cfg
 
@@ -300,7 +333,11 @@ class PilgrimTracer(TracerHooks):
             time_intra=self.time_intra,
             time_cst_merge=out.time_reduce,
             time_cfg_merge=out.time_cfg,
-            per_rank_calls=[g.n_input for g in self.grammars],
+            per_rank_calls=[rc.observed_calls for rc in self.ranks],
             phases=phases,
+            degraded=out.degraded,
+            salvage=out.salvage,
+            fired_faults=list(self.faults.fired)
+            if self.faults is not None else [],
         )
         return self.result

@@ -71,24 +71,50 @@ def _note(mismatches: list[str], msg: str) -> bool:
     return False
 
 
-def verify_roundtrip(tracer: PilgrimTracer) -> VerifyReport:
+def verify_roundtrip(tracer: PilgrimTracer, *,
+                     allow_degraded: bool = False) -> VerifyReport:
     """Compare raw (pre-compression) records against decode(compress(...)).
 
     Requires the tracer to have been constructed with ``keep_raw=True``
     and the run to have finished (``tracer.result`` populated).
+
+    A degraded result (the resilient pipeline abandoned some rank span)
+    fails outright unless ``allow_degraded=True``, in which case the
+    four properties are asserted on the *surviving* ranks only and a
+    fifth check, ``salvage_accounting``, proves the salvage report's
+    call deficit exactly accounts for every call the trace dropped.
     """
     if not tracer.keep_raw:
         raise ValueError("verify_roundtrip needs PilgrimTracer(keep_raw=True)")
     if tracer.result is None:
         raise ValueError("run not finalized — nothing to verify")
 
-    blob = tracer.result.trace_bytes
-    decoder = TraceDecoder.from_bytes(blob)
+    result = tracer.result
+    degraded = bool(getattr(result, "degraded", False))
+    salvage = getattr(result, "salvage", None)
+    blob = result.trace_bytes
+    decoder = TraceDecoder.from_bytes(blob, salvage=allow_degraded)
     mismatches: list[str] = []
     checks = {"terminal_streams": True, "records": True,
               "call_counts": True, "reencode": True}
     total = 0
     per_rank: list[int] = []
+    lost: set[int] = set()
+
+    if degraded:
+        if not allow_degraded:
+            checks["degraded"] = _note(
+                mismatches,
+                (salvage.summary() if salvage is not None else
+                 "result is degraded")
+                + " — pass allow_degraded=True to verify the survivors")
+        else:
+            checks["salvage_accounting"] = True
+            if salvage is None:
+                checks["salvage_accounting"] = _note(
+                    mismatches, "degraded result carries no SalvageReport")
+            else:
+                lost = set(salvage.lost_ranks)
 
     if decoder.nprocs != tracer.nprocs:
         checks["call_counts"] = _note(
@@ -96,6 +122,9 @@ def verify_roundtrip(tracer: PilgrimTracer) -> VerifyReport:
             f"traced {tracer.nprocs}")
 
     for rank in range(tracer.nprocs):
+        if rank in lost:
+            per_rank.append(0)
+            continue
         raw_terms = tracer.raw_terms[rank]
         raw_sigs = [tracer.csts[rank].sigs[t] for t in raw_terms]
         dec_terms = decoder.rank_terminals(rank)
@@ -135,7 +164,26 @@ def verify_roundtrip(tracer: PilgrimTracer) -> VerifyReport:
                     mismatches, f"rank {rank} call {i}: decoded params "
                     f"differ for {a!r}")
 
-    if total != tracer.total_calls or decoder.call_count() != total:
+    if lost:
+        # conservation on the survivors: the decoded total must equal the
+        # surviving raw total, and the salvage report's deficit must be
+        # exactly the calls the lost ranks actually made
+        if decoder.call_count() != total:
+            checks["call_counts"] = _note(
+                mismatches, f"surviving calls: {total} raw, "
+                f"{decoder.call_count()} decoded")
+        true_deficit = sum(len(tracer.raw_terms[r]) for r in lost
+                           if r < len(tracer.raw_terms))
+        if salvage is not None and salvage.call_deficit != true_deficit:
+            checks["salvage_accounting"] = _note(
+                mismatches, f"salvage reports a deficit of "
+                f"{salvage.call_deficit} calls; the lost ranks really "
+                f"made {true_deficit}")
+        if total + true_deficit != tracer.total_calls:
+            checks["call_counts"] = _note(
+                mismatches, f"survivors ({total}) + lost "
+                f"({true_deficit}) != {tracer.total_calls} traced")
+    elif total != tracer.total_calls or decoder.call_count() != total:
         checks["call_counts"] = _note(
             mismatches, f"total calls: {tracer.total_calls} traced, "
             f"{total} raw, {decoder.call_count()} decoded")
@@ -167,16 +215,18 @@ def _global_term(decoder: TraceDecoder, sig: tuple,
 
 
 def verify_workload(name: str, nprocs: int, *, seed: int = 1,
-                    lossy_timing: bool = False, jobs: int = 1,
+                    options=None, allow_degraded: bool = False,
                     **params) -> VerifyReport:
     """Trace a registered workload with ``keep_raw=True`` and round-trip
-    verify it (the ``repro verify`` CLI entry point).  ``jobs > 1``
-    exercises the parallel tree reduction, so CI proves the parallel
-    finalize path is lossless too."""
-    from ..workloads import make
-    from .backends import TracerOptions, make_tracer
+    verify it (the ``repro verify`` CLI entry point).  ``jobs > 1`` in
+    *options* exercises the parallel tree reduction, so CI proves the
+    parallel finalize path is lossless too.
 
-    tracer = make_tracer("pilgrim", TracerOptions(
-        lossy_timing=lossy_timing, keep_raw=True, jobs=jobs))
-    make(name, nprocs, **params).run(seed=seed, tracer=tracer)
-    return verify_roundtrip(tracer)
+    This is a thin wrapper over :func:`repro.api.verify` — tracer
+    configuration belongs in *options* (a :class:`~repro.core.backends.
+    TracerOptions`); the historical loose kwargs (``lossy_timing=``,
+    ``jobs=``) still work for one release with a DeprecationWarning.
+    """
+    from .. import api  # late import: repro.api sits above repro.core
+    return api.verify(name, nprocs, seed=seed, options=options,
+                      allow_degraded=allow_degraded, **params)

@@ -97,7 +97,8 @@ class SimMPI:
                  noise: float = 0.05,
                  node_size: int = 16,
                  spin_limit: int = 2_000_000,
-                 events: Optional[EventLog] = None):
+                 events: Optional[EventLog] = None,
+                 faults=None):
         if nprocs <= 0:
             raise InvalidArgumentError(f"nprocs must be positive, got {nprocs}")
         self.nprocs = nprocs
@@ -121,7 +122,17 @@ class SimMPI:
         #: scheduler hot path.
         self.events = events if events is not None and events.enabled \
             else None
-        self.scheduler = Scheduler(spin_limit=spin_limit, events=self.events)
+        #: optional fault injection (resilience testing): a FaultPlan or
+        #: pre-armed FaultInjector; only handed to the scheduler when the
+        #: plan actually targets scheduler sites, so fault-free runs (and
+        #: pipeline-only plans) keep the scheduler loop untouched
+        from ..resilience.faults import arm as _arm_faults
+        self.faults = _arm_faults(faults)
+        self.scheduler = Scheduler(
+            spin_limit=spin_limit, events=self.events,
+            faults=self.faults
+            if self.faults is not None and self.faults.wants_sched
+            else None)
         self._seq = 0
         self._next_wid = 0
         self._bridges: dict = {}

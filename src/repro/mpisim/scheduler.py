@@ -47,10 +47,22 @@ class RankContext:
 
 
 class Scheduler:
-    """Round-robin driver over rank generators."""
+    """Round-robin driver over rank generators.
+
+    ``faults`` (an armed :class:`~repro.resilience.faults.FaultInjector`
+    with scheduler-site specs) perturbs scheduling deterministically: a
+    ``delay`` fault requeues the picked rank at the tail of the ready
+    queue instead of resuming it, and a ``drop`` fault suppresses the
+    next runtime-event emission.  Neither touches rank state, so on
+    workloads whose semantics don't depend on completion order (no
+    wildcard receives / Waitany) the produced trace stays byte-identical
+    — exactly the property the chaos tests pin down.  With ``faults``
+    unset the main loop is unchanged.
+    """
 
     def __init__(self, spin_limit: int = 2_000_000,
-                 events: Optional["EventLog"] = None) -> None:
+                 events: Optional["EventLog"] = None,
+                 faults=None) -> None:
         self._ready: deque[tuple[RankContext, object]] = deque()
         self.contexts: list[RankContext] = []
         #: total number of scheduler resume steps (a cheap progress metric)
@@ -62,6 +74,9 @@ class Scheduler:
         #: optional runtime event log (None => zero event overhead)
         self.events = events if events is not None and events.enabled \
             else None
+        #: optional fault injector (None => no per-step check at all)
+        self.faults = faults
+        self._drop_events = 0
 
     # -- wiring ----------------------------------------------------------------
 
@@ -89,13 +104,28 @@ class Scheduler:
         """Run until every rank finishes; raise on deadlock or rank error."""
         ready = self._ready
         events = self.events
+        faults = self.faults
         while ready:
             ctx, value = ready.popleft()
+            if faults is not None:
+                action = faults.sched_action(ctx.rank)
+                if action == "delay":
+                    # skip this rank's turn: every other runnable rank
+                    # goes first (fault specs are bounded, so a delayed
+                    # sole survivor always gets rescheduled eventually)
+                    ready.append((ctx, value))
+                    continue
+                if action == "drop":
+                    self._drop_events += 1
             self._drive(ctx, value)
             if events is not None and self.steps % PROGRESS_SAMPLE < 1:
-                events.emit("sched.progress", steps=self.steps,
-                            ready=len(ready),
-                            finished=sum(c.finished for c in self.contexts))
+                if self._drop_events:
+                    self._drop_events -= 1
+                else:
+                    events.emit(
+                        "sched.progress", steps=self.steps,
+                        ready=len(ready),
+                        finished=sum(c.finished for c in self.contexts))
             if self.steps - self._last_progress > self._spin_limit:
                 raise self._spin_deadlock()
         unfinished = [c for c in self.contexts if not c.finished]

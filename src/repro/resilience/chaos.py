@@ -1,0 +1,143 @@
+"""Chaos harness: run workloads under seeded fault plans and classify.
+
+The central property this harness checks (and the chaos CI job
+demonstrates) is::
+
+    for any seeded FaultPlan, a traced run either
+      (a) RECOVERED  — produces a byte-identical trace to the fault-free
+                       run after retries, or
+      (b) DEGRADED   — returns degraded=True with a SalvageReport whose
+                       surviving-rank call counts exactly match the
+                       fault-free trace,
+    and never ends in an unhandled exception.
+
+``repro faults`` drives :func:`run_fault_matrix` from the CLI.
+
+The heavyweight imports (``repro.api``) are deferred into function
+bodies: the rest of this package is stdlib-only and importable from the
+core pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .faults import FaultPlan
+
+RECOVERED = "recovered"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+
+@dataclass
+class ChaosCase:
+    """The classified outcome of one workload-under-faults run."""
+
+    workload: str
+    nprocs: int
+    plan: FaultPlan
+    outcome: str
+    fired: List[str] = field(default_factory=list)
+    detail: str = ""
+    #: surviving-rank call total (degraded runs) or full total (recovered)
+    surviving_calls: int = 0
+    lost_calls: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome != FAILED
+
+    def describe(self) -> str:
+        head = (f"{self.workload:>12} np={self.nprocs:<3} "
+                f"{self.outcome.upper():>9}")
+        fired = ",".join(self.fired) if self.fired else "no fault fired"
+        tail = f" [{fired}]"
+        if self.detail:
+            tail += f" {self.detail}"
+        return head + tail
+
+
+def run_chaos_case(workload: str, nprocs: int, plan: FaultPlan, *,
+                   seed: int = 1, options=None, params=None,
+                   reference=None) -> ChaosCase:
+    """Trace *workload* under *plan* and classify the outcome.
+
+    *reference* is an optional pre-computed fault-free
+    ``repro.api.TraceResult`` for the same (workload, nprocs, seed,
+    options, params); it is computed on demand when omitted.
+    """
+    from .. import api  # deferred: keeps this package core-importable
+
+    if reference is None:
+        reference = api.trace(workload, nprocs, seed=seed, options=options,
+                              params=params)
+
+    case = ChaosCase(workload=workload, nprocs=nprocs, plan=plan,
+                     outcome=FAILED)
+    try:
+        faulty = api.trace(workload, nprocs, seed=seed, options=options,
+                           params=params, fault_plan=plan)
+    except Exception as exc:  # noqa: BLE001 - the property under test
+        case.detail = f"unhandled {type(exc).__name__}: {exc}"
+        return case
+    case.fired = list(faulty.fired_faults)
+
+    if not faulty.degraded:
+        if faulty.trace_bytes == reference.trace_bytes:
+            case.outcome = RECOVERED
+            case.surviving_calls = faulty.total_calls
+        else:
+            case.detail = ("non-degraded result differs from the "
+                           "fault-free trace bytes")
+        return case
+
+    # degraded: surviving-rank call counts must match the reference
+    report = faulty.salvage
+    if report is None:
+        case.detail = "degraded=True but no SalvageReport attached"
+        return case
+    try:
+        ref_dec = api.decode(reference.trace_bytes)
+        got_dec = api.decode(faulty.trace_bytes, salvage=True)
+        mism = [
+            r for r in report.surviving_ranks(nprocs)
+            if got_dec.call_count(r) != ref_dec.call_count(r)
+        ]
+    except Exception as exc:  # noqa: BLE001
+        case.detail = f"decode of degraded trace failed: {exc}"
+        return case
+    if mism:
+        case.detail = (f"surviving ranks {mism[:8]} disagree with the "
+                       f"fault-free trace")
+        return case
+    case.outcome = DEGRADED
+    case.surviving_calls = sum(
+        got_dec.call_count(r) for r in report.surviving_ranks(nprocs))
+    case.lost_calls = report.call_deficit
+    case.detail = report.summary()
+    return case
+
+
+def run_fault_matrix(workloads: Sequence[str], *, nprocs: int = 8,
+                     n_plans: int = 8, seed: int = 1,
+                     base_plan_seed: int = 100, options=None, params=None,
+                     plans: Optional[Sequence[FaultPlan]] = None,
+                     ) -> List[ChaosCase]:
+    """The chaos matrix: every workload x *n_plans* seeded random plans
+    (or an explicit plan list).  One fault-free reference trace is
+    computed per workload and shared across its row."""
+    from .. import api  # deferred
+
+    if plans is None:
+        plans = [FaultPlan.random(base_plan_seed + i, nprocs)
+                 for i in range(n_plans)]
+    cases: List[ChaosCase] = []
+    for wl in workloads:
+        reference = api.trace(wl, nprocs, seed=seed, options=options,
+                              params=params)
+        for plan in plans:
+            cases.append(run_chaos_case(
+                wl, nprocs, plan, seed=seed, options=options, params=params,
+                reference=reference))
+    return cases

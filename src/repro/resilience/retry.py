@@ -1,0 +1,151 @@
+"""Retry, deadline, backoff and circuit-breaker machinery.
+
+The compression pipeline treats every freeze/merge/serialize task as a
+*supervised* unit of work: run it, and on a retryable failure back off
+(bounded exponential with jitter from a seeded RNG — deterministic per
+run) and try again up to a budget.  After too many *consecutive*
+worker-style failures the breaker opens and the pipeline falls back to
+serial merging in the parent process, which cannot die or stall.
+
+Nothing here imports ``repro.core`` — callers pass in the exception
+classes they consider retryable — so the core pipeline can depend on
+this module without an import cycle.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type
+
+from .faults import WorkerDiedError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving a task up."""
+
+    #: attempts beyond the first (0 disables retry entirely)
+    max_retries: int = 4
+    #: first backoff sleep, seconds; doubles each retry up to the cap
+    backoff_base: float = 0.01
+    backoff_cap: float = 0.25
+    #: per-task deadline, seconds (pool futures only; None = no deadline)
+    deadline: Optional[float] = 5.0
+    #: consecutive worker deaths/stalls before the breaker trips and the
+    #: pipeline abandons the process pool for serial merging
+    breaker_threshold: int = 3
+    #: seed for backoff jitter (determinism: same run, same sleeps)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+
+
+@dataclass
+class SupervisorStats:
+    """Counters a supervisor accumulates over one pipeline run."""
+
+    retries: int = 0
+    worker_deaths: int = 0
+    breaker_trips: int = 0
+    gave_up: int = 0
+    failures: list = field(default_factory=list)
+
+    def record_failure(self, site: str, exc: BaseException) -> None:
+        self.failures.append(f"{site}: {type(exc).__name__}: {exc}")
+
+
+class TaskSupervisor:
+    """Runs thunks under a :class:`RetryPolicy`.
+
+    ``retryable`` is the tuple of exception classes worth retrying;
+    anything else propagates immediately (a real bug should never be
+    swallowed by resilience machinery).  An optional ``scope`` (an
+    ``repro.obs`` metrics scope, duck-typed) mirrors the counters into
+    the run's metrics registry.
+    """
+
+    def __init__(self, policy: RetryPolicy,
+                 retryable: Tuple[Type[BaseException], ...],
+                 scope=None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.policy = policy
+        self.retryable = retryable
+        self.scope = scope
+        self.sleep = sleep
+        self.rng = random.Random(policy.seed ^ 0x5EED5EED)
+        self.stats = SupervisorStats()
+        self._consecutive_worker_failures = 0
+        #: once True, pooled dispatch is abandoned for this run
+        self.broken = False
+
+    # -- counters ------------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.scope is not None:
+            self.scope.counter(name).inc()
+
+    def _note_worker_failure(self, exc: BaseException) -> None:
+        if isinstance(exc, WorkerDiedError):
+            self.stats.worker_deaths += 1
+            self._count("worker_deaths")
+            self._consecutive_worker_failures += 1
+            if (not self.broken and self._consecutive_worker_failures
+                    >= self.policy.breaker_threshold):
+                self.broken = True
+                self.stats.breaker_trips += 1
+                self._count("breaker_trips")
+        else:
+            self._consecutive_worker_failures = 0
+
+    def note_success(self) -> None:
+        self._consecutive_worker_failures = 0
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep duration before retry *attempt* (1-based), jittered."""
+        raw = min(self.policy.backoff_cap,
+                  self.policy.backoff_base * (2 ** (attempt - 1)))
+        return raw * (0.5 + 0.5 * self.rng.random())
+
+    # -- the supervision loop ------------------------------------------------------
+
+    def run(self, thunk: Callable[[int], object], *, site: str,
+            on_exhausted: Optional[Callable[[BaseException], object]]
+            = None):
+        """Run ``thunk(attempt)`` until it succeeds or the retry budget
+        is spent.
+
+        ``thunk`` receives the attempt number (0-based) so callers can
+        switch strategy on retry — e.g. attempt 0 collects a pool
+        future, attempts >= 1 recompute serially in the parent.
+
+        When the budget is exhausted: if ``on_exhausted`` is given, its
+        return value becomes the task's result (degraded path);
+        otherwise the last exception propagates.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.policy.max_retries + 1):
+            if attempt:
+                self.stats.retries += 1
+                self._count("retries")
+                self.sleep(self.backoff(attempt))
+            try:
+                result = thunk(attempt)
+            except self.retryable as exc:
+                last = exc
+                self.stats.record_failure(site, exc)
+                self._note_worker_failure(exc)
+                continue
+            self.note_success()
+            return result
+        self.stats.gave_up += 1
+        self._count("gave_up")
+        if on_exhausted is not None:
+            return on_exhausted(last)  # type: ignore[arg-type]
+        assert last is not None
+        raise last

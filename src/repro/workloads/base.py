@@ -27,10 +27,15 @@ class Workload:
 
     def run(self, *, seed: int = 0, tracer: Optional[TracerHooks] = None,
             noise: float = 0.05, net: Optional[NetworkModel] = None,
-            node_size: int = 16, events=None):
-        """Execute on a fresh simulator; returns the RunResult."""
+            node_size: int = 16, events=None, faults=None):
+        """Execute on a fresh simulator; returns the RunResult.
+
+        ``faults`` (a FaultPlan or armed FaultInjector) turns on
+        scheduler-level fault injection — see :mod:`repro.resilience`.
+        """
         sim = SimMPI(self.nprocs, seed=seed, tracer=tracer, noise=noise,
-                     net=net, node_size=node_size, events=events)
+                     net=net, node_size=node_size, events=events,
+                     faults=faults)
         return sim.run(self.program)
 
 

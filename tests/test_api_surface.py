@@ -1,0 +1,95 @@
+"""API-surface snapshot: ``repro.api`` signatures are pinned.
+
+The facade is the compatibility contract — the CLI, the experiment
+runner, the chaos harness, and downstream users all call it.  This test
+renders every pinned callable's ``inspect.signature`` (parameter names,
+kinds, defaults) plus the public attribute sets into a canonical dict
+and compares it against the checked-in snapshot, so any signature change
+fails CI until the snapshot is updated *deliberately*:
+
+    python tests/test_api_surface.py --update
+"""
+
+import inspect
+import json
+import sys
+from pathlib import Path
+
+import repro
+import repro.api as api
+
+SNAPSHOT = Path(__file__).parent / "data" / "api_surface.json"
+
+#: the callables whose signatures form the contract
+PINNED_FUNCTIONS = ["trace", "decode", "verify", "compare", "bench"]
+
+
+def _describe_signature(fn) -> dict:
+    out = {}
+    for name, p in inspect.signature(fn).parameters.items():
+        entry = {"kind": p.kind.name}
+        if p.default is not inspect.Parameter.empty:
+            entry["default"] = repr(p.default)
+        out[name] = entry
+    return out
+
+
+def current_surface() -> dict:
+    surface = {
+        "functions": {name: _describe_signature(getattr(api, name))
+                      for name in PINNED_FUNCTIONS},
+        "TraceResult": sorted(
+            n for n in dir(api.TraceResult) if not n.startswith("_")),
+        "api.__all__": sorted(api.__all__),
+        "repro.__all__": sorted(repro.__all__),
+    }
+    return surface
+
+
+def test_api_surface_matches_snapshot():
+    assert SNAPSHOT.exists(), (
+        f"missing snapshot {SNAPSHOT}; generate it with "
+        f"python {Path(__file__).name} --update")
+    expected = json.loads(SNAPSHOT.read_text())
+    got = current_surface()
+    assert got == expected, (
+        "repro.api's public surface changed. If this is intentional, "
+        "refresh the snapshot with: python tests/test_api_surface.py "
+        "--update (and call the change out in the PR)")
+
+
+def test_facade_is_reexported_from_package_root():
+    for name in PINNED_FUNCTIONS:
+        if name == "bench":
+            # the bench subpackage doubles as the facade verb (callable
+            # module), so the submodule import cannot shadow the API
+            assert callable(repro.bench)
+            continue
+        assert getattr(repro, name) is getattr(api, name)
+    assert "TracerOptions" in repro.__all__
+    assert "VerifyReport" in repro.__all__
+
+
+def test_legacy_kwargs_warn_but_work():
+    import warnings
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        report = repro.verify("stencil2d", 2, iters=2, jobs=1)
+    assert report.ok
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+
+def test_unknown_loose_kwarg_is_rejected():
+    import pytest
+    with pytest.raises(TypeError):
+        repro.trace("stencil2d", 2, params={"iters": 2}, bogus_option=1)
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        SNAPSHOT.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT.write_text(
+            json.dumps(current_surface(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {SNAPSHOT}")
+    else:
+        print(json.dumps(current_surface(), indent=2, sort_keys=True))
