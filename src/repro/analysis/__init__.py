@@ -7,12 +7,12 @@ from .insights import (CommMatrix, LoadBalance, call_time_share,
 from .report import (classify_growth, fmt_count, fmt_kb, fmt_time,
                      growth_factor, print_table)
 from .runner import ExperimentRow, run_experiment
-from .stats import (MetricsSummary, load_stats, render_stats,
+from .stats import (MetricsSummary, load_stats, render_spans, render_stats,
                     summarize_metrics)
 
 __all__ = ["CommMatrix", "ExperimentRow", "LoadBalance", "MetricsSummary",
            "call_time_share", "classify_growth",
            "collective_participation", "comm_matrix", "fmt_count", "fmt_kb",
            "fmt_time", "growth_factor", "load_balance", "load_stats",
-           "message_size_histogram", "print_table", "render_stats",
-           "run_experiment", "summarize_metrics"]
+           "message_size_histogram", "print_table", "render_spans",
+           "render_stats", "run_experiment", "summarize_metrics"]

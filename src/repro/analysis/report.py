@@ -12,26 +12,42 @@ from typing import Any, Iterable, Sequence
 
 def fmt_kb(nbytes: int) -> str:
     """Format a byte count the way the paper's axes do (KB), except that
-    sub-1KB sizes read as plain bytes (``512B``, not ``0.5KB``)."""
-    if nbytes < 1024:
-        return f"{nbytes}B"
-    kb = nbytes / 1024
-    if kb >= 1000:
-        return f"{kb / 1024:.1f}MB"
-    if kb >= 10:
-        return f"{kb:.0f}KB"
-    return f"{kb:.1f}KB"
+    sub-1KB sizes read as plain bytes (``512B``, not ``0.5KB``).  The
+    unit ladder continues through MB/GB/TB, and negative inputs (size
+    deltas) keep a single leading sign — never ``-0.0KB``-style output,
+    because the magnitude is formatted and the sign prepended."""
+    sign = "-" if nbytes < 0 else ""
+    n = abs(nbytes)
+    if n < 1024:
+        return f"{sign}{n}B"
+    kb = n / 1024
+    if kb < 10:
+        return f"{sign}{kb:.1f}KB"
+    if kb < 1000:
+        return f"{sign}{kb:.0f}KB"
+    mb = kb / 1024
+    if mb < 1000:
+        return f"{sign}{mb:.1f}MB"
+    gb = mb / 1024
+    if gb < 1000:
+        return f"{sign}{gb:.1f}GB"
+    return f"{sign}{gb / 1024:.1f}TB"
 
 
 def fmt_count(n: int) -> str:
-    """Human-scale call/event counts: ``950``, ``8.5K``, ``1.2M``, ``3.0B``."""
+    """Human-scale call/event counts: ``950``, ``8.5K``, ``1.2M``,
+    ``3.0B``, ``2.5T``; negative inputs (count deltas) keep a single
+    leading sign."""
+    sign = "-" if n < 0 else ""
+    n = abs(n)
     if n < 1000:
-        return str(n)
-    for div, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        return f"{sign}{n}"
+    for div, suffix in ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "K")):
         if n >= div:
             v = n / div
-            return f"{v:.0f}{suffix}" if v >= 100 else f"{v:.1f}{suffix}"
-    return str(n)  # pragma: no cover - unreachable
+            return (f"{sign}{v:.0f}{suffix}" if v >= 100
+                    else f"{sign}{v:.1f}{suffix}")
+    return f"{sign}{n}"  # pragma: no cover - unreachable
 
 
 def fmt_time(seconds: float) -> str:

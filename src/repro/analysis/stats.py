@@ -28,6 +28,9 @@ class MetricsSummary:
     #: name -> {"base", "count", "sum", "bins"}
     histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
     events: list[dict[str, Any]] = field(default_factory=list)
+    #: raw span records (``type: span``), in file order — render with
+    #: :func:`render_spans`
+    spans: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def event_counts(self) -> dict[str, int]:
@@ -74,6 +77,7 @@ class MetricsSummary:
             "histograms": dict(sorted(self.histograms.items())),
             "event_counts": dict(sorted(self.event_counts.items())),
             "n_events": len(self.events),
+            "n_spans": len(self.spans),
             "decomposition": {
                 scope: [{"phase": p, "seconds": s, "count": c, "share": sh}
                         for p, s, c, sh in self.phase_table(scope)]
@@ -112,8 +116,44 @@ def summarize_metrics(records: list[dict[str, Any]]) -> MetricsSummary:
                 h["bins"][b] = h["bins"].get(b, 0) + n
         elif kind == "event":
             s.events.append({k: v for k, v in rec.items() if k != "type"})
+        elif kind == "span":
+            s.spans.append(rec)
         # unknown types are ignored: forward compatibility
     return s
+
+
+def render_spans(spans: list[dict[str, Any]]) -> None:
+    """Render span records as an indented tree with total and *self*
+    wall time per span (the ``repro stats --spans`` view).  Spans
+    recorded by pooled workers are tagged with their pid."""
+    from ..obs import build_span_tree, span_self_ns
+    if not spans:
+        print("no span records found (trace with --metrics, or pass a "
+              "--spans JSONL dump)")
+        return
+    roots = build_span_tree(spans)
+    parent_pid = roots[0]["span"].get("pid", 0) if roots else 0
+    rows: list[tuple[str, str, str, str, str]] = []
+
+    def walk(node: dict[str, Any], depth: int) -> None:
+        rec = node["span"]
+        dur_s = max(0, rec.get("end_ns", 0) - rec.get("start_ns", 0)) / 1e9
+        attrs = rec.get("attrs", {})
+        tags = []
+        if rec.get("pid") != parent_pid:
+            tags.append(f"pid {rec.get('pid')}")
+        if attrs.get("synthetic"):
+            tags.append("synthetic")
+        rows.append(("  " * depth + rec.get("name", "?"),
+                     fmt_time(dur_s), fmt_time(span_self_ns(node) / 1e9),
+                     fmt_count(len(node["children"])), ", ".join(tags)))
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    print_table(f"span tree ({len(spans)} spans)",
+                ["span", "total", "self", "children", "notes"], rows)
 
 
 def load_stats(path: str) -> MetricsSummary:

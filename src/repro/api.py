@@ -35,6 +35,7 @@ accepted for one release and folded into the options object with a
 from __future__ import annotations
 
 import os
+import time as _time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Union
@@ -106,6 +107,10 @@ class TraceResult:
     #: the armed fault injector shared by run + pipeline (None when no
     #: plan was given)
     injector: Optional[FaultInjector] = None
+    #: wall/CPU seconds of the whole run (simulate + finalize), measured
+    #: by :func:`trace` and stamped into the run manifest
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
 
     @property
     def result(self) -> Any:
@@ -139,12 +144,92 @@ class TraceResult:
         """Human-readable log of every fault that actually fired."""
         return list(getattr(self.result, "fired_faults", []))
 
-    def write(self, path: Union[str, os.PathLike]) -> int:
-        """Write the trace blob to *path*; returns the byte count."""
+    @property
+    def spans(self) -> list:
+        """Exported span dicts for the whole run (one coherent tree,
+        pooled workers spliced in); empty when the tracer ran without
+        a metrics registry."""
+        return list(getattr(self.result, "spans", []))
+
+    def manifest(self, *, command: str = "trace",
+                 outputs: Optional[dict] = None) -> Any:
+        """Build the :class:`~repro.obs.RunManifest` describing this
+        run: configuration snapshot, git version, wall/CPU seconds,
+        peak RSS, resilience counters, totals, and output sizes."""
+        import dataclasses
+
+        from .obs import (RunManifest, git_describe, host_environment,
+                          peak_rss_kb)
+        res = self.result
+        counters: dict = {}
+        reg = getattr(self.tracer, "metrics", None)
+        if reg is not None and getattr(reg, "enabled", False):
+            counters = dict(reg.snapshot()["counters"])
+        totals: dict = {"calls": self.total_calls,
+                        "spans": len(self.spans)}
+        for name, attr in (("signatures", "n_signatures"),
+                           ("unique_grammars", "n_unique_grammars")):
+            val = getattr(res, attr, None)
+            if val is not None:
+                totals[name] = val
+        out_sizes: dict = {"trace_bytes": self.trace_size}
+        try:
+            out_sizes["sections"] = dict(res.section_sizes())
+        except (AttributeError, TypeError):
+            pass
+        if outputs:
+            out_sizes.update(outputs)
+        salvage = self.salvage
+        return RunManifest(
+            command=command,
+            workload=self.workload, nprocs=self.nprocs,
+            backend=self.backend, seed=self.seed,
+            options={f.name: getattr(self.options, f.name)
+                     for f in dataclasses.fields(self.options)},
+            git=git_describe(), environment=host_environment(),
+            wall_s=round(self.wall_s, 6), cpu_s=round(self.cpu_s, 6),
+            peak_rss_kb=peak_rss_kb(),
+            counters=counters, totals=totals, outputs=out_sizes,
+            degraded=self.degraded,
+            salvage=salvage.summary() if salvage is not None else None,
+            fired_faults=self.fired_faults)
+
+    def write(self, path: Union[str, os.PathLike], *,
+              manifest: bool = True) -> int:
+        """Write the trace blob to *path*; returns the byte count.  By
+        default a :class:`~repro.obs.RunManifest` sidecar lands next to
+        it (``<path>.manifest.json``)."""
         blob = self.trace_bytes
         with open(path, "wb") as fh:
             fh.write(blob)
+        if manifest:
+            from .obs import RunManifest
+            self.manifest().write(RunManifest.default_path(str(path)))
         return len(blob)
+
+    def write_timeline(self, path: Union[str, os.PathLike]) -> int:
+        """Export the run's spans as a Chrome trace-event file (load it
+        in Perfetto / ``chrome://tracing``); returns the event count."""
+        from .obs import write_chrome_trace
+        spans = self.spans
+        if not spans:
+            raise ValueError(
+                "no spans recorded — trace with an enabled metrics "
+                "registry (TracerOptions(metrics=MetricsRegistry()))")
+        return write_chrome_trace(str(path), spans,
+                                  meta={"workload": self.workload,
+                                        "nprocs": self.nprocs,
+                                        "backend": self.backend})
+
+    def write_spans(self, path: Union[str, os.PathLike]) -> int:
+        """Dump the run's spans as JSONL (the archival form ``repro
+        timeline`` and ``repro stats --spans`` read back); returns the
+        line count."""
+        from .obs import write_spans_jsonl
+        return write_spans_jsonl(str(path), self.spans,
+                                 meta={"workload": self.workload,
+                                       "nprocs": self.nprocs,
+                                       "backend": self.backend})
 
     def decode(self, *, salvage: Optional[bool] = None) -> TraceDecoder:
         """Decode this result's trace (salvage defaults to degraded-ness)."""
@@ -183,11 +268,14 @@ def trace(workload: str, nprocs: int = 16, *,
         opts = replace(opts, fault_plan=injector)
     tracer = make_tracer(backend, opts)
     wl = _make_workload(workload, nprocs, **(params or {}))
+    w0, c0 = _time.perf_counter(), _time.process_time()
     run = wl.run(seed=seed, tracer=tracer, noise=noise, events=events,
                  faults=injector)
+    wall_s = _time.perf_counter() - w0
+    cpu_s = _time.process_time() - c0
     return TraceResult(workload=workload, nprocs=nprocs, backend=backend,
                        seed=seed, tracer=tracer, run=run, options=opts,
-                       injector=injector)
+                       injector=injector, wall_s=wall_s, cpu_s=cpu_s)
 
 
 def decode(data: Union[bytes, str, os.PathLike], *,

@@ -155,11 +155,34 @@ def compare_results(current: dict, baseline: dict,
     return regressions, missing
 
 
+def bench_manifest(doc: dict, *, outputs: Optional[dict] = None):
+    """A :class:`~repro.obs.RunManifest` describing one benchmark run
+    (the sidecar :func:`write_results` writes next to the result JSON)."""
+    from ..obs import (RunManifest, git_describe, host_environment,
+                       peak_rss_kb)
+    params = dict(doc.get("params") or {})
+    return RunManifest(
+        command="bench",
+        workload=doc.get("benchmark"),
+        nprocs=params.get("nprocs"),
+        seed=params.get("seed"),
+        options={"repeats": doc.get("repeats"),
+                 "warmup": doc.get("warmup"), "params": params},
+        git=git_describe(), environment=host_environment(),
+        peak_rss_kb=peak_rss_kb(),
+        totals={"metrics": dict(doc.get("metrics") or {})},
+        outputs=dict(outputs or {}))
+
+
 def write_results(doc: dict, output_dir: str = "benchmarks/results", *,
-                  root_copy: bool = True) -> list[Path]:
+                  root_copy: bool = True, manifest: bool = True
+                  ) -> list[Path]:
     """Write the result document to ``<output_dir>/<name>.json`` and
     (by default) a ``BENCH_<name>.json`` copy in the current directory —
-    the at-a-glance artifact the README points to."""
+    the at-a-glance artifact the README points to.  A
+    :class:`~repro.obs.RunManifest` sidecar
+    (``<output_dir>/<name>.json.manifest.json``) rides along by
+    default."""
     text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
     out_dir = Path(output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -168,6 +191,12 @@ def write_results(doc: dict, output_dir: str = "benchmarks/results", *,
         paths.append(Path(f"BENCH_{doc['benchmark']}.json"))
     for p in paths:
         p.write_text(text)
+    if manifest:
+        from ..obs import RunManifest
+        side = bench_manifest(
+            doc, outputs={"result_bytes": len(text.encode())})
+        paths.append(Path(side.write(
+            RunManifest.default_path(str(paths[0])))))
     return paths
 
 

@@ -14,6 +14,9 @@ The workflows a downstream user actually runs:
   stored baseline (``--compare ... --max-regression PCT``)
 * ``compare``  — Pilgrim vs the ScalaTrace baseline on one workload
 * ``stats``    — render a ``--metrics`` JSONL dump as paper-style tables
+  (``--spans`` adds the span tree with per-span total/self time)
+* ``timeline`` — validate a Chrome trace-event file, or convert a span
+  JSONL dump into one
 * ``workloads``— list available workloads
 * ``backends`` — list registered tracer backends
 """
@@ -59,7 +62,10 @@ def _fault_plan_arg(args):
 
 
 def cmd_trace(args) -> int:
-    metrics = MetricsRegistry() if args.metrics else None
+    # span telemetry rides the metrics registry, so --timeline/--spans
+    # imply an enabled registry even without a --metrics dump path
+    want_telemetry = bool(args.metrics or args.timeline or args.spans)
+    metrics = MetricsRegistry() if want_telemetry else None
     events = EventLog() if args.events else None
     if args.verify and args.backend != "pilgrim":
         raise SystemExit(f"--verify requires the pilgrim backend, "
@@ -74,6 +80,7 @@ def cmd_trace(args) -> int:
             memory_watermark=args.watermark))
     r = result.result
     result.write(args.output)
+    manifest_path = f"{args.output}.manifest.json"
     detail = "".join(
         f", {getattr(r, attr)} {label}"
         for attr, label in (("n_signatures", "signatures"),
@@ -81,7 +88,8 @@ def cmd_trace(args) -> int:
         if hasattr(r, attr))
     print(f"traced {args.workload} on {args.procs} ranks with "
           f"{args.backend}: {r.total_calls} calls{detail}")
-    print(f"wrote {r.trace_size} bytes to {args.output}")
+    print(f"wrote {r.trace_size} bytes to {args.output} "
+          f"(manifest: {manifest_path})")
     if result.fired_faults:
         print(f"injected {len(result.fired_faults)} fault(s): "
               + ", ".join(result.fired_faults))
@@ -90,16 +98,26 @@ def cmd_trace(args) -> int:
         if not args.allow_degraded:
             print("(pass --allow-degraded to accept a partial trace)")
             return 1
-    if metrics is not None:
-        # one self-contained dump: metrics plus any captured events
+    if args.metrics:
+        # one self-contained dump: metrics plus any captured events and
+        # the run's span tree
         write_metrics_jsonl(args.metrics, metrics,
                             meta={"command": "trace",
                                   "workload": args.workload,
                                   "nprocs": args.procs,
                                   "seed": args.seed},
-                            events=events.records() if events else None)
+                            events=events.records() if events else None,
+                            spans=result.spans or None)
         print(f"wrote metrics to {args.metrics} (render: "
               f"repro stats {args.metrics})")
+    if args.timeline:
+        n = result.write_timeline(args.timeline)
+        print(f"wrote {n} timeline events to {args.timeline} "
+              f"(open in Perfetto / chrome://tracing)")
+    if args.spans:
+        n = result.write_spans(args.spans)
+        print(f"wrote {n} span lines to {args.spans} (render: "
+              f"repro stats --spans {args.spans})")
     if events is not None and args.events != args.metrics:
         events.write(args.events)
         print(f"wrote {len(events)} runtime events to {args.events}"
@@ -345,8 +363,45 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_timeline(args) -> int:
+    """Validate a Chrome trace-event file, or convert a span JSONL dump
+    into one."""
+    from .obs import CHROME_TRACE_SCHEMA, validate_json, write_chrome_trace
+    doc = None
+    try:
+        with open(args.file) as fh:
+            doc = json.load(fh)
+    except ValueError:
+        doc = None  # not one JSON document; try span JSONL below
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        try:
+            validate_json(doc, CHROME_TRACE_SCHEMA)
+        except ValueError as e:
+            print(f"repro timeline: {args.file} INVALID: {e}",
+                  file=sys.stderr)
+            return 1
+        events = doc["traceEvents"]
+        n_spans = sum(1 for e in events if e.get("ph") == "X")
+        tracks = sorted({e.get("pid", 0) for e in events})
+        print(f"{args.file}: valid Chrome trace-event JSON "
+              f"({n_spans} spans on {len(tracks)} process track(s))")
+        return 0
+    from .obs import read_spans_jsonl
+    spans = read_spans_jsonl(args.file)
+    if not spans:
+        print(f"repro timeline: no span records in {args.file} "
+              f"(expected a --spans/--metrics JSONL dump or a Chrome "
+              f"trace-event file)", file=sys.stderr)
+        return 1
+    out = args.output or f"{args.file}.trace.json"
+    n = write_chrome_trace(out, spans)
+    print(f"wrote {n} timeline events from {len(spans)} spans to {out} "
+          f"(open in Perfetto / chrome://tracing)")
+    return 0
+
+
 def cmd_stats(args) -> int:
-    from .analysis import render_stats, summarize_metrics
+    from .analysis import render_spans, render_stats, summarize_metrics
     from .obs import read_metrics_jsonl
     records = []
     for path in args.file:
@@ -367,6 +422,8 @@ def cmd_stats(args) -> int:
         return 0
     render_stats(summary, source=", ".join(args.file),
                  top_events=args.events)
+    if args.spans:
+        render_spans(summary.spans)
     return 0
 
 
@@ -456,6 +513,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "registry (and events, if captured) as JSONL")
     p.add_argument("--events", metavar="FILE",
                    help="enable the runtime event log; dump it as JSONL")
+    p.add_argument("--timeline", metavar="FILE",
+                   help="export the run's span tree as Chrome "
+                        "trace-event JSON (Perfetto / chrome://tracing); "
+                        "implies span telemetry")
+    p.add_argument("--spans", metavar="FILE",
+                   help="dump the run's spans as JSONL (render: repro "
+                        "stats --spans FILE); implies span telemetry")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("verify",
@@ -597,7 +661,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also show the last N buffered runtime events")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON aggregate instead of tables")
+    p.add_argument("--spans", action="store_true",
+                   help="also render the span tree (total/self wall time "
+                        "per span, worker spans tagged by pid)")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("timeline",
+                       help="validate a Chrome trace-event file or "
+                            "convert a span JSONL dump into one")
+    p.add_argument("file",
+                   help="a --timeline Chrome trace JSON (validated) or "
+                        "a --spans/--metrics JSONL dump (converted)")
+    p.add_argument("-o", "--output", default=None,
+                   help="output path for the converted Chrome trace "
+                        "(default: FILE.trace.json)")
+    p.set_defaults(fn=cmd_timeline)
 
     p = sub.add_parser("analyze", help="post-mortem trace analysis")
     p.add_argument("trace")

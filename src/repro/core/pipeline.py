@@ -31,6 +31,20 @@ Each reduction level is timed as a ``merge.level.<k>`` phase in the
 attached :class:`~repro.obs.PhaseProfiler`, so ``repro stats`` renders
 the per-level breakdown of the Fig 8 decomposition.
 
+**Span collection** (``recorder=``): when a :class:`~repro.obs.
+SpanRecorder` is attached, every pair merge becomes a ``merge.task``
+span nested under its ``merge.level.<k>`` phase span.  Pooled merges
+run through :func:`_worker_merge`, which builds a fresh recorder in the
+worker, wraps the merge in a span, and ships the exported batch plus
+counter/timer deltas back with the result; the parent splices the batch
+into its own tree (worker pids preserved, so exporters render one track
+per worker) and folds the deltas into the ``pipeline.*`` scope.  Serial
+merges record the identical span and metrics parent-side, so ``jobs=1``
+and ``jobs=N`` runs report the same ``merge.tasks`` /
+``merge.task_seconds`` totals.  On the resilient path a result's
+telemetry is absorbed only after it survives every fault check, so a
+killed or corrupted attempt can never leave duplicate spans behind.
+
 :func:`tree_reduce` is generic (any associative ``merge(a, b)``), so
 later subsystems — timing reduction, multi-trace aggregation — can reuse
 the scheduler unchanged.
@@ -38,13 +52,14 @@ the scheduler unchanged.
 
 from __future__ import annotations
 
+import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, TypeVar
+from typing import Any, Callable, Optional, Sequence, TypeVar
 
-from ..obs import PhaseProfiler
+from ..obs import NULL_RECORDER, PhaseProfiler, SpanRecorder
 from ..resilience.faults import (FaultInjector, WorkerDiedError,
                                  WorkerStallError, arm)
 from ..resilience.retry import RetryPolicy, TaskSupervisor
@@ -64,15 +79,93 @@ T = TypeVar("T")
 RETRYABLE = (OSError, MemoryError, TraceFormatError, WorkerDiedError)
 
 
-def _merge_level(items: list, merge: Callable, pool) -> list:
+def _pair_attrs(a, b) -> dict[str, Any]:
+    """Span attributes identifying a merge pair (rank-span based when the
+    items are shards; empty for generic reductions)."""
+    base = getattr(a, "base_rank", None)
+    if base is None:
+        return {}
+    return {"base_rank": base,
+            "nranks": getattr(a, "nranks", 0) + getattr(b, "nranks", 0)}
+
+
+def _worker_merge(merge: Callable, a, b, site: str):
+    """Pool-side pair merge with telemetry: runs in the worker process,
+    wraps the merge in a ``merge.task`` span recorded by a fresh
+    worker-local :class:`SpanRecorder`, and returns ``(result, report)``
+    where the report carries the exported span batch plus counter/timer
+    deltas for the parent to splice and fold."""
+    rec = SpanRecorder()
+    t0 = _time.perf_counter()
+    with rec.span("merge.task", scope="worker", site=site,
+                  **_pair_attrs(a, b)):
+        out = merge(a, b)
+    dt = _time.perf_counter() - t0
+    report = {"pid": rec.pid, "spans": rec.export(),
+              "counters": {"merge.tasks": 1},
+              "timers": {"merge.task_seconds": (1, dt)}}
+    return out, report
+
+
+def _absorb_report(report: Optional[dict[str, Any]],
+                   recorder: SpanRecorder, scope) -> None:
+    """Splice a worker's span batch under the currently open span and
+    fold its metric deltas into *scope*."""
+    if report is None:
+        return
+    recorder.splice(report.get("spans", ()))
+    if scope is not None and scope.enabled:
+        for name, n in report.get("counters", {}).items():
+            scope.counter(name).inc(n)
+        for name, (count, seconds) in report.get("timers", {}).items():
+            scope.timer(name).add(seconds, count)
+
+
+def _count_task(scope, seconds: float) -> None:
+    if scope is not None and scope.enabled:
+        scope.counter("merge.tasks").inc()
+        scope.timer("merge.task_seconds").add(seconds)
+
+
+def _local_merge(merge: Callable, a, b, site: str,
+                 recorder: SpanRecorder, scope):
+    """Parent-side pair merge recording the same span and metrics a
+    pooled worker would report, so serial and pooled runs produce
+    identical ``merge.tasks`` / ``merge.task_seconds`` totals."""
+    t0 = _time.perf_counter()
+    with recorder.span("merge.task", scope="pipeline", site=site,
+                       **_pair_attrs(a, b)):
+        out = merge(a, b)
+    _count_task(scope, _time.perf_counter() - t0)
+    return out
+
+
+def _merge_level(items: list, merge: Callable, pool, *, site: str = "",
+                 recorder: SpanRecorder = NULL_RECORDER,
+                 scope=None) -> list:
     """One reduction level: merge adjacent pairs, pass an odd tail
     through unchanged.  With a pool, pair merges run concurrently; the
-    gather is in order, so the next level sees a deterministic list."""
+    gather is in order, so the next level sees a deterministic list.
+    With telemetry enabled, each pair merge is a ``merge.task`` span
+    (worker-recorded and spliced for pooled merges)."""
+    collect = recorder.enabled or (scope is not None and scope.enabled)
     pairs = [(items[i], items[i + 1])
              for i in range(0, len(items) - 1, 2)]
     if pool is not None:
-        futures = [pool.submit(merge, a, b) for a, b in pairs]
-        merged = [f.result() for f in futures]
+        if collect:
+            futures = [pool.submit(_worker_merge, merge, a, b, site)
+                       for a, b in pairs]
+            merged = []
+            for f in futures:
+                out, report = f.result()
+                _absorb_report(report, recorder, scope)
+                merged.append(out)
+        else:
+            futures = [pool.submit(merge, a, b) for a, b in pairs]
+            merged = [f.result() for f in futures]
+    elif collect:
+        merged = [_local_merge(merge, a, b, site, recorder, scope)
+                  for a, b in pairs]
     else:
         merged = [merge(a, b) for a, b in pairs]
     if len(items) % 2:
@@ -83,14 +176,19 @@ def _merge_level(items: list, merge: Callable, pool) -> list:
 def tree_reduce(items: Sequence[T], merge: Callable[[T, T], T], *,
                 jobs: int = 1,
                 profiler: Optional[PhaseProfiler] = None,
-                phase_prefix: str = "merge.level") -> T:
+                phase_prefix: str = "merge.level",
+                recorder: Optional[SpanRecorder] = None,
+                scope=None) -> T:
     """Fold *items* with an associative *merge* in ceil(log2 N) pairwise
     levels.
 
     ``jobs=1`` runs serially in-process; ``jobs>1`` dispatches each
     level's pair merges to a process pool (*merge* must then be a
     picklable module-level callable, as must the items).  Per-level wall
-    time is recorded as ``<phase_prefix>.<k>`` phases in *profiler*.
+    time is recorded as ``<phase_prefix>.<k>`` phases in *profiler*;
+    with a *recorder* (and/or metrics *scope*) attached, every pair
+    merge additionally records a ``merge.task`` span and counts into
+    ``merge.tasks`` / ``merge.task_seconds``.
     """
     if not items:
         raise ValueError("tree_reduce needs at least one item")
@@ -98,6 +196,8 @@ def tree_reduce(items: Sequence[T], merge: Callable[[T, T], T], *,
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if profiler is None:
         profiler = PhaseProfiler()
+    if recorder is None:
+        recorder = profiler.recorder
     work = list(items)
     if len(work) == 1:
         return work[0]
@@ -108,7 +208,9 @@ def tree_reduce(items: Sequence[T], merge: Callable[[T, T], T], *,
         level = 0
         while len(work) > 1:
             with profiler.phase(f"{phase_prefix}.{level}"):
-                work = _merge_level(work, merge, pool)
+                work = _merge_level(work, merge, pool,
+                                    site=f"{phase_prefix}.{level}",
+                                    recorder=recorder, scope=scope)
             level += 1
     finally:
         if pool is not None:
@@ -143,18 +245,24 @@ class TracePipeline:
     already-armed injector, so the tracer and scheduler can share one);
     ``retry`` overrides the default :class:`~repro.resilience.retry.
     RetryPolicy`; ``scope`` is an optional ``repro.obs`` metrics scope
-    (conventionally ``pipeline``) the resilience counters report into.
+    (conventionally ``pipeline``) the resilience counters report into;
+    ``recorder`` is an optional :class:`~repro.obs.SpanRecorder` the
+    merge-task spans (including worker-side batches) collect into —
+    defaults to the profiler's recorder so phase and task spans share
+    one tree.
     """
 
     def __init__(self, *, loop_detection: bool = True,
                  cfg_dedup: bool = True, jobs: int = 1,
                  profiler: Optional[PhaseProfiler] = None,
                  faults=None, retry: Optional[RetryPolicy] = None,
-                 scope=None):
+                 scope=None, recorder: Optional[SpanRecorder] = None):
         self.loop_detection = loop_detection
         self.cfg_dedup = cfg_dedup
         self.jobs = jobs
         self.profiler = profiler if profiler is not None else PhaseProfiler()
+        self.recorder = (recorder if recorder is not None
+                         else self.profiler.recorder)
         self.injector: Optional[FaultInjector] = arm(faults)
         if retry is None and self.injector is not None:
             # tie the backoff jitter to the plan seed: one (plan, seed)
@@ -162,10 +270,17 @@ class TracePipeline:
             retry = RetryPolicy(seed=self.injector.plan.seed)
         self.retry_policy = retry
         self.supervisor: Optional[TaskSupervisor] = (
-            TaskSupervisor(retry, RETRYABLE, scope)
+            TaskSupervisor(retry, RETRYABLE, scope,
+                           recorder=self.recorder)
             if retry is not None else None)
         self.salvage = SalvageReport()
         self._scope = scope
+
+    @property
+    def _collect(self) -> bool:
+        """Whether merge-task telemetry is being gathered at all."""
+        return self.recorder.enabled or (
+            self._scope is not None and self._scope.enabled)
 
     @property
     def resilient(self) -> bool:
@@ -222,7 +337,9 @@ class TracePipeline:
                                  calls=[])
             if not self.resilient:
                 return tree_reduce(shards, merge_shards, jobs=self.jobs,
-                                   profiler=self.profiler)
+                                   profiler=self.profiler,
+                                   recorder=self.recorder,
+                                   scope=self._scope)
             return self._resilient_reduce(list(shards))
 
     def _resilient_reduce(self, work: list[RankShard]) -> RankShard:
@@ -248,6 +365,7 @@ class TracePipeline:
         sup = self.supervisor
         inj = self.injector
         deadline = self.retry_policy.deadline
+        collect = self._collect
         pairs = [(items[i], items[i + 1])
                  for i in range(0, len(items) - 1, 2)]
         # submit the whole level up front (same shape as _merge_level);
@@ -255,7 +373,9 @@ class TracePipeline:
         futures: list = [None] * len(pairs)
         if pool is not None and not sup.broken:
             for i, (a, b) in enumerate(pairs):
-                futures[i] = pool.submit(merge_shards, a, b)
+                futures[i] = (pool.submit(_worker_merge, merge_shards,
+                                          a, b, site) if collect
+                              else pool.submit(merge_shards, a, b))
 
         merged: list[RankShard] = []
         for i, (a, b) in enumerate(pairs):
@@ -264,9 +384,11 @@ class TracePipeline:
             def thunk(attempt: int, a=a, b=b, fut=fut) -> RankShard:
                 if inj is not None:
                     inj.raise_failure(site)
+                report = None
+                t0 = _time.perf_counter()
                 if attempt == 0 and fut is not None and not sup.broken:
                     try:
-                        out = fut.result(timeout=deadline)
+                        res = fut.result(timeout=deadline)
                     except _FuturesTimeout:
                         raise WorkerStallError(
                             f"merge worker blew its {deadline}s deadline "
@@ -274,10 +396,12 @@ class TracePipeline:
                     except BrokenProcessPool as e:
                         raise WorkerDiedError(
                             f"merge worker died at {site}: {e}") from e
+                    out, report = res if collect else (res, None)
                 else:
                     # re-dispatch of the failed subtree: recompute the
                     # pair serially in the parent, which cannot die
                     out = merge_shards(a, b)
+                dt = _time.perf_counter() - t0
                 if inj is not None:
                     damaged = inj.corrupt_bytes(site, out.to_bytes())
                     if damaged is not None:
@@ -287,6 +411,20 @@ class TracePipeline:
                             raise CorruptTraceError(
                                 f"merged shard at {site} came back with "
                                 f"the wrong rank span")
+                # only a result that survived every fault check gets its
+                # telemetry absorbed: a killed or corrupted attempt is
+                # recomputed, and counting it here (not in the attempt)
+                # keeps the merged tree free of duplicate merge spans
+                # and the counters equal across jobs=1 and jobs=N runs
+                if collect:
+                    if report is not None:
+                        _absorb_report(report, self.recorder, self._scope)
+                    else:
+                        self.recorder.record(
+                            "merge.task", dur_s=dt, scope="pipeline",
+                            site=site, attempt=attempt,
+                            **_pair_attrs(a, b))
+                        _count_task(self._scope, dt)
                 return out
 
             def on_exhausted(exc: BaseException, a=a, b=b) -> RankShard:

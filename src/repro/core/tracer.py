@@ -32,7 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..mpisim.hooks import TracerHooks
-from ..obs import NULL_REGISTRY, MetricsRegistry, PhaseProfiler
+from ..obs import (NULL_REGISTRY, MetricsRegistry, PhaseProfiler,
+                   SpanRecorder)
 from ..resilience.faults import FaultInjector, arm
 from ..resilience.retry import RetryPolicy
 from ..resilience.salvage import SalvageReport
@@ -75,6 +76,10 @@ class PilgrimResult:
     salvage: Optional[SalvageReport] = None
     #: audit log of every injected fault that actually fired
     fired_faults: list[str] = field(default_factory=list)
+    #: exported span dicts for the whole run — one coherent tree rooted
+    #: at the ``finalize`` span, with pooled workers' batches spliced in
+    #: (empty when the tracer ran without a metrics registry)
+    spans: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def trace_size(self) -> int:
@@ -158,7 +163,11 @@ class PilgrimTracer(TracerHooks):
         #: benchmarked hot path pays nothing unless profiling is requested
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.obs = self.metrics.scope("pilgrim")
-        self.profiler = PhaseProfiler(self.obs)
+        #: span telemetry rides the same opt-in as the registry: one
+        #: recorder for the whole run, shared by the profiler (phase
+        #: spans) and the pipeline (merge-task spans, worker batches)
+        self.recorder = SpanRecorder(enabled=self.obs.enabled)
+        self.profiler = PhaseProfiler(self.obs, recorder=self.recorder)
         # the fine per-call path appends through alias lists captured at
         # run start; a watermark spill swaps rc.grammar mid-run, so the
         # aliases would go stale — watermark runs use the coarse path
@@ -288,26 +297,36 @@ class PilgrimTracer(TracerHooks):
         if self.result is not None:
             return self.result
         prof = self.profiler
-        # Fold the per-call accumulators into the profiler (fine mode only
-        # — in coarse mode there is just the undivided intra total).
-        if self._fine:
-            prof.add("encode", self._ph_encode, count=self.total_calls)
-            prof.add("cst", self._ph_cst, count=self.total_calls)
-            prof.add("sequitur", self._ph_seq, count=self.total_calls)
-            if self.timing:
-                prof.add("timing", self._ph_timing, count=self.total_calls)
-            if self._ph_mem:
-                prof.add("mem", self._ph_mem)
+        # The whole inter-process stage lives under one root span; the
+        # root opens *before* the per-call fold so the synthetic
+        # encode/cst/sequitur spans nest under it too.
+        with self.recorder.span("finalize", scope="pilgrim",
+                                nprocs=self.nprocs, jobs=self.jobs):
+            # Fold the per-call accumulators into the profiler (fine mode
+            # only — in coarse mode there is just the undivided intra
+            # total).
+            if self._fine:
+                prof.add("encode", self._ph_encode, count=self.total_calls)
+                prof.add("cst", self._ph_cst, count=self.total_calls)
+                prof.add("sequitur", self._ph_seq, count=self.total_calls)
+                if self.timing:
+                    prof.add("timing", self._ph_timing,
+                             count=self.total_calls)
+                if self._ph_mem:
+                    prof.add("mem", self._ph_mem)
 
-        # Shard → reduce → serialize (see repro.core.pipeline).  The
-        # reduce stage is the paper's log2 P tree over per-rank partials;
-        # jobs > 1 distributes each level over a process pool.
-        pipeline = TracePipeline(loop_detection=self.loop_detection,
-                                 cfg_dedup=self.cfg_dedup, jobs=self.jobs,
-                                 profiler=prof, faults=self.faults,
-                                 retry=self.retry,
-                                 scope=self.metrics.scope("pipeline"))
-        out = pipeline.run(self.ranks)
+            # Shard → reduce → serialize (see repro.core.pipeline).  The
+            # reduce stage is the paper's log2 P tree over per-rank
+            # partials; jobs > 1 distributes each level over a process
+            # pool.
+            pipeline = TracePipeline(loop_detection=self.loop_detection,
+                                     cfg_dedup=self.cfg_dedup,
+                                     jobs=self.jobs,
+                                     profiler=prof, faults=self.faults,
+                                     retry=self.retry,
+                                     scope=self.metrics.scope("pipeline"),
+                                     recorder=self.recorder)
+            out = pipeline.run(self.ranks)
         trace, blob, cfg = out.trace, out.trace_bytes, out.cfg
 
         phases = prof.phases()
@@ -339,5 +358,6 @@ class PilgrimTracer(TracerHooks):
             salvage=out.salvage,
             fired_faults=list(self.faults.fired)
             if self.faults is not None else [],
+            spans=self.recorder.export(),
         )
         return self.result

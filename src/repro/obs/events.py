@@ -82,13 +82,46 @@ class EventLog:
         """JSON-able records (``type: event``), oldest first."""
         return [{"type": "event", **e} for e in self._events]
 
-    def to_jsonl(self) -> str:
-        return "".join(json.dumps(r, sort_keys=True) + "\n"
-                       for r in self.records())
+    def header(self) -> dict[str, Any]:
+        """The export header: enough accounting (total ``seq`` issued,
+        ``dropped``, ``first_seq`` still buffered) for a reader to prove
+        whether the bounded buffer evicted anything — the monotonic
+        per-event ``seq`` then pinpoints any interior gap."""
+        first = self._events[0]["seq"] if self._events else None
+        return {"type": "event_log", "schema": "repro.obs/v1",
+                "seq": self.seq, "dropped": self.dropped,
+                "buffered": len(self._events), "first_seq": first}
+
+    def to_jsonl(self, path: Optional[str] = None) -> str:
+        """The header + buffered events as JSON lines.  With *path*, the
+        text is also written there (the ``to_jsonl(path)`` export)."""
+        lines = [self.header()] + self.records()
+        text = "".join(json.dumps(r, sort_keys=True) + "\n" for r in lines)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
 
     def write(self, path: str) -> int:
-        """Write the buffered events as JSONL; returns the event count."""
-        text = self.to_jsonl()
-        with open(path, "w") as fh:
-            fh.write(text)
+        """Write the header + buffered events as JSONL; returns the
+        event count (header excluded)."""
+        self.to_jsonl(path)
         return len(self._events)
+
+    @staticmethod
+    def find_gaps(records: list[dict[str, Any]]) -> list[tuple[int, int]]:
+        """Sequence-number gaps in exported event records: half-open
+        ``(after_seq, before_seq)`` intervals of missing events.  A
+        leading gap (events evicted before the first surviving one) is
+        reported as ``(0, first_seq)``; interior eviction cannot happen
+        with the deque buffer, but a filtered or truncated file will
+        show up here."""
+        seqs = sorted(r["seq"] for r in records
+                      if r.get("type", "event") == "event" and "seq" in r)
+        gaps: list[tuple[int, int]] = []
+        prev = 0
+        for s in seqs:
+            if s > prev + 1:
+                gaps.append((prev, s))
+            prev = s
+        return gaps

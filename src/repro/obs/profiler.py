@@ -6,13 +6,21 @@ call, and ``cst_merge``, ``cfg_merge``, ``timing_merge``, ``serialize`` at
 finalize — and publishes the totals into a registry scope as timers named
 ``phase.<name>`` (wall) and ``phase.<name>.cpu``.
 
+Since the span-telemetry overhaul the profiler is also the bridge into
+the run's :class:`~repro.obs.spans.SpanRecorder`: every ``with
+profiler.phase(...)`` block opens a span (nesting follows the ``with``
+nesting), and every externally measured :meth:`add` records a *synthetic*
+span of the given duration.  The flat ``phases()`` dict is now derived
+from the same accumulators as before, so ``PilgrimResult.phases`` is
+byte-compatible with the pre-span era.
+
 The profiler itself always measures (two clock reads per ``with`` block,
 negligible at run-level granularity), so backward-compatible accounting
 fields like ``PilgrimResult.time_cst_merge`` stay populated even when the
-registry is disabled.  Only the registry publication is gated.  Per-call
-hot paths should not open a ``with`` block per call; they accumulate raw
-deltas themselves and bulk-:meth:`add` once at finalize, gated on
-:attr:`fine` (see ``PilgrimTracer.on_call``).
+registry is disabled.  Only the registry/recorder publication is gated.
+Per-call hot paths should not open a ``with`` block per call; they
+accumulate raw deltas themselves and bulk-:meth:`add` once at finalize,
+gated on :attr:`fine` (see ``PilgrimTracer.on_call``).
 """
 
 from __future__ import annotations
@@ -21,12 +29,13 @@ import time as _time
 from typing import Optional
 
 from .registry import CLOCK_CPU, Scope
+from .spans import NULL_RECORDER, SpanRecorder
 
 
 class _PhaseBlock:
     """One timed phase; exposes the measured wall/CPU seconds on exit."""
 
-    __slots__ = ("_prof", "_name", "_w0", "_c0", "wall", "cpu")
+    __slots__ = ("_prof", "_name", "_w0", "_c0", "_span", "wall", "cpu")
 
     def __init__(self, prof: "PhaseProfiler", name: str):
         self._prof = prof
@@ -35,6 +44,8 @@ class _PhaseBlock:
         self.cpu = 0.0
 
     def __enter__(self) -> "_PhaseBlock":
+        self._span = self._prof.recorder.span(self._name, scope="phase")
+        self._span.__enter__()
         self._w0 = _time.perf_counter()
         self._c0 = _time.process_time()
         return self
@@ -42,14 +53,18 @@ class _PhaseBlock:
     def __exit__(self, *exc) -> None:
         self.wall = _time.perf_counter() - self._w0
         self.cpu = _time.process_time() - self._c0
-        self._prof.add(self._name, self.wall, cpu=self.cpu)
+        self._span.__exit__(*exc)
+        self._prof._accumulate(self._name, self.wall, cpu=self.cpu)
 
 
 class PhaseProfiler:
-    """Named-phase wall/CPU accumulator, optionally backed by a registry."""
+    """Named-phase wall/CPU accumulator, optionally backed by a registry
+    scope and a span recorder."""
 
-    def __init__(self, scope: Optional[Scope] = None):
+    def __init__(self, scope: Optional[Scope] = None,
+                 recorder: Optional[SpanRecorder] = None):
         self._scope = scope
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         #: whether *fine-grained* (per-call) profiling is worth paying for;
         #: callers on hot paths check this before taking extra timestamps
         self.fine = scope is not None and scope.enabled
@@ -59,12 +74,21 @@ class PhaseProfiler:
 
     def phase(self, name: str) -> _PhaseBlock:
         """``with profiler.phase("cst_merge") as ph: ...`` — measures the
-        block and accumulates it; ``ph.wall``/``ph.cpu`` hold the result."""
+        block (and records a span) and accumulates it; ``ph.wall``/
+        ``ph.cpu`` hold the result."""
         return _PhaseBlock(self, name)
 
     def add(self, name: str, wall: float, count: int = 1,
             cpu: Optional[float] = None) -> None:
-        """Accumulate an externally measured phase contribution."""
+        """Accumulate an externally measured phase contribution; also
+        recorded as a synthetic span when a recorder is attached."""
+        if self.recorder.enabled:
+            self.recorder.record(name, dur_s=wall, scope="phase",
+                                 count=count)
+        self._accumulate(name, wall, count=count, cpu=cpu)
+
+    def _accumulate(self, name: str, wall: float, count: int = 1,
+                    cpu: Optional[float] = None) -> None:
         self._wall[name] = self._wall.get(name, 0.0) + wall
         self._counts[name] = self._counts.get(name, 0) + count
         if cpu is not None:

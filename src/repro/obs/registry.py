@@ -315,17 +315,22 @@ SCHEMA = "repro.obs/v1"
 
 def write_metrics_jsonl(path: str, registry: MetricsRegistry, *,
                         meta: Optional[dict[str, Any]] = None,
-                        events: Optional[Iterable[dict[str, Any]]] = None
+                        events: Optional[Iterable[dict[str, Any]]] = None,
+                        spans: Optional[Iterable[dict[str, Any]]] = None
                         ) -> int:
-    """Dump a registry snapshot (+ optional event records) as JSON lines.
+    """Dump a registry snapshot (+ optional event and span records) as
+    JSON lines.
 
     Line 1 is a ``{"type": "meta", "schema": ...}`` header; every further
-    line is one instrument or event record.  Returns the line count.
+    line is one instrument, event, or span record.  Returns the line
+    count.
     """
     lines = [{"type": "meta", "schema": SCHEMA, **(meta or {})}]
     lines.extend(registry.records())
     if events is not None:
         lines.extend(events)
+    if spans is not None:
+        lines.extend(spans)
     with open(path, "w") as fh:
         for rec in lines:
             fh.write(json.dumps(rec, sort_keys=True) + "\n")

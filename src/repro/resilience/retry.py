@@ -67,17 +67,23 @@ class TaskSupervisor:
     anything else propagates immediately (a real bug should never be
     swallowed by resilience machinery).  An optional ``scope`` (an
     ``repro.obs`` metrics scope, duck-typed) mirrors the counters into
-    the run's metrics registry.
+    the run's metrics registry, and an optional ``recorder`` (an
+    ``repro.obs`` span recorder, also duck-typed) gets one
+    ``retry.backoff`` span per retry sleep and a ``retry.exhausted``
+    marker when a task's budget runs out, so recovery shows up on the
+    run timeline.
     """
 
     def __init__(self, policy: RetryPolicy,
                  retryable: Tuple[Type[BaseException], ...],
                  scope=None,
-                 sleep: Callable[[float], None] = time.sleep):
+                 sleep: Callable[[float], None] = time.sleep,
+                 recorder=None):
         self.policy = policy
         self.retryable = retryable
         self.scope = scope
         self.sleep = sleep
+        self.recorder = recorder
         self.rng = random.Random(policy.seed ^ 0x5EED5EED)
         self.stats = SupervisorStats()
         self._consecutive_worker_failures = 0
@@ -129,11 +135,18 @@ class TaskSupervisor:
         otherwise the last exception propagates.
         """
         last: Optional[BaseException] = None
+        rec = self.recorder
         for attempt in range(self.policy.max_retries + 1):
             if attempt:
                 self.stats.retries += 1
                 self._count("retries")
-                self.sleep(self.backoff(attempt))
+                delay = self.backoff(attempt)
+                self.sleep(delay)
+                if rec is not None and rec.enabled:
+                    rec.record("retry.backoff", dur_s=delay,
+                               scope="resilience", site=site,
+                               attempt=attempt,
+                               error=type(last).__name__ if last else None)
             try:
                 result = thunk(attempt)
             except self.retryable as exc:
@@ -145,6 +158,10 @@ class TaskSupervisor:
             return result
         self.stats.gave_up += 1
         self._count("gave_up")
+        if rec is not None and rec.enabled:
+            rec.record("retry.exhausted", dur_s=0.0, scope="resilience",
+                       site=site,
+                       error=type(last).__name__ if last else None)
         if on_exhausted is not None:
             return on_exhausted(last)  # type: ignore[arg-type]
         assert last is not None

@@ -42,6 +42,66 @@ class TestEventLogBuffer:
                                   "seq": 1, "v": 1}]
 
 
+class TestEventLogExport:
+    def test_to_jsonl_header_then_events(self, tmp_path):
+        import json
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", x=2)
+        path = tmp_path / "events.jsonl"
+        text = log.to_jsonl(str(path))
+        assert path.read_text() == text
+        lines = [json.loads(ln) for ln in text.splitlines()]
+        assert lines[0]["type"] == "event_log"
+        assert lines[0]["seq"] == 2 and lines[0]["dropped"] == 0
+        assert lines[0]["first_seq"] == 1 and lines[0]["buffered"] == 2
+        assert [ln["seq"] for ln in lines[1:]] == [1, 2]
+
+    def test_write_returns_event_count(self, tmp_path):
+        log = EventLog()
+        for i in range(3):
+            log.emit("tick", i=i)
+        assert log.write(str(tmp_path / "e.jsonl")) == 3
+
+    def test_header_accounts_for_eviction(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit("tick", i=i)
+        hdr = log.header()
+        assert hdr["seq"] == 5 and hdr["dropped"] == 3
+        assert hdr["first_seq"] == 4 and hdr["buffered"] == 2
+
+    def test_empty_log_header(self):
+        hdr = EventLog().header()
+        assert hdr["first_seq"] is None and hdr["buffered"] == 0
+
+    def test_find_gaps_detects_leading_eviction(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert EventLog.find_gaps(log.records()) == [(0, 4)]
+
+    def test_find_gaps_detects_interior_truncation(self):
+        log = EventLog()
+        for i in range(6):
+            log.emit("tick", i=i)
+        recs = [r for r in log.records() if r["seq"] not in (3, 4)]
+        assert EventLog.find_gaps(recs) == [(2, 5)]
+
+    def test_find_gaps_clean_log(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        assert EventLog.find_gaps(log.records()) == []
+        assert EventLog.find_gaps([]) == []
+
+    def test_find_gaps_ignores_non_event_lines(self):
+        log = EventLog()
+        log.emit("a")
+        recs = [log.header()] + log.records()
+        assert EventLog.find_gaps(recs) == []
+
+
 class TestRuntimeEvents:
     def _wildcard_program(self, m):
         """Rank 0 gathers one message from each worker via ANY_SOURCE."""

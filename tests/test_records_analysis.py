@@ -49,6 +49,32 @@ class TestReportHelpers:
         assert fmt_count(123_456) == "123K"
         assert fmt_count(3_000_000_000) == "3.0B"
 
+    def test_fmt_kb_boundaries(self):
+        """Unit-ladder edges: the GB and TB tiers exist, and negative
+        byte deltas carry exactly one leading sign at every tier."""
+        assert fmt_kb(1024) == "1.0KB"
+        assert fmt_kb(2 * 1024 ** 3) == "2.0GB"
+        assert fmt_kb(3 * 1024 ** 4) == "3.0TB"
+        assert fmt_kb(5000 * 1024 ** 4).endswith("TB")  # no ladder overflow
+        assert fmt_kb(-1) == "-1B"
+        assert fmt_kb(-512) == "-512B"
+        assert fmt_kb(-2048) == "-2.0KB"
+        assert fmt_kb(-2 * 1024 ** 3) == "-2.0GB"
+        assert fmt_kb(-3 * 1024 ** 4) == "-3.0TB"
+        assert "--" not in fmt_kb(-10 ** 15)
+
+    def test_fmt_count_boundaries(self):
+        assert fmt_count(0) == "0"
+        assert fmt_count(999) == "999"
+        assert fmt_count(1000) == "1.0K"
+        assert fmt_count(100_000) == "100K"
+        assert fmt_count(2_500_000_000_000) == "2.5T"
+        assert fmt_count(-950) == "-950"
+        assert fmt_count(-8500) == "-8.5K"
+        assert fmt_count(-1_200_000) == "-1.2M"
+        assert fmt_count(-3_000_000_000) == "-3.0B"
+        assert fmt_count(-2_500_000_000_000) == "-2.5T"
+
     def test_fmt_time(self):
         assert fmt_time(0.0031) == "3.1ms"
         assert fmt_time(2.5) == "2.5s"
