@@ -3,12 +3,17 @@
 Replays captured workload event streams into fresh Pilgrim tracers and
 times exactly the ``on_call`` path — encode → CST intern → Sequitur
 append — once with the signature/CST caches on and once off.  The
-cache-off ablation is the pre-overhaul hot path, so per family three
-metrics come out:
+cache-off ablation is the pre-overhaul hot path.  A third tracer takes
+the same stream through the batched ``record_batch`` array entry
+(per-rank column batches, ``TracerOptions.batch_size``), so per family
+five metrics come out:
 
-* ``<family>.cached_us_per_call``   — the shipping configuration
-* ``<family>.uncached_us_per_call`` — the ablation baseline
-* ``<family>.cached_over_uncached`` — their ratio, machine-independent
+* ``<family>.cached_us_per_call``    — the shipping per-call path
+* ``<family>.uncached_us_per_call``  — the cache-off ablation baseline
+* ``<family>.cached_over_uncached``  — their ratio, machine-independent
+* ``<family>.batched_us_per_call``   — the columnar array entry
+* ``<family>.batched_over_cached``   — batched/cached ratio, likewise
+  machine-independent
 
 CI gates on the ratios (absolute µs/call vary across runners); the
 absolute numbers are what ``BENCH_hotpath.json`` records for humans.
@@ -30,6 +35,7 @@ def _hotpath(params: dict):
     families = list(params.setdefault("families", list(DEFAULT_FAMILIES)))
     nprocs = int(params.setdefault("nprocs", 8))
     seed = int(params.setdefault("seed", 1))
+    batch_size = int(params.setdefault("batch_size", 256))
     captures = [CapturedRun.record(f, nprocs, seed=seed) for f in families]
 
     def sample() -> dict:
@@ -42,10 +48,17 @@ def _hotpath(params: dict):
             uncached = make_tracer("pilgrim", TracerOptions(
                 signature_cache=False))
             t_uncached = cap.timed_replay(uncached) * per_call_us
+            batched = make_tracer("pilgrim", TracerOptions(
+                signature_cache=True, batch_size=batch_size))
+            t_batched = cap.timed_replay_batched(
+                batched, batch_size=batch_size) * per_call_us
             out[f"{cap.family}.cached_us_per_call"] = t_cached
             out[f"{cap.family}.uncached_us_per_call"] = t_uncached
             out[f"{cap.family}.cached_over_uncached"] = \
                 t_cached / t_uncached if t_uncached else 1.0
+            out[f"{cap.family}.batched_us_per_call"] = t_batched
+            out[f"{cap.family}.batched_over_cached"] = \
+                t_batched / t_cached if t_cached else 1.0
         return out
 
     return sample

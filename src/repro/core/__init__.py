@@ -42,12 +42,14 @@ from .records import DecodedCall, sig_to_params
 from .sequitur import Sequitur
 from .shard import GrammarSet, RankCompressor, RankShard, merge_shards
 from .symbolic import IdPool, ObjectIdTable, RequestIdAllocator
-from .timing import TimingCompressor, bin_value, reconstruct_times, unbin_value
+from .timing import (BinClampWarning, TimingCompressor, TimingMeta,
+                     bin_value, reconstruct_times, unbin_value)
 from .trace_format import TraceFile, section_spans
 from .tracer import TIMING_AGGREGATE, TIMING_LOSSY, PilgrimResult, PilgrimTracer
 from .verify import VerifyReport, verify_roundtrip, verify_workload
 
 __all__ = [
+    "BinClampWarning",
     "CFGMergeResult", "CST", "ChecksumError", "CommIdSpace",
     "CorruptTraceError", "DecodedCall", "FuzzOutcome", "FuzzReport",
     "Grammar", "GrammarSet", "IdPool", "IntervalTree", "MemoryTable",
@@ -55,7 +57,8 @@ __all__ = [
     "PerRankEncoder",
     "PilgrimResult", "PilgrimTracer", "PipelineResult", "RankCompressor",
     "RankShard", "RawTracer", "RequestIdAllocator", "Sequitur",
-    "TIMING_AGGREGATE", "TIMING_LOSSY", "TimingCompressor", "TraceDecoder",
+    "TIMING_AGGREGATE", "TIMING_LOSSY", "TimingCompressor", "TimingMeta",
+    "TraceDecoder",
     "TraceFile", "TraceFormatError", "TracePipeline", "TracerOptions",
     "TruncatedTraceError", "UnsupportedVersionError", "VerifyReport",
     "available_backends", "bin_value", "corpus_mutations", "expand_rank",

@@ -47,6 +47,10 @@ class TracerOptions:
     #: hot-path signature/CST memoization (False = the uncached
     #: benchmark baseline; traces are byte-identical either way)
     signature_cache: bool = True
+    #: columnar hot path: buffer this many calls per rank and run the
+    #: CST/Sequitur/timing stages a whole batch at a time (byte-identical
+    #: to per-call operation; 1 = the classic per-call path)
+    batch_size: int = 1
     #: self-instrumentation registry (None = disabled, zero overhead)
     metrics: Any = None
     #: convenience: create an enabled metrics registry when none is
@@ -123,6 +127,7 @@ def _make_pilgrim(opts: TracerOptions) -> TracerHooks:
         timing_mode=TIMING_LOSSY if opts.lossy_timing else TIMING_AGGREGATE,
         keep_raw=opts.keep_raw, jobs=opts.jobs,
         signature_cache=opts.signature_cache,
+        batch_size=opts.batch_size,
         metrics=resolve_metrics(opts),
         fault_plan=opts.fault_plan, retry=opts.retry,
         memory_watermark=opts.memory_watermark,

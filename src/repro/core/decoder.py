@@ -14,6 +14,7 @@ from typing import Iterator, Optional
 
 from .errors import MissingRankError
 from .records import DecodedCall, sig_to_params
+from .timing import TimingMeta, reconstruct_times
 from .trace_format import TraceFile
 
 
@@ -91,6 +92,37 @@ class TraceDecoder:
                 rank=rank, fname=fname, params=params,
                 avg_duration=(cst.dur_sums[term] / count if count else 0.0),
                 sig_count=count)
+
+    def rank_times(self, rank: int) -> list[tuple[float, float]]:
+        """Reconstructed ``(t_start, t_end)`` per call for one rank
+        (lossy-timing traces only).
+
+        Honours the binning bases persisted in the trace's timing-meta
+        section: each terminal maps to one function, so its calls were
+        all binned with that function's base (or the default), and
+        reconstruction replays exactly those bases.  Traces predating
+        the meta section fall back to the default base.
+        """
+        trace = self.trace
+        td, ti = trace.timing_duration, trace.timing_interval
+        if td is None or ti is None:
+            raise ValueError("trace has no lossy-timing sections")
+        terms = self.rank_terminals(rank)
+        if rank >= len(td.rank_uid) or rank >= len(ti.rank_uid):
+            raise MissingRankError(rank, "absent from the timing rank maps")
+        dbins = td.unique[td.rank_uid[rank]].expand()
+        ibins = ti.unique[ti.rank_uid[rank]].expand()
+        meta = trace.timing_meta or TimingMeta()
+        term_bases = None
+        if meta.per_function_base:
+            pfb = meta.per_function_base
+            term_bases = {}
+            for term in set(terms):
+                b = pfb.get(self._decode_sig(term)[0])
+                if b is not None:
+                    term_bases[term] = b
+        return reconstruct_times(dbins, ibins, terms, meta.base,
+                                 term_bases=term_bases)
 
     def call_count(self, rank: Optional[int] = None) -> int:
         cfg = self.trace.cfg

@@ -189,6 +189,36 @@ _KEY_CATS = {
     F.K_INTV: _C_TUPLE, F.K_INDEXV: _C_TUPLE,
 }
 
+_KEY_EXPRS = {
+    _C_RAW: "{g}",
+    _C_PTR: "({g} or 0)",
+    _C_CID: "(None if (v := {g}) is None else v.cid)",
+    _C_WID: "(None if (v := {g}) is None else v.wid)",
+    _C_HANDLE: "(None if (v := {g}) is None else v.handle)",
+    _C_GID: "(None if (v := {g}) is None else _id(v))",
+    _C_OP: "(None if (v := {g}) is None else "
+           "(v.handle if isinstance(v, _Op) else v))",
+    _C_FLAG: "(None if (v := {g}) is None else bool(v))",
+    _C_TUPLE: "(None if (v := {g}) is None else tuple(v))",
+}
+
+
+def _compile_key_fn(fid: int, key_plan):
+    """Compile a plan's static-key recipe into one flat tuple expression
+    over ``args.get`` — the per-call interpretation loop
+    (:meth:`PerRankEncoder._static_key`, kept as the reference
+    implementation) costs more than the extraction itself.  The caller
+    handles ``TypeError``/``AttributeError`` exactly like the loop's
+    bail-to-``None``."""
+    exprs = [str(fid)]
+    for name, cat in key_plan:
+        exprs.append(_KEY_EXPRS[cat].format(g=f"g({name!r})"))
+    src = "def key_fn(g):\n    return (" + ", ".join(exprs) + ",)"
+    ns = {"_id": id, "_Op": Op, "isinstance": isinstance,
+          "bool": bool, "tuple": tuple}
+    exec(compile(src, "<keyplan>", "exec"), ns)
+    return ns["key_fn"]
+
 
 class _CallPlan:
     """Precomputed per-function encoding plan: parameter walk order, the
@@ -197,7 +227,8 @@ class _CallPlan:
     call because they depend on per-call allocator/runtime state."""
 
     __slots__ = ("fname", "fid", "params", "key_plan", "dyn_status",
-                 "dyn_req", "req_skip", "lifecycle", "cacheable", "is_any")
+                 "dyn_req", "req_skip", "lifecycle", "cacheable", "is_any",
+                 "idx_mode", "fast_req", "key_fn")
 
     def __init__(self, fname: str):
         spec = F.FUNCS[fname]
@@ -228,6 +259,20 @@ class _CallPlan:
         # caching their signatures would be wasted work
         self.cacheable = fname not in _LIFECYCLE_EXTRA
         self.is_any = fname in ("MPI_Waitany", "MPI_Testany")
+        # statuses[i] -> request-index mapping, precomputed so the hot
+        # resolve path skips the per-call fname string compares
+        if fname in ("MPI_Waitsome", "MPI_Testsome"):
+            self.idx_mode = 1    # args["array_of_indices"]
+        elif self.is_any:
+            self.idx_mode = 2    # args["index"]
+        else:
+            self.idx_mode = 0    # aligned 1:1 (Waitall/Testall)
+        # the dominant dynamic shape — one scalar request, no statuses
+        # (Isend/Irecv/\*_init) — gets a dedicated resolve fast path
+        self.fast_req = (self.dyn_req[0][0], self.dyn_req[0][1]) \
+            if (not self.dyn_status and len(self.dyn_req) == 1
+                and not self.dyn_req[0][2]) else None
+        self.key_fn = _compile_key_fn(self.fid, self.key_plan)
 
 
 _PLANS: dict[str, _CallPlan] = {}
@@ -304,22 +349,23 @@ class PerRankEncoder:
                      creation_sig: Optional[tuple]) -> Any:
         if req is None:
             return None
-        if not req.persistent and (req.consumed or req.freed) \
-                and self.requests.lookup(id(req)) is None:
+        key = id(req)
+        # hot path: reach straight into the allocator's live map (the
+        # bound-method lookup() costs a call frame per request)
+        sym = self.requests._active.get(key)
+        if sym is not None:
+            return sym
+        if not req.persistent and (req.consumed or req.freed):
             # a request already consumed by an earlier completion call:
             # the user's handle would be MPI_REQUEST_NULL by now
             return None
-        key = id(req)
-        sym = self.requests.lookup(key)
-        if sym is None:
-            if creation_sig is None:
-                # a request we never saw created (shouldn't happen; keep a
-                # distinguishable encoding rather than crash)
-                creation_sig = ("?",)
-            if not self.per_signature_request_pools:
-                creation_sig = ("*",)  # ablation: one global pool
-            sym = self.requests.on_create(key, creation_sig, ref=req)
-        return sym
+        if creation_sig is None:
+            # a request we never saw created (shouldn't happen; keep a
+            # distinguishable encoding rather than crash)
+            creation_sig = ("?",)
+        if not self.per_signature_request_pools:
+            creation_sig = ("*",)  # ablation: one global pool
+        return self.requests.on_create(key, creation_sig, ref=req)
 
     def _enc_status(self, st: Optional[Status], ctx_rank: int) -> Any:
         if st is None:
@@ -342,13 +388,13 @@ class PerRankEncoder:
                 # different (segment, displacement) encodings
                 cache.clear()
                 self._mem_epoch = mem_epoch
-            key = self._static_key(plan, args)
-            if key is not None:
-                try:
-                    entry = cache.get(key)
-                except TypeError:     # unhashable argument: bypass
-                    entry = None
-                    key = None
+            try:
+                key = plan.key_fn(args.get)
+                entry = cache.get(key)
+            except (TypeError, AttributeError):
+                # unkeyable argument shape or unhashable key: bypass
+                entry = None
+                key = None
             if key is not None:
                 if entry is not None:
                     if entry[3] is None:   # fully static signature
@@ -421,31 +467,52 @@ class PerRankEncoder:
         static template and re-encode only the dynamic slots (whose
         values depend on per-call allocator and runtime state)."""
         template, ctx_rank, static_base, memo = entry
+        fast = plan.fast_req
+        if fast is not None:
+            # one scalar request, no statuses: the creation base is
+            # static by construction and the encoding is the memo key
+            enc = self._enc_request(args.get(fast[1]), static_base)
+            sig = memo.get(enc)
+            if sig is None:
+                parts = template.copy()
+                parts[fast[0]] = enc
+                sig = tuple(parts)
+                if len(memo) >= _SIG_MEMO_CAP:
+                    memo.clear()
+                memo[enc] = sig
+            return sig
+        get = args.get
         parts = template.copy()
         vals: list[Any] = []
         if plan.dyn_status:
-            req_list = args.get("array_of_requests")
+            req_list = get("array_of_requests")
+            enc_status = self._enc_status
+            status_ctx = self._status_ctx
             for pos, name, is_vec in plan.dyn_status:
-                v = args.get(name)
+                v = get(name)
                 if is_vec:
                     if v is None:
                         enc = None
+                    elif plan.idx_mode == 0:
+                        # Waitall/Testall: statuses align 1:1 with requests
+                        enc = self._enc_status_vec(v, req_list, args,
+                                                   ctx_rank)
                     else:
                         idxs = self._completed_indices(plan.fname, args,
                                                        len(v))
-                        enc = tuple(
-                            self._enc_status(st, self._status_ctx(
+                        enc = tuple([
+                            enc_status(st, status_ctx(
                                 args, req_list, ctx_rank,
                                 idxs[i] if idxs is not None and i < len(idxs)
                                 else None))
-                            for i, st in enumerate(v))
+                            for i, st in enumerate(v)])
                 else:
                     ridx = None
                     if plan.is_any:
-                        idx = args.get("index")
+                        idx = get("index")
                         if isinstance(idx, int) and idx >= 0:
                             ridx = idx
-                    enc = self._enc_status(v, self._status_ctx(
+                    enc = enc_status(v, status_ctx(
                         args, req_list, ctx_rank, ridx))
                 parts[pos] = enc
                 vals.append(enc)
@@ -455,13 +522,14 @@ class PerRankEncoder:
                 skip = plan.req_skip
                 base = tuple(x for i, x in enumerate(parts)
                              if i not in skip)
+            enc_request = self._enc_request
             for pos, name, is_vec in plan.dyn_req:
-                v = args.get(name)
+                v = get(name)
                 if is_vec:
-                    enc = tuple(self._enc_request(r, base)
-                                for r in (v or ()))
+                    enc = tuple([enc_request(r, base) for r in v]) \
+                        if v else ()
                 else:
-                    enc = self._enc_request(v, base)
+                    enc = enc_request(v, base)
                 parts[pos] = enc
                 vals.append(enc)
         memo_key = tuple(vals)
@@ -472,6 +540,51 @@ class PerRankEncoder:
                 memo.clear()
             memo[memo_key] = sig
         return sig
+
+    def encode_batch(self, fnames, argses, n: int,
+                     out: Optional[list] = None) -> list:
+        """Encode *n* calls from columns, writing signatures into *out*
+        (preallocated by the caller when given; first *n* slots).
+
+        Byte-identical to *n* :meth:`encode_call` invocations in order.
+        The signature-cache hit path — the overwhelmingly common case —
+        is inlined with its lookups hoisted out of the loop; anything
+        else (plan miss, cold cache entry, unhashable key, memory-epoch
+        change) falls back to :meth:`encode_call` for that element, which
+        performs the identical slow path including cache fills.
+        """
+        if out is None:
+            out = [None] * n
+        plans = _PLANS
+        cache = self._sig_cache
+        encode_call = self.encode_call
+        resolve_dynamic = self._resolve_dynamic
+        post_call = self._post_call
+        mem = self.memory
+        for i in range(n):
+            fname = fnames[i]
+            args = argses[i]
+            plan = plans.get(fname)
+            if plan is None or cache is None or not plan.cacheable \
+                    or mem.epoch != self._mem_epoch:
+                out[i] = encode_call(fname, args)
+                continue
+            try:
+                entry = cache.get(plan.key_fn(args.get))
+            except (TypeError, AttributeError):
+                # unkeyable argument shape or unhashable key: bypass
+                entry = None
+            if entry is None:
+                out[i] = encode_call(fname, args)
+                continue
+            if entry[3] is None:   # fully static signature
+                sig = entry[0]
+            else:
+                sig = resolve_dynamic(plan, entry, args)
+            if plan.lifecycle:
+                post_call(fname, args)
+            out[i] = sig
+        return out
 
     def reset_cache(self) -> None:
         """Drop the signature cache (called at shard-freeze time; the
@@ -608,6 +721,50 @@ class PerRankEncoder:
 
         return tuple(parts), parts, ctx_rank, base
 
+    def _enc_status_vec(self, statuses, req_list, args,
+                        ctx_rank: int) -> tuple:
+        """Aligned vector statuses (Waitall/Testall): element-for-element
+        equivalent to ``_enc_status(st, _status_ctx(args, req_list,
+        ctx_rank, i))``, with the cid → caller-rank resolution memoized
+        across elements (deterministic for the call's duration)."""
+        rel = self.relative_ranks
+        my_rank = self.rank
+        resolver = self._comm_resolver
+        out: list = []
+        append = out.append
+        if not req_list:
+            # no request array: every element resolves against the same
+            # scalar "request" arg (or none), so the context is uniform
+            ctx = self._status_ctx(args, req_list, ctx_rank, 0)
+            for st in statuses:
+                append(None if st is None else
+                       (encode_rank(st.MPI_SOURCE, ctx, enabled=rel),
+                        st.MPI_TAG))
+            return tuple(out)
+        nreq = len(req_list)
+        cid_ctx: dict[int, int] = {}
+        for i, st in enumerate(statuses):
+            if st is None:
+                append(None)
+                continue
+            req = req_list[i] if i < nreq else None
+            ctx = ctx_rank
+            if isinstance(req, Request) and req.comm_cid >= 0:
+                cid = req.comm_cid
+                got = cid_ctx.get(cid)
+                if got is None:
+                    got = ctx_rank
+                    comm = resolver(cid)
+                    if comm is not None:
+                        cr = comm.group.rank_of(my_rank)
+                        if cr != C.UNDEFINED:
+                            got = cr
+                    cid_ctx[cid] = got
+                ctx = got
+            append((encode_rank(st.MPI_SOURCE, ctx, enabled=rel),
+                    st.MPI_TAG))
+        return tuple(out)
+
     def _status_ctx(self, args, req_list, default_ctx: int,
                     req_index: Optional[int]) -> int:
         """Caller's comm rank in the communicator relevant to a status."""
@@ -652,7 +809,30 @@ class PerRankEncoder:
     #: authoritative set lives at module level so _CallPlan can use it
     _RELEASING = _RELEASING
 
+    def _release_request(self, req: Request) -> None:
+        """Release one completed/freed non-persistent request's id."""
+        if req.persistent:
+            return
+        if req.consumed or req.freed:
+            sym = self.requests.on_release(id(req))
+            if sym is not None and req.kind == "comm_idup" \
+                    and isinstance(req.value, Comm):
+                # §3.3.1: the symbolic id of an idup'ed communicator is
+                # agreed when the completing Wait/Test observes it
+                self.comm_space.sym_for(req.value)
+
     def _post_call(self, fname: str, args: dict[str, Any]) -> None:
+        if fname in self._RELEASING:
+            req = args.get("request")
+            if req is not None:
+                self._release_request(req)
+            arr = args.get("array_of_requests")
+            if arr:
+                release = self._release_request
+                for req in arr:
+                    if req is not None:
+                        release(req)
+            return
         if fname == "MPI_Type_free":
             dt = args.get("datatype")
             if dt is not None and dt.handle >= 0 \
@@ -674,19 +854,3 @@ class PerRankEncoder:
                 # reused by a new Group object
                 self._sig_cache.clear()
             return
-        if fname not in self._RELEASING:
-            return
-        reqs: list[Optional[Request]] = []
-        if args.get("request") is not None:
-            reqs.append(args["request"])
-        reqs.extend(args.get("array_of_requests") or ())
-        for req in reqs:
-            if req is None or req.persistent:
-                continue
-            if req.consumed or req.freed:
-                sym = self.requests.on_release(id(req))
-                if sym is not None and req.kind == "comm_idup" \
-                        and isinstance(req.value, Comm):
-                    # §3.3.1: the symbolic id of an idup'ed communicator is
-                    # agreed when the completing Wait/Test observes it
-                    self.comm_space.sym_for(req.value)

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from .decoder import TraceDecoder
-from .timing import reconstruct_times
 
 
 def to_text(trace_bytes: bytes, *, ranks: Optional[list[int]] = None,
@@ -84,10 +83,9 @@ def to_otf_events(trace_bytes: bytes,
     for rank in rank_list:
         terms = dec.rank_terminals(rank)
         if has_timing:
-            td, ti = trace.timing_duration, trace.timing_interval
-            dbins = td.unique[td.rank_uid[rank]].expand()
-            ibins = ti.unique[ti.rank_uid[rank]].expand()
-            times = reconstruct_times(dbins, ibins, terms)
+            # the decoder replays the binning bases persisted in the
+            # trace's timing-meta section (per-function overrides too)
+            times = dec.rank_times(rank)
         else:
             times = None
             clock = 0.0

@@ -256,10 +256,14 @@ class TracePipeline:
                  cfg_dedup: bool = True, jobs: int = 1,
                  profiler: Optional[PhaseProfiler] = None,
                  faults=None, retry: Optional[RetryPolicy] = None,
-                 scope=None, recorder: Optional[SpanRecorder] = None):
+                 scope=None, recorder: Optional[SpanRecorder] = None,
+                 timing_meta=None):
         self.loop_detection = loop_detection
         self.cfg_dedup = cfg_dedup
         self.jobs = jobs
+        #: :class:`~repro.core.timing.TimingMeta` persisted alongside the
+        #: timing sections (the binning bases, needed at reconstruction)
+        self.timing_meta = timing_meta
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         self.recorder = (recorder if recorder is not None
                          else self.profiler.recorder)
@@ -465,7 +469,9 @@ class TracePipeline:
         with prof.phase("serialize"):
             trace = TraceFile(nprocs=shard.nranks, cst=shard.merged_cst(),
                               cfg=cfg, timing_duration=timing_d,
-                              timing_interval=timing_i)
+                              timing_interval=timing_i,
+                              timing_meta=(self.timing_meta
+                                           if timing_d is not None else None))
             if not self.resilient:
                 blob = trace.to_bytes()
             else:

@@ -32,6 +32,7 @@ shard on disk enjoys the same integrity checking as a finished trace.
 from __future__ import annotations
 
 import struct
+from array import array
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -373,7 +374,9 @@ class RankCompressor:
     __slots__ = ("rank", "encoder", "cst", "grammar", "timing",
                  "raw_terms", "keep_raw", "n_calls", "loop_detection",
                  "memory_watermark", "_spill_parts", "_spill_input",
-                 "watermark_spills")
+                 "watermark_spills", "batch_size", "_batch_n",
+                 "_b_sigs", "_b_fnames", "_b_durs", "_b_t0", "_b_t1",
+                 "_b_terms", "_bufs")
 
     def __init__(self, rank: int, comm_space, *, win_space=None,
                  relative_ranks: bool = True,
@@ -383,10 +386,13 @@ class RankCompressor:
                  keep_raw: bool = False,
                  encoder: Optional[PerRankEncoder] = None,
                  signature_cache: bool = True,
-                 memory_watermark: Optional[int] = None):
+                 memory_watermark: Optional[int] = None,
+                 batch_size: int = 1):
         if memory_watermark is not None and memory_watermark < 1:
             raise ValueError(
                 f"memory_watermark must be >= 1, got {memory_watermark}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.rank = rank
         self.encoder = encoder if encoder is not None else PerRankEncoder(
             rank, comm_space, win_space=win_space,
@@ -410,12 +416,33 @@ class RankCompressor:
         self._spill_input = 0
         #: how many times the watermark fired (observability/tests)
         self.watermark_spills = 0
+        #: columnar call buffer (``batch_size > 1``): the symbolic encode
+        #: stays synchronous per call — request/status objects mutate
+        #: after the hook returns — while CST intern, grammar append and
+        #: timing are deferred into whole-batch flushes
+        self.batch_size = batch_size
+        self._batch_n = 0
+        if batch_size > 1:
+            self._b_sigs: list = [None] * batch_size
+            self._b_fnames: list = [None] * batch_size
+            self._b_durs = array("d", bytes(8 * batch_size))
+            self._b_t0 = array("d", bytes(8 * batch_size))
+            self._b_t1 = array("d", bytes(8 * batch_size))
+            self._b_terms: list[int] = [0] * batch_size
+        else:
+            self._b_sigs = self._b_fnames = self._b_terms = []
+            self._b_durs = self._b_t0 = self._b_t1 = array("d")
+        #: the five columns as one tuple: ``observe_batched`` pays one
+        #: attribute load instead of five per call
+        self._bufs = (self._b_sigs, self._b_fnames, self._b_durs,
+                      self._b_t0, self._b_t1)
 
     @property
     def observed_calls(self) -> int:
-        """Calls this compressor has seen, spilled parts included (also
-        correct when the tracer appends to ``grammar`` directly)."""
-        return self._spill_input + self.grammar.n_input
+        """Calls this compressor has seen, spilled parts and buffered
+        batch included (also correct when the tracer appends to
+        ``grammar`` directly)."""
+        return self._spill_input + self.grammar.n_input + self._batch_n
 
     def observe(self, fname: str, args: dict, t0: float, t1: float) -> int:
         """Run one call through the intra-process pipeline (Fig 2):
@@ -432,6 +459,103 @@ class RankCompressor:
                 and self.grammar.n_input >= self.memory_watermark:
             self.spill()
         return term
+
+    def observe_batched(self, fname: str, args: dict, t0: float,
+                        t1: float) -> None:
+        """Columnar variant of :meth:`observe` for ``batch_size > 1``:
+        encode now, defer intern/append/timing until the buffer fills.
+
+        The watermark is checked at flush granularity, so a spill can
+        overshoot the threshold by at most one batch; spills are
+        byte-invisible either way (``freeze`` re-feeds the parts)."""
+        n = self._batch_n
+        b = self._bufs
+        b[0][n] = self.encoder.encode_call(fname, args)
+        b[1][n] = fname
+        b[2][n] = t1 - t0
+        b[3][n] = t0
+        b[4][n] = t1
+        self._batch_n = n = n + 1
+        if n == self.batch_size:
+            self.flush_batch()
+
+    def flush_batch(self) -> None:
+        """Drain the columnar buffer through CST intern → grammar append
+        → timing, in one pass per stage.  Byte-identical to the per-call
+        path: stage order within a call only matters per subsystem, and
+        each subsystem still sees its inputs in exact call order."""
+        n = self._batch_n
+        if not n:
+            return
+        self._batch_n = 0
+        out = self._b_terms
+        self.cst.intern_batch(self._b_sigs, self._b_durs, n, out)
+        terms = out if n == self.batch_size else out[:n]
+        self.grammar.append_array(terms)
+        if self.timing is not None:
+            self.timing.record_batch(terms, self._b_fnames,
+                                     self._b_t0, self._b_t1, n)
+        if self.keep_raw:
+            self.raw_terms.extend(terms)
+        self.n_calls += n
+        if self.memory_watermark is not None \
+                and self.grammar.n_input >= self.memory_watermark:
+            self.spill()
+
+    def observe_array(self, fnames, argses, t0s, t1s) -> int:
+        """Array entry point (``record_batch``): run whole columns of
+        calls through the batched pipeline.  With ``batch_size > 1`` the
+        columns feed the same persistent buffer the scalar path uses, so
+        downstream flushes stay at ``batch_size`` granularity no matter
+        how the feeder chunks its calls (and mixing scalar and array
+        feeds preserves call order for free).  Returns the number of
+        calls consumed."""
+        n = len(fnames)
+        if not n:
+            return 0
+        bs = self.batch_size
+        if bs == 1:
+            # unbuffered: one whole-column pass per stage
+            sigs = self.encoder.encode_batch(fnames, argses, n)
+            durs = [t1s[i] - t0s[i] for i in range(n)]
+            terms = self.cst.intern_batch(sigs, durs, n)
+            self.grammar.append_array(terms)
+            if self.timing is not None:
+                self.timing.record_batch(terms, fnames, t0s, t1s, n)
+            if self.keep_raw:
+                self.raw_terms.extend(terms)
+            self.n_calls += n
+            if self.memory_watermark is not None \
+                    and self.grammar.n_input >= self.memory_watermark:
+                self.spill()
+            return n
+        sig_col, fn_col, dur_col, t0_col, t1_col = self._bufs
+        encode_batch = self.encoder.encode_batch
+        bn = self._batch_n
+        i = 0
+        while i < n:
+            take = bs - bn
+            if take > n - i:
+                take = n - i
+            end = i + take
+            sig_col[bn:bn + take] = encode_batch(
+                fnames[i:end], argses[i:end], take)
+            fn_col[bn:bn + take] = fnames[i:end]
+            for j in range(take):
+                t0 = t0s[i + j]
+                t1 = t1s[i + j]
+                k = bn + j
+                dur_col[k] = t1 - t0
+                t0_col[k] = t0
+                t1_col[k] = t1
+            bn += take
+            i = end
+            if bn == bs:
+                self._batch_n = bn
+                self.flush_batch()
+                bn = 0
+        self._batch_n = bn
+        return n
 
     def spill(self) -> None:
         """Watermark crossing: freeze the live grammar into a frozen
@@ -464,15 +588,14 @@ class RankCompressor:
         consumes the exact terminal stream an unsplit run would have,
         so the frozen grammar — and the final trace — is byte-identical
         to a run that never spilled."""
+        self.flush_batch()
         self.encoder.reset_cache()
         self.cst.reset_cache()
         if self._spill_parts:
             seq = Sequitur(loop_detection=self.loop_detection)
             for part in self._spill_parts:
-                for t in part.expand():
-                    seq.append(t)
-            for t in self.grammar.expand():
-                seq.append(t)
+                seq.append_array(part.expand())
+            seq.append_array(self.grammar.expand())
             self.grammar = seq
             self._spill_parts = []
             self._spill_input = 0

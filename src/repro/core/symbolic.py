@@ -21,6 +21,7 @@ Three flavours live here:
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Hashable, Optional
 
 
@@ -121,7 +122,14 @@ class RequestIdAllocator:
             idx = len(self._pools)
             self._pool_index[creation_sig] = idx
             self._pools.append(IdPool())
-        slot = self._pools[idx].acquire()
+        pool = self._pools[idx]
+        # inlined IdPool.acquire — request creation is on the tracing
+        # hot path and the extra call frame is measurable there
+        if pool._free:
+            slot = heappop(pool._free)
+        else:
+            slot = pool._next
+            pool._next = slot + 1
         sym = (idx, slot)
         self._active[request_key] = sym
         if ref is not None:
@@ -138,8 +146,8 @@ class RequestIdAllocator:
         sym = self._active.pop(request_key, None)
         self._refs.pop(request_key, None)
         if sym is not None:
-            idx, slot = sym
-            self._pools[idx].release(slot)
+            # inlined IdPool.release (hot path, see on_create)
+            heappush(self._pools[sym[0]]._free, sym[1])
         return sym
 
     @property

@@ -19,9 +19,13 @@ durations, one for intervals), exactly as the paper does.
 from __future__ import annotations
 
 import math
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
 
+from .errors import CorruptTraceError
 from .grammar import Grammar
+from .packing import Reader, read_value, write_value
 from .sequitur import Sequitur
 
 #: bins are shifted by this offset so Sequitur sees non-negative terminals
@@ -30,16 +34,46 @@ BIN_OFFSET = 4096
 _EPS = 1e-12
 
 
-def bin_value(x: float, base: float) -> int:
-    """Exponential bin index: ``ceil(log_base x)`` (clamped)."""
+class BinClampWarning(RuntimeWarning):
+    """A duration/interval fell outside the representable bin range
+    ``base**±BIN_OFFSET`` and was clamped to the boundary bin; the
+    documented ``base - 1`` relative-error bound does not hold for that
+    value."""
+
+
+def _raw_bin(x: float, base: float) -> int:
+    """Unclamped ``ceil(log_base x)``; infinities (and NaN) land beyond
+    the high boundary instead of raising."""
     if x < _EPS:
         x = _EPS
-    b = math.ceil(math.log(x) / math.log(base))
-    if b < -BIN_OFFSET:
-        b = -BIN_OFFSET
-    elif b > BIN_OFFSET:
-        b = BIN_OFFSET
-    return b
+    try:
+        return math.ceil(math.log(x) / math.log(base))
+    except (OverflowError, ValueError):
+        return BIN_OFFSET + 1
+
+
+def _warn_clamp(b: int, base: float) -> None:
+    # the message deliberately omits the value so the default warning
+    # filter dedupes a pathological trace to one line per direction
+    kind = "overflow" if b > 0 else "underflow"
+    warnings.warn(
+        f"timing bin {kind}: |bin| > {BIN_OFFSET} at base {base}; value "
+        f"clamped to the boundary bin, the base-1 relative-error bound "
+        f"does not hold for it", BinClampWarning, stacklevel=3)
+
+
+def bin_value(x: float, base: float) -> int:
+    """Exponential bin index: ``ceil(log_base x)``.
+
+    Bins outside ``±BIN_OFFSET`` are clamped to the boundary and a
+    :class:`BinClampWarning` is emitted, since the clamp aliases extreme
+    values and voids the relative-error bound for them.
+    """
+    b = _raw_bin(x, base)
+    if -BIN_OFFSET <= b <= BIN_OFFSET:
+        return b
+    _warn_clamp(b, base)
+    return -BIN_OFFSET if b < 0 else BIN_OFFSET
 
 
 def unbin_value(b: int, base: float) -> float:
@@ -48,8 +82,58 @@ def unbin_value(b: int, base: float) -> float:
     return base ** b
 
 
+@dataclass
+class TimingMeta:
+    """The binning bases a lossy trace was recorded with (§3.2).
+
+    Persisted in the trace so :func:`reconstruct_times` can undo the
+    per-function base overrides — without this, reconstruction of a
+    trace recorded with ``per_function_base`` silently used the default
+    base for every call and produced wrong timestamps.
+    """
+
+    base: float = 1.2
+    per_function_base: dict[str, float] = field(default_factory=dict)
+
+    def base_for(self, fname: str) -> float:
+        return self.per_function_base.get(fname, self.base)
+
+    # -- serialization ------------------------------------------------------------
+
+    def write_to(self, out: bytearray) -> None:
+        write_value(out, (float(self.base),
+                          tuple(sorted(self.per_function_base.items()))))
+
+    @classmethod
+    def read_from(cls, r: Reader) -> "TimingMeta":
+        val = read_value(r)
+        if (not isinstance(val, tuple) or len(val) != 2
+                or isinstance(val[0], bool)
+                or not isinstance(val[0], (int, float))
+                or not isinstance(val[1], tuple)):
+            raise CorruptTraceError("malformed timing-meta section")
+        base = float(val[0])
+        if not base > 1.0:
+            raise CorruptTraceError(
+                f"timing-meta base {base} is not > 1.0")
+        pfb: dict[str, float] = {}
+        for item in val[1]:
+            if (not isinstance(item, tuple) or len(item) != 2
+                    or not isinstance(item[0], str)
+                    or isinstance(item[1], bool)
+                    or not isinstance(item[1], (int, float))
+                    or not float(item[1]) > 1.0):
+                raise CorruptTraceError(
+                    "malformed per-function base in timing-meta section")
+            pfb[item[0]] = float(item[1])
+        return cls(base=base, per_function_base=pfb)
+
+
 class TimingCompressor:
     """Per-rank lossy duration/interval compression."""
+
+    #: bin memo entries beyond this are churn; drop rather than track LRU
+    _MEMO_CAP = 1 << 16
 
     def __init__(self, base: float = 1.2,
                  per_function_base: Optional[dict[str, float]] = None,
@@ -64,24 +148,80 @@ class TimingCompressor:
         #: per-signature-terminal reconstructed clock (sum of b^bin)
         self._recon: dict[int, float] = {}
         self.n_calls = 0
+        #: clamp events observed while binning (each out-of-range call
+        #: counts; clamped values are never memoized, keeping this exact)
+        self.n_clamped = 0
+        #: (value, base) -> bin memo; binning is pure, so memo hits are
+        #: byte-identical to recomputation
+        self._bin_memo: dict[tuple[float, float], int] = {}
         #: raw streams kept only when verification asks for them
         self.keep_raw = False
         self.raw_durations: list[float] = []
         self.raw_starts: list[float] = []
 
+    def meta(self) -> TimingMeta:
+        return TimingMeta(base=self.base,
+                          per_function_base=dict(self.per_function_base))
+
+    def _bin(self, x: float, base: float) -> int:
+        key = (x, base)
+        memo = self._bin_memo
+        b = memo.get(key)
+        if b is not None:
+            return b
+        b = _raw_bin(x, base)
+        if b < -BIN_OFFSET or b > BIN_OFFSET:
+            self.n_clamped += 1
+            _warn_clamp(b, base)
+            return -BIN_OFFSET if b < 0 else BIN_OFFSET
+        if len(memo) >= self._MEMO_CAP:
+            memo.clear()
+        memo[key] = b
+        return b
+
     def record(self, term: int, fname: str, t0: float, t1: float) -> None:
         base = self.per_function_base.get(fname, self.base)
-        dbin = bin_value(t1 - t0, base)
+        dbin = self._bin(t1 - t0, base)
         self.duration_grammar.append(dbin + BIN_OFFSET)
         # drift-free interval: measure against the reconstructed clock
         recon = self._recon.get(term, 0.0)
-        ibin = bin_value(t0 - recon, base)
+        ibin = self._bin(t0 - recon, base)
         self.interval_grammar.append(ibin + BIN_OFFSET)
         self._recon[term] = recon + unbin_value(ibin, base)
         self.n_calls += 1
         if self.keep_raw:
             self.raw_durations.append(t1 - t0)
             self.raw_starts.append(t0)
+
+    def record_batch(self, terms, fnames, t0s, t1s, n: int) -> None:
+        """Record *n* calls from columns in one pass.
+
+        Byte-identical to *n* :meth:`record` calls: the duration and
+        interval grammars are independent, so feeding each one its whole
+        bin column via ``append_array`` preserves the per-grammar append
+        order exactly.
+        """
+        pfb = self.per_function_base
+        default_base = self.base
+        recon = self._recon
+        bin_ = self._bin
+        dbins = [0] * n
+        ibins = [0] * n
+        for i in range(n):
+            t0 = t0s[i]
+            base = pfb.get(fnames[i], default_base) if pfb else default_base
+            dbins[i] = bin_(t1s[i] - t0, base) + BIN_OFFSET
+            term = terms[i]
+            prev = recon.get(term, 0.0)
+            ib = bin_(t0 - prev, base)
+            ibins[i] = ib + BIN_OFFSET
+            recon[term] = prev + base ** ib
+        self.duration_grammar.append_array(dbins)
+        self.interval_grammar.append_array(ibins)
+        self.n_calls += n
+        if self.keep_raw:
+            self.raw_durations.extend(t1s[i] - t0s[i] for i in range(n))
+            self.raw_starts.extend(t0s[i] for i in range(n))
 
     # -- freezing -----------------------------------------------------------------
 
@@ -91,20 +231,30 @@ class TimingCompressor:
 
 
 def reconstruct_times(duration_bins: list[int], interval_bins: list[int],
-                      terms: list[int], base: float = 1.2
+                      terms: list[int], base: float = 1.2,
+                      term_bases: Optional[Mapping[int, float]] = None
                       ) -> list[tuple[float, float]]:
     """Post-processing: recover (t_start, t_end) per call from the binned
     streams, replaying the per-signature reconstructed clocks.
 
-    Guarantees (tested): ``t_start`` is within relative error ``base - 1``
-    of the true entry time, likewise the duration.
+    *term_bases* maps signature terminals to the binning base they were
+    recorded with, for traces recorded with per-function base overrides
+    (every call of one terminal shares one function, hence one base);
+    terminals not in the map use *base*.  :meth:`TraceDecoder.rank_times
+    <repro.core.decoder.TraceDecoder.rank_times>` derives the map from
+    the trace's persisted :class:`TimingMeta`.
+
+    Guarantees (tested): ``t_start`` is within relative error ``b - 1``
+    of the true entry time for that call's base ``b``, likewise the
+    duration.
     """
     recon: dict[int, float] = {}
     out = []
     for dbin, ibin, term in zip(duration_bins, interval_bins, terms):
+        b = term_bases.get(term, base) if term_bases else base
         prev = recon.get(term, 0.0)
-        t_start = prev + unbin_value(ibin - BIN_OFFSET, base)
+        t_start = prev + unbin_value(ibin - BIN_OFFSET, b)
         recon[term] = t_start
-        d = unbin_value(dbin - BIN_OFFSET, base)
+        d = unbin_value(dbin - BIN_OFFSET, b)
         out.append((t_start, t_start + d))
     return out

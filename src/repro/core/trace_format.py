@@ -20,6 +20,10 @@ Layout (all integers are varints, see :mod:`repro.core.packing`)::
     -- optional timing sections (flags bit0) --
     duration: same layout as the CFG section
     interval: same layout as the CFG section
+    -- optional timing-meta section (flags bit2, written with bit0) --
+    meta: the binning bases the trace was recorded with (default base
+          plus the per-function overrides), see TimingMeta — without
+          them reconstruction cannot honour per-function bases
 
 Sections are individually deflate-compressed by default (length-prefixed),
 mirroring the generic final-compression pass real trace formats apply —
@@ -49,6 +53,7 @@ from .errors import (ChecksumError, CorruptTraceError, TraceFormatError,
 from .grammar import Grammar
 from .interproc import CFGMergeResult
 from .packing import Reader, write_uvarint
+from .timing import TimingMeta
 
 MAGIC = b"PILG"
 VERSION = 2
@@ -56,7 +61,11 @@ HEADER_FIXED = 6  # magic + version + flags; nprocs follows as a varint
 
 FLAG_TIMING = 1
 FLAG_COMPRESSED = 2
-_KNOWN_FLAGS = FLAG_TIMING | FLAG_COMPRESSED
+#: a timing-meta section follows the timing pair; newly written lossy
+#: traces always set it, older blobs without it reconstruct with the
+#: default base (the pre-fix behaviour)
+FLAG_TIMING_META = 4
+_KNOWN_FLAGS = FLAG_TIMING | FLAG_COMPRESSED | FLAG_TIMING_META
 
 #: zlib level used for section compression (balanced, like zstd defaults)
 ZLIB_LEVEL = 6
@@ -172,6 +181,9 @@ class TraceFile:
     cfg: CFGMergeResult
     timing_duration: Optional[CFGMergeResult] = None
     timing_interval: Optional[CFGMergeResult] = None
+    #: binning bases of the timing sections; None on traces predating
+    #: the meta section (readers then fall back to the default base)
+    timing_meta: Optional[TimingMeta] = None
     #: set by ``from_bytes(salvage=True)`` when anything was dropped;
     #: excluded from equality so a cleanly-salvaged trace compares equal
     salvage: Optional[SalvageReport] = field(default=None, compare=False,
@@ -183,8 +195,9 @@ class TraceFile:
         out = bytearray()
         out.extend(MAGIC)
         out.append(VERSION)
-        flags = (FLAG_TIMING if self.timing_duration is not None else 0) \
-            | (FLAG_COMPRESSED if compress else 0)
+        flags = (FLAG_COMPRESSED if compress else 0)
+        if self.timing_duration is not None:
+            flags |= FLAG_TIMING | FLAG_TIMING_META
         out.append(flags)
         write_uvarint(out, self.nprocs)
         for payload in self._section_payloads():
@@ -202,7 +215,9 @@ class TraceFile:
             _write_cfg_section(d, self.timing_duration)
             i = bytearray()
             _write_cfg_section(i, self.timing_interval)
-            payloads.extend((bytes(d), bytes(i)))
+            m = bytearray()
+            (self.timing_meta or TimingMeta()).write_to(m)
+            payloads.extend((bytes(d), bytes(i), bytes(m)))
         return payloads
 
     @classmethod
@@ -239,7 +254,10 @@ class TraceFile:
             nprocs = r.read_uvarint()
             cst = MergedCST.read_from(take_section(r, compressed, "CST"))
             cfg = _read_cfg_section(take_section(r, compressed, "CFG"))
-            td = ti = None
+            td = ti = tm = None
+            if flags & FLAG_TIMING_META and not flags & FLAG_TIMING:
+                raise CorruptTraceError(
+                    "timing-meta flag set without timing sections")
             if flags & FLAG_TIMING:
                 td = _read_cfg_section(
                     take_section(r, compressed, "timing-duration"),
@@ -247,6 +265,9 @@ class TraceFile:
                 ti = _read_cfg_section(
                     take_section(r, compressed, "timing-interval"),
                     "timing-interval")
+                if flags & FLAG_TIMING_META:
+                    tm = TimingMeta.read_from(
+                        take_section(r, compressed, "timing-meta"))
             if not r.exhausted:
                 raise CorruptTraceError(
                     f"{len(data) - r.pos} trailing bytes after the last "
@@ -265,7 +286,7 @@ class TraceFile:
                 f"CFG rank map covers {len(cfg.rank_uid)} ranks but the "
                 f"header declares {nprocs}")
         return cls(nprocs=nprocs, cst=cst, cfg=cfg,
-                   timing_duration=td, timing_interval=ti)
+                   timing_duration=td, timing_interval=ti, timing_meta=tm)
 
     @classmethod
     def _salvage_from_bytes(cls, data: bytes) -> "TraceFile":
@@ -314,12 +335,19 @@ class TraceFile:
 
         cst = read_sec("CST", MergedCST.read_from)
         cfg = read_sec("CFG", _read_cfg_section)
-        td = ti = None
+        td = ti = tm = None
         if flags & FLAG_TIMING:
             td = read_sec("timing-duration",
                           lambda rr: _read_cfg_section(rr, "timing-duration"))
             ti = read_sec("timing-interval",
                           lambda rr: _read_cfg_section(rr, "timing-interval"))
+            if flags & FLAG_TIMING_META:
+                tm = read_sec("timing-meta", TimingMeta.read_from)
+                if tm is None and (td is not None or ti is not None):
+                    # grammars survive; reconstruction falls back to the
+                    # default base (already reported by read_sec)
+                    report.note("timing-meta lost; reconstruction will "
+                                "use the default base")
             if td is None or ti is None:
                 # the pair is only meaningful together
                 if td is not None or ti is not None:
@@ -347,8 +375,8 @@ class TraceFile:
                 report.lose_rank(rank, reason="absent from rank map")
         if not (report.degraded or report.notes):
             report = None
-        return cls(nprocs=nprocs, cst=cst, cfg=cfg,
-                   timing_duration=td, timing_interval=ti, salvage=report)
+        return cls(nprocs=nprocs, cst=cst, cfg=cfg, timing_duration=td,
+                   timing_interval=ti, timing_meta=tm, salvage=report)
 
     # -- size accounting ----------------------------------------------------------------
 
@@ -361,7 +389,8 @@ class TraceFile:
         payloads = self._section_payloads()
         names = ["cst", "cfg"]
         if self.timing_duration is not None:
-            names.extend(("timing_duration", "timing_interval"))
+            names.extend(("timing_duration", "timing_interval",
+                          "timing_meta"))
         sizes = {"header": HEADER_FIXED + len(_uvarint_bytes(self.nprocs))}
         for name, payload in zip(names, payloads):
             section = bytearray()
@@ -387,6 +416,8 @@ def section_spans(data: bytes) -> dict[str, tuple[int, int]]:
     names = ["cst", "cfg"]
     if flags & FLAG_TIMING:
         names.extend(("timing_duration", "timing_interval"))
+    if flags & FLAG_TIMING_META:
+        names.append("timing_meta")
     for name in names:
         start = r.pos
         n = r.read_uvarint()

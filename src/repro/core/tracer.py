@@ -42,8 +42,12 @@ from .encoder import CommIdSpace, PerRankEncoder, WinIdSpace
 from .pipeline import TracePipeline
 from .sequitur import Sequitur
 from .shard import RankCompressor
-from .timing import TimingCompressor
+from .timing import TimingCompressor, TimingMeta
 from .trace_format import TraceFile
+
+#: hoisted timer: the hot path pays two reads per call, and the
+#: module-attribute hop is measurable at that frequency
+_pc = _time.perf_counter
 
 TIMING_AGGREGATE = "aggregate"
 TIMING_LOSSY = "lossy"
@@ -125,7 +129,8 @@ class PilgrimTracer(TracerHooks):
                  metrics: Optional[MetricsRegistry] = None,
                  fault_plan=None,
                  retry: Optional[RetryPolicy] = None,
-                 memory_watermark: Optional[int] = None):
+                 memory_watermark: Optional[int] = None,
+                 batch_size: int = 1):
         if timing_mode not in (TIMING_AGGREGATE, TIMING_LOSSY):
             raise ValueError(f"unknown timing mode {timing_mode!r}")
         if jobs < 1:
@@ -133,6 +138,8 @@ class PilgrimTracer(TracerHooks):
         if memory_watermark is not None and memory_watermark < 1:
             raise ValueError(
                 f"memory_watermark must be >= 1, got {memory_watermark}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.relative_ranks = relative_ranks
         self.per_signature_request_pools = per_signature_request_pools
         self.loop_detection = loop_detection
@@ -159,6 +166,11 @@ class PilgrimTracer(TracerHooks):
         #: soft per-rank memory watermark (degraded-mode tracing); see
         #: RankCompressor.spill
         self.memory_watermark = memory_watermark
+        #: columnar hot path: calls are buffered per rank and run through
+        #: the CST/Sequitur/timing stages a whole batch at a time —
+        #: byte-identical to the per-call path, just faster.  1 = the
+        #: classic per-call behaviour.
+        self.batch_size = batch_size
         #: observability: disabled by default (NULL_REGISTRY) so the
         #: benchmarked hot path pays nothing unless profiling is requested
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -170,8 +182,11 @@ class PilgrimTracer(TracerHooks):
         self.profiler = PhaseProfiler(self.obs, recorder=self.recorder)
         # the fine per-call path appends through alias lists captured at
         # run start; a watermark spill swaps rc.grammar mid-run, so the
-        # aliases would go stale — watermark runs use the coarse path
-        self._fine = self.profiler.fine and memory_watermark is None
+        # aliases would go stale — watermark runs use the coarse path.
+        # Batched runs defer the cst/sequitur/timing stages into flushes,
+        # so per-call stage attribution is only meaningful unbatched.
+        self._fine = self.profiler.fine and memory_watermark is None \
+            and batch_size == 1
         #: fine-grained per-call phase accumulators (seconds); folded into
         #: the profiler once at finalize to keep on_call cheap
         self._ph_encode = 0.0
@@ -188,6 +203,9 @@ class PilgrimTracer(TracerHooks):
         self.win_space: Optional[WinIdSpace] = None
         #: per-rank compression state (the shard stage's input)
         self.ranks: list[RankCompressor] = []
+        #: per-rank bound observe methods (observe / observe_batched),
+        #: captured at run start so on_call skips the dispatch
+        self._observe: list = []
         #: aliases into self.ranks, kept for the hot path and for
         #: existing consumers (verify, tests, benchmarks) — same objects
         self.encoders: list[PerRankEncoder] = []
@@ -219,9 +237,12 @@ class PilgrimTracer(TracerHooks):
                 loop_detection=self.loop_detection,
                 timing=timing, keep_raw=self.keep_raw,
                 signature_cache=self.signature_cache,
-                memory_watermark=self.memory_watermark)
+                memory_watermark=self.memory_watermark,
+                batch_size=self.batch_size)
             rc.encoder.set_comm_resolver(sim.comm_by_cid)
             self.ranks.append(rc)
+        self._observe = [rc.observe_batched if self.batch_size > 1
+                         else rc.observe for rc in self.ranks]
         self.encoders = [rc.encoder for rc in self.ranks]
         self.csts = [rc.cst for rc in self.ranks]
         self.grammars = [rc.grammar for rc in self.ranks]
@@ -257,10 +278,26 @@ class PilgrimTracer(TracerHooks):
             self.total_calls += 1
             self.time_intra += end - tick
             return
-        tick = _time.perf_counter()
-        self.ranks[rank].observe(fname, args, t0, t1)
+        tick = _pc()
+        self._observe[rank](fname, args, t0, t1)
         self.total_calls += 1
-        self.time_intra += _time.perf_counter() - tick
+        self.time_intra += _pc() - tick
+
+    def record_batch(self, rank: int, fnames, argses, t0s, t1s) -> None:
+        """Array entry point: trace whole columns of completed calls for
+        one rank in one hook invocation (the batched counterpart of
+        :meth:`on_call`; byte-identical output)."""
+        tick = _pc()
+        self.total_calls += self.ranks[rank].observe_array(
+            fnames, argses, t0s, t1s)
+        self.time_intra += _pc() - tick
+
+    def flush_batches(self) -> None:
+        """Drain every rank's partially filled call buffer (no-op when
+        ``batch_size == 1`` or nothing is buffered).  ``finalize`` calls
+        this automatically."""
+        for rc in self.ranks:
+            rc.flush_batch()
 
     def on_mem(self, rank: int, fname: str, args: dict[str, Any],
                result: Any, t: float) -> None:
@@ -296,6 +333,8 @@ class PilgrimTracer(TracerHooks):
         # profiler's phases) — it returns the cached result.
         if self.result is not None:
             return self.result
+        # batched runs: any tail shorter than batch_size is still buffered
+        self.flush_batches()
         prof = self.profiler
         # The whole inter-process stage lives under one root span; the
         # root opens *before* the per-call fold so the synthetic
@@ -319,13 +358,18 @@ class PilgrimTracer(TracerHooks):
             # reduce stage is the paper's log2 P tree over per-rank
             # partials; jobs > 1 distributes each level over a process
             # pool.
+            timing_meta = TimingMeta(
+                base=self.timing_base,
+                per_function_base=dict(self.per_function_base or {})) \
+                if self.timing_mode == TIMING_LOSSY else None
             pipeline = TracePipeline(loop_detection=self.loop_detection,
                                      cfg_dedup=self.cfg_dedup,
                                      jobs=self.jobs,
                                      profiler=prof, faults=self.faults,
                                      retry=self.retry,
                                      scope=self.metrics.scope("pipeline"),
-                                     recorder=self.recorder)
+                                     recorder=self.recorder,
+                                     timing_meta=timing_meta)
             out = pipeline.run(self.ranks)
         trace, blob, cfg = out.trace, out.trace_bytes, out.cfg
 
@@ -342,6 +386,12 @@ class PilgrimTracer(TracerHooks):
             self.obs.timer("intra").add(self.time_intra,
                                         count=self.total_calls)
             self.obs.timer("total").add(self.time_intra + finalize_wall)
+            if self.timing:
+                clamped = sum(t.n_clamped for t in self.timing)
+                if clamped:
+                    # surfaced alongside the BinClampWarning: these calls'
+                    # timings fell outside the representable bin range
+                    self.obs.counter("timing_clamped_bins").inc(clamped)
 
         self.result = PilgrimResult(
             trace=trace,

@@ -1,0 +1,141 @@
+"""The batched columnar hot path is a pure accelerator.
+
+``TracerOptions.batch_size`` and the ``record_batch`` array entry must
+be invisible everywhere except the clock: byte-identical traces against
+the classic per-call path across workload families, process counts,
+timing modes, the parallel finalize, and mid-batch memory-watermark
+spills.  Plus the bench plumbing that measures the batched path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import run_benchmark
+from repro.bench.capture import CapturedRun
+from repro.core.backends import TracerOptions, make_tracer
+from repro.mpisim.hooks import TracerHooks
+from repro.workloads import make
+
+FAMILIES = ("stencil2d", "osu_latency", "npb_mg", "flash_sedov",
+            "milc_su3_rmd")
+
+
+def _trace_bytes(family: str, nprocs: int, seed: int, *,
+                 batch_size: int = 1, lossy: bool = False, jobs: int = 1,
+                 watermark=None) -> bytes:
+    tracer = make_tracer("pilgrim", TracerOptions(
+        lossy_timing=lossy, jobs=jobs, batch_size=batch_size,
+        memory_watermark=watermark))
+    make(family, nprocs).run(seed=seed, tracer=tracer)
+    return tracer.result.trace_bytes
+
+
+class TestBatchedByteIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(family=st.sampled_from(FAMILIES),
+           nprocs=st.sampled_from([2, 4]),
+           seed=st.integers(0, 2**16),
+           lossy=st.booleans(),
+           batch_size=st.sampled_from([3, 64, 256]))
+    def test_batched_trace_is_byte_identical(self, family, nprocs, seed,
+                                             lossy, batch_size):
+        a = _trace_bytes(family, nprocs, seed, batch_size=batch_size,
+                         lossy=lossy)
+        b = _trace_bytes(family, nprocs, seed, batch_size=1, lossy=lossy)
+        assert a == b
+
+    @pytest.mark.parametrize("family", ["stencil2d", "milc_su3_rmd"])
+    def test_identical_under_parallel_finalize(self, family):
+        a = _trace_bytes(family, 4, 7, batch_size=256, jobs=2)
+        b = _trace_bytes(family, 4, 7, batch_size=1, jobs=1)
+        assert a == b
+
+    def test_watermark_spill_mid_batch(self):
+        # a watermark far below the batch size forces spills at flush
+        # time while later calls are still streaming into the buffer;
+        # freeze() re-splices the parts, so bytes must not change
+        tracer = make_tracer("pilgrim", TracerOptions(
+            batch_size=64, memory_watermark=50))
+        make("stencil2d", 4).run(seed=5, tracer=tracer)
+        assert any(rc.watermark_spills > 0 for rc in tracer.ranks)
+        plain = _trace_bytes("stencil2d", 4, 5, batch_size=1)
+        assert tracer.result.trace_bytes == plain
+        # and the watermark alone (batched vs not) is also invisible
+        assert _trace_bytes("stencil2d", 4, 5, batch_size=1,
+                            watermark=50) == plain
+
+    def test_batch_size_one_matches_default(self):
+        assert _trace_bytes("osu_latency", 2, 1, batch_size=1) == \
+            _trace_bytes("osu_latency", 2, 1)
+
+
+class TestRecordBatchEntry:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_replay_batched_matches_replay(self, family):
+        cap = CapturedRun.record(family, 4, seed=2)
+        scalar = make_tracer("pilgrim", TracerOptions())
+        cap.replay(scalar)
+        batched = make_tracer("pilgrim", TracerOptions(batch_size=256))
+        cap.replay_batched(batched, batch_size=256)
+        assert batched.finalize().trace_bytes == \
+            scalar.finalize().trace_bytes
+
+    def test_record_batch_counts_calls(self):
+        cap = CapturedRun.record("osu_latency", 2, seed=3)
+        tracer = make_tracer("pilgrim", TracerOptions(batch_size=32))
+        cap.replay_batched(tracer, batch_size=32)
+        tracer.finalize()
+        assert tracer.total_calls == cap.n_calls
+
+    def test_partial_tail_flushed_by_finalize(self):
+        # fewer calls than batch_size: everything still lands via the
+        # finalize-time flush
+        cap = CapturedRun.record("osu_latency", 2, seed=3)
+        tracer = make_tracer("pilgrim", TracerOptions(
+            batch_size=1 << 20))
+        cap.replay_batched(tracer, batch_size=64)
+        assert any(rc._batch_n > 0 for rc in tracer.ranks)
+        plain = make_tracer("pilgrim", TracerOptions())
+        cap.replay(plain)
+        assert tracer.finalize().trace_bytes == \
+            plain.finalize().trace_bytes
+
+    def test_default_hook_unrolls_to_on_call(self):
+        # a hooks subclass that only implements on_call gets the array
+        # entry for free via the base-class unroll
+        calls: list[tuple] = []
+
+        class Recorder(TracerHooks):
+            def on_call(self, rank, fname, args, t0, t1):
+                calls.append((rank, fname, t0, t1))
+
+        Recorder().record_batch(3, ["MPI_Send", "MPI_Recv"],
+                                [{"a": 1}, {"b": 2}],
+                                [0.5, 1.5], [1.0, 2.0])
+        assert calls == [(3, "MPI_Send", 0.5, 1.0),
+                         (3, "MPI_Recv", 1.5, 2.0)]
+
+    def test_batched_ops_preserve_per_rank_order(self):
+        cap = CapturedRun.record("stencil2d", 4, seed=1)
+        per_rank: dict[int, list[str]] = {}
+        for ev in cap.events:
+            if ev[0] == 0:
+                per_rank.setdefault(ev[1], []).append(ev[2])
+        replayed: dict[int, list[str]] = {}
+        for op in cap._batched_ops(64):
+            if op[0] == "b":
+                replayed.setdefault(op[1], []).extend(op[3])
+        assert replayed == per_rank
+
+
+class TestBenchPlumbing:
+    def test_hotpath_bench_emits_batched_metrics(self):
+        doc = run_benchmark("hotpath", repeats=1, warmup=0, params={
+            "families": ["osu_latency"], "nprocs": 2, "batch_size": 8})
+        m = doc["metrics"]
+        assert "osu_latency.batched_us_per_call" in m
+        assert "osu_latency.batched_over_cached" in m
+        assert m["osu_latency.batched_us_per_call"] > 0
+        assert doc["params"]["batch_size"] == 8

@@ -139,3 +139,175 @@ class TestCompressionBehaviour:
         bins = dg.expand()
         # coarser base -> different (smaller-magnitude) bin for the barrier
         assert bins[0] != bins[1]
+
+
+class TestClampDetection:
+    """Out-of-range bins are clamped with a warning and counted."""
+
+    BASE = 1.005  # base**4096 ~ 7.5e8, reachable with finite doubles
+
+    def test_boundary_bins_do_not_warn(self):
+        import warnings as w
+        from repro.core.timing import BIN_OFFSET
+        with w.catch_warnings():
+            w.simplefilter("error")
+            hi = bin_value(self.BASE ** BIN_OFFSET, self.BASE)
+            lo = bin_value(self.BASE ** -BIN_OFFSET, self.BASE)
+        assert hi == BIN_OFFSET
+        assert lo == -BIN_OFFSET
+
+    def test_overflow_clamps_and_warns(self):
+        from repro.core.timing import BIN_OFFSET, BinClampWarning
+        with pytest.warns(BinClampWarning):
+            b = bin_value(self.BASE ** BIN_OFFSET * 10, self.BASE)
+        assert b == BIN_OFFSET
+
+    def test_underflow_clamps_and_warns(self):
+        from repro.core.timing import BIN_OFFSET, BinClampWarning
+        with pytest.warns(BinClampWarning):
+            b = bin_value(self.BASE ** -BIN_OFFSET / 10, self.BASE)
+        assert b == -BIN_OFFSET
+
+    def test_infinity_clamps_instead_of_raising(self):
+        from repro.core.timing import BIN_OFFSET, BinClampWarning
+        with pytest.warns(BinClampWarning):
+            assert bin_value(float("inf"), 1.2) == BIN_OFFSET
+
+    def test_compressor_counts_clamps(self):
+        import warnings as w
+        tc = TimingCompressor(base=self.BASE)
+        with w.catch_warnings():
+            w.simplefilter("ignore")
+            tc.record(0, "MPI_Send", 1.0, 1e12)   # duration overflow
+            tc.record(0, "MPI_Send", 2e12, 2e12 + 1e-3)  # interval too
+            tc.record(1, "MPI_Send", 1.0, 1.5)    # in range: no count
+        assert tc.n_clamped == 2
+
+    def test_clamped_values_never_memoized(self):
+        import warnings as w
+        tc = TimingCompressor(base=self.BASE)
+        with w.catch_warnings():
+            w.simplefilter("ignore")
+            tc._bin(1e12, self.BASE)
+            tc._bin(1e12, self.BASE)
+        assert tc.n_clamped == 2  # both clamps observed, no memo hit
+        assert (1e12, self.BASE) not in tc._bin_memo
+
+
+class TestBatchedRecording:
+    def test_record_batch_matches_scalar(self):
+        events = []
+        t = 0.0
+        for i in range(300):
+            t += 1e-5 * (1 + (i * 3) % 7)
+            events.append((i % 4, f"MPI_F{i % 3}", t, t + 1e-6 * (i % 5 + 1)))
+        scalar = TimingCompressor(base=1.2,
+                                  per_function_base={"MPI_F1": 1.5})
+        scalar.keep_raw = True
+        for term, fn, t0, t1 in events:
+            scalar.record(term, fn, t0, t1)
+        batched = TimingCompressor(base=1.2,
+                                   per_function_base={"MPI_F1": 1.5})
+        batched.keep_raw = True
+        for i in range(0, len(events), 17):
+            chunk = events[i:i + 17]
+            batched.record_batch([e[0] for e in chunk],
+                                 [e[1] for e in chunk],
+                                 [e[2] for e in chunk],
+                                 [e[3] for e in chunk], len(chunk))
+        assert batched.n_calls == scalar.n_calls == len(events)
+        assert batched.raw_durations == scalar.raw_durations
+        assert batched.raw_starts == scalar.raw_starts
+        sd, si = scalar.freeze()
+        bd, bi = batched.freeze()
+        assert bd.expand() == sd.expand()
+        assert bi.expand() == si.expand()
+
+
+class TestTimingMeta:
+    def test_roundtrip(self):
+        from repro.core.packing import Reader
+        from repro.core.timing import TimingMeta
+        meta = TimingMeta(base=1.3, per_function_base={
+            "MPI_Barrier": 2.0, "MPI_Allreduce": 1.1})
+        out = bytearray()
+        meta.write_to(out)
+        got = TimingMeta.read_from(Reader(bytes(out)))
+        assert got == meta
+        assert got.base_for("MPI_Barrier") == 2.0
+        assert got.base_for("MPI_Send") == 1.3
+
+    @pytest.mark.parametrize("payload", [
+        42, (1.2,), ("x", ()), (0.9, ()), (1.2, (("f", 1.0),)),
+        (1.2, ((3, 2.0),))])
+    def test_malformed_rejected(self, payload):
+        from repro.core.errors import CorruptTraceError
+        from repro.core.packing import Reader, write_value
+        from repro.core.timing import TimingMeta
+        out = bytearray()
+        write_value(out, payload)
+        with pytest.raises(CorruptTraceError):
+            TimingMeta.read_from(Reader(bytes(out)))
+
+    def test_compressor_meta_snapshot(self):
+        tc = TimingCompressor(base=1.4,
+                              per_function_base={"MPI_Wait": 3.0})
+        meta = tc.meta()
+        assert meta.base == 1.4
+        assert meta.per_function_base == {"MPI_Wait": 3.0}
+        meta.per_function_base["MPI_Wait"] = 9.9  # a copy, not a view
+        assert tc.per_function_base["MPI_Wait"] == 3.0
+
+
+class TestPerFunctionBaseEndToEnd:
+    """A lossy trace recorded with per-function base overrides must
+    reconstruct every call within that function's ``base - 1`` relative
+    error — the meta section threads the bases through the decoder."""
+
+    def test_reconstruction_uses_persisted_bases(self):
+        from repro.bench.capture import CapturedRun
+        from repro.core.backends import TracerOptions, make_tracer
+        from repro.core.decoder import TraceDecoder
+
+        pfb = {"MPI_Barrier": 2.0, "MPI_Allreduce": 1.05}
+        base = 1.2
+        cap = CapturedRun.record("npb_mg", 4, seed=9)
+        tracer = make_tracer("pilgrim", TracerOptions(
+            lossy_timing=True,
+            extra={"timing_base": base, "per_function_base": pfb}))
+        cap.replay(tracer)
+        blob = tracer.finalize().trace_bytes
+        dec = TraceDecoder.from_bytes(blob)
+        meta = dec.trace.timing_meta
+        assert meta is not None and meta.per_function_base == pfb
+
+        overridden = 0
+        for rank in range(4):
+            truth = [(ev[2], ev[4], ev[5]) for ev in cap.events
+                     if ev[0] == 0 and ev[1] == rank]
+            recon = dec.rank_times(rank)
+            assert len(recon) == len(truth)
+            for (fname, t0, t1), (rs, re_) in zip(truth, recon):
+                b = pfb.get(fname, base)
+                if fname in pfb:
+                    overridden += 1
+                if t0 > 1e-9:  # t0~0 is below the binning floor
+                    assert abs(rs - t0) / t0 <= (b - 1) + 1e-9
+                d = t1 - t0
+                assert d * (1 - 1e-9) <= re_ - rs <= d * b * (1 + 1e-9)
+        assert overridden > 0  # the workload did hit overridden functions
+
+    def test_default_base_trace_still_reconstructs(self):
+        from repro.bench.capture import CapturedRun
+        from repro.core.backends import TracerOptions, make_tracer
+        from repro.core.decoder import TraceDecoder
+
+        cap = CapturedRun.record("osu_latency", 2, seed=4)
+        tracer = make_tracer("pilgrim", TracerOptions(lossy_timing=True))
+        cap.replay(tracer)
+        dec = TraceDecoder.from_bytes(tracer.finalize().trace_bytes)
+        truth = [(ev[4], ev[5]) for ev in cap.events
+                 if ev[0] == 0 and ev[1] == 0]
+        for (t0, _), (rs, _) in zip(truth, dec.rank_times(0)):
+            if t0 > 1e-9:  # t0~0 is below the binning floor
+                assert abs(rs - t0) / t0 <= 0.2 + 1e-9

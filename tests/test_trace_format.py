@@ -151,3 +151,58 @@ class TestSectionSizes:
     def test_cst_and_cfg_nonzero(self):
         sizes = _trace([[0, 1, 2]]).section_sizes()
         assert sizes["cst"] > 0 and sizes["cfg"] > 0
+
+
+class TestTimingMetaSection:
+    def _meta_trace(self):
+        from repro.core.timing import TimingMeta
+        t = _trace([[0, 1], [0, 1]], with_timing=True)
+        t.timing_meta = TimingMeta(
+            base=1.3, per_function_base={"MPI_Barrier": 2.0})
+        return t
+
+    def test_roundtrip(self):
+        t = self._meta_trace()
+        back = TraceFile.from_bytes(t.to_bytes())
+        assert back.timing_meta == t.timing_meta
+
+    def test_timing_trace_without_explicit_meta_gets_default(self):
+        from repro.core.timing import TimingMeta
+        t = _trace([[0, 1]], with_timing=True)
+        back = TraceFile.from_bytes(t.to_bytes())
+        assert back.timing_meta == TimingMeta()
+
+    def test_untimed_trace_has_no_meta(self):
+        back = TraceFile.from_bytes(_trace([[0]]).to_bytes())
+        assert back.timing_meta is None
+
+    def test_meta_flag_without_timing_rejected(self):
+        from repro.core.trace_format import FLAG_TIMING, FLAG_TIMING_META
+        blob = bytearray(_trace([[0, 1]], with_timing=True).to_bytes())
+        blob[5] = (blob[5] | FLAG_TIMING_META) & ~FLAG_TIMING
+        with pytest.raises(CorruptTraceError):
+            TraceFile.from_bytes(bytes(blob))
+
+    def test_meta_survives_salvage(self):
+        t = self._meta_trace()
+        back = TraceFile.from_bytes(t.to_bytes(), salvage=True)
+        assert back.timing_meta == t.timing_meta
+
+    def test_corrupt_meta_salvaged_to_default(self):
+        from repro.core.timing import TimingMeta
+        t = self._meta_trace()
+        blob = bytearray(t.to_bytes())
+        start, end = section_spans(bytes(blob))["timing_meta.payload"]
+        blob[start] ^= 0x10
+        back = TraceFile.from_bytes(bytes(blob), salvage=True)
+        # the timing sections themselves survive; the lost meta falls
+        # back to the defaults and the loss is reported
+        assert back.timing_duration is not None
+        assert back.timing_meta in (None, TimingMeta())
+        assert back.salvage is not None
+        assert "timing-meta" in " ".join(back.salvage.lost_sections)
+
+    def test_meta_section_spans_present(self):
+        blob = self._meta_trace().to_bytes()
+        spans = section_spans(blob)
+        assert "timing_meta.payload" in spans
