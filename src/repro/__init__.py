@@ -19,6 +19,8 @@ Packages:
   symbolic ids, timing grammars, inter-process merge, decoder.
 * :mod:`repro.resilience` — fault injection, retry supervision, and
   partial-trace salvage (tracing under failure).
+* :mod:`repro.ingest` — the streaming trace-ingest service: layered
+  framing → session → fold, surfaced as ``serve``/``push``.
 * :mod:`repro.scalatrace` — the ScalaTrace-style baseline tracer.
 * :mod:`repro.workloads` — stencils, OSU, NPB, FLASH, MILC skeletons.
 * :mod:`repro.analysis` — size accounting, overhead timers, report tables.
@@ -27,7 +29,7 @@ Packages:
 """
 
 from .api import (TraceResult, TracerOptions, VerifyReport, compare,
-                  decode, trace, verify)
+                  decode, push, serve, trace, verify)
 from .resilience import FaultPlan, RetryPolicy, SalvageReport
 
 # ``repro.bench`` is the benchmark subpackage, made callable so it also
@@ -39,5 +41,5 @@ __version__ = "1.1.0"
 __all__ = [
     "FaultPlan", "RetryPolicy", "SalvageReport", "TraceResult",
     "TracerOptions", "VerifyReport", "bench", "compare", "decode",
-    "trace", "verify", "__version__",
+    "push", "serve", "trace", "verify", "__version__",
 ]

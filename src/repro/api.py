@@ -1,7 +1,7 @@
 """The stable public facade: ``repro.api``.
 
 Everything a downstream consumer does with this package goes through
-five verbs, re-exported from the ``repro`` top level:
+a handful of verbs, re-exported from the ``repro`` top level:
 
 =============  ========================================================
 ``trace``      run a registered workload under a tracer backend,
@@ -17,6 +17,11 @@ five verbs, re-exported from the ``repro`` top level:
                (an :class:`~repro.analysis.runner.ExperimentRow`)
 ``bench``      run a registered microbenchmark and return its result
                document
+``serve``      start the streaming trace-ingest service on a background
+               thread (a :class:`~repro.ingest.server.RunningServer`)
+``push``       run a workload while streaming partial shards to an
+               ingest server; the folded trace comes back byte-identical
+               to the in-process run
 =============  ========================================================
 
 The CLI (:mod:`repro.cli`), the experiment runner
@@ -48,7 +53,7 @@ from .workloads import make as _make_workload
 
 __all__ = [
     "TraceResult", "TracerOptions", "VerifyReport",
-    "bench", "compare", "decode", "trace", "verify",
+    "bench", "compare", "decode", "push", "serve", "trace", "verify",
 ]
 
 #: TracerOptions fields that used to travel as loose keyword arguments;
@@ -334,3 +339,40 @@ def bench(name: str = "hotpath", *, repeats: int = 5, warmup: int = 1,
     from . import bench as _bench  # heavier import, lazy
     return _bench.run_benchmark(name, repeats=repeats, warmup=warmup,
                                 params=params)
+
+
+def serve(host: str = "127.0.0.1", port: int = 0, *,
+          checkpoint_dir: Optional[str] = None,
+          checkpoint_every: int = 0,
+          metrics: Any = None):
+    """Start the streaming trace-ingest service on a background thread
+    and return a :class:`~repro.ingest.server.RunningServer` (context
+    manager; ``.port`` holds the bound port, ``.stop()`` shuts down).
+
+    The blocking foreground variant is ``repro serve`` on the CLI; both
+    accept pushed partial-shard streams from :func:`push` / ``repro
+    push`` and fold them to traces byte-identical to in-process runs.
+    """
+    from .ingest import serve_in_thread  # heavier import (asyncio), lazy
+    return serve_in_thread(host, port, checkpoint_dir=checkpoint_dir,
+                           checkpoint_every=checkpoint_every,
+                           metrics=metrics)
+
+
+def push(workload: str, nprocs: int = 8, *,
+         host: str = "127.0.0.1", port: int = 0,
+         tenant: str = "default",
+         seed: int = 1,
+         options: Optional[TracerOptions] = None,
+         chunk_calls: int = 256,
+         params: Optional[dict] = None,
+         noise: float = 0.05):
+    """Run *workload* locally while streaming partial shards to an
+    ingest server at ``host:port``; returns a
+    :class:`~repro.ingest.client.PushResult` whose ``trace_bytes`` is
+    the server-side fold — byte-identical to :func:`trace` with the
+    same options (the ingest subsystem's core invariant)."""
+    from .ingest import push as _push  # heavier import (sockets), lazy
+    return _push(workload, nprocs, host=host, port=port, tenant=tenant,
+                 seed=seed, options=options, chunk_calls=chunk_calls,
+                 params=params, noise=noise)

@@ -194,7 +194,22 @@ def cmd_faults(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    """Corruption-fuzz the decoder against a freshly traced workload."""
+    """Corruption-fuzz the decoder against a freshly traced workload
+    (or, with ``--frames``, the ingest frame protocol against a
+    recorded client session stream)."""
+    if args.frames:
+        from .ingest.fuzz import build_frame_corpus, run_frame_fuzz
+        blob = build_frame_corpus(args.workload, args.procs,
+                                  seed=args.seed,
+                                  lossy_timing=args.lossy_timing)
+        report = run_frame_fuzz(blob, seed=args.fuzz_seed,
+                                n_random=args.mutations)
+        print(f"{args.workload} ({args.procs} ranks, {len(blob)} byte "
+              f"ingest stream)")
+        print(report.summary())
+        for failure in report.failures[:20]:
+            print(f"  {failure}")
+        return 0 if report.ok else 1
     blob = api.trace(
         args.workload, args.procs, seed=args.seed,
         params=_parse_params(args.param),
@@ -207,6 +222,63 @@ def cmd_fuzz(args) -> int:
     for failure in report.failures[:20]:
         print(f"  {failure}")
     return 0 if report.ok else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the streaming trace-ingest service in the foreground."""
+    import asyncio
+
+    from .ingest.server import IngestServer
+
+    server = IngestServer(args.host, args.port,
+                          checkpoint_dir=args.checkpoint_dir,
+                          checkpoint_every=args.checkpoint_every)
+
+    async def _run() -> None:
+        await server.start()
+        # flushed immediately so scripts (and the CI smoke job) can
+        # scrape the bound port from the first line of output
+        print(f"repro ingest listening on {server.host}:{server.port}",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro ingest: shutting down")
+    return 0
+
+
+def cmd_push(args) -> int:
+    """Trace a workload locally, streaming partial shards to a server."""
+    res = api.push(args.workload, args.procs,
+                   host=args.host, port=args.port, tenant=args.tenant,
+                   seed=args.seed,
+                   options=TracerOptions(
+                       lossy_timing=args.lossy_timing,
+                       memory_watermark=args.watermark),
+                   chunk_calls=args.chunk_calls,
+                   params=_parse_params(args.param))
+    print(f"{args.workload} ({args.procs} ranks, tenant {args.tenant!r}): "
+          f"{res.total_calls} calls in {res.chunks_sent} chunks -> "
+          f"{res.trace_size} byte trace"
+          + (f", {res.reconnects} reconnects" if res.reconnects else ""))
+    if args.check:
+        ref = api.trace(args.workload, args.procs, seed=args.seed,
+                        params=_parse_params(args.param),
+                        options=TracerOptions(
+                            lossy_timing=args.lossy_timing,
+                            memory_watermark=args.watermark)).trace_bytes
+        ok = ref == res.trace_bytes
+        print("byte-identity vs in-process run: "
+              + ("OK" if ok else "FAILED"))
+        if not ok:
+            return 1
+    if args.output:
+        with open(args.output, "wb") as fh:
+            fh.write(res.trace_bytes)
+        print(f"wrote {args.output}")
+    return 0
 
 
 def cmd_info(args) -> int:
@@ -573,7 +645,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fuzz the best-effort salvage parser instead: "
                         "every mutation must be recovered or rejected "
                         "with a structured error, never crash")
+    p.add_argument("--frames", action="store_true",
+                   help="fuzz the ingest frame protocol instead: attack "
+                        "a recorded client session stream; the reader "
+                        "must raise structured errors, never crash")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("serve",
+                       help="run the streaming trace-ingest service "
+                            "(clients stream partial shards with "
+                            "'repro push')")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = pick a free one; the bound port "
+                        "is printed on the first line)")
+    p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                   help="persist per-tenant fold checkpoints here and "
+                        "restore them on startup")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   metavar="CHUNKS",
+                   help="checkpoint a tenant's fold every N absorbed "
+                        "chunks (0 = never; needs --checkpoint-dir)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("push",
+                       help="trace a workload while streaming partial "
+                            "shards to an ingest server")
+    p.add_argument("workload")
+    p.add_argument("-n", "--procs", type=int, default=8)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="the ingest server's port (printed by "
+                        "'repro serve')")
+    p.add_argument("--tenant", default="default",
+                   help="tenant id isolating this stream's fold")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--chunk-calls", type=int, default=256,
+                   metavar="CALLS",
+                   help="flush a partial shard every N traced calls "
+                        "(1 streams per call)")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE")
+    p.add_argument("--lossy-timing", action="store_true")
+    p.add_argument("--watermark", type=int, default=None, metavar="CALLS",
+                   help="soft per-rank memory watermark (see 'repro "
+                        "trace --watermark')")
+    p.add_argument("--check", action="store_true",
+                   help="also run the same trace in-process and assert "
+                        "the server fold is byte-identical")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the folded trace here")
+    p.set_defaults(fn=cmd_push)
 
     p = sub.add_parser("info", help="summarize a trace file")
     p.add_argument("trace")

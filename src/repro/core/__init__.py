@@ -30,17 +30,18 @@ from .backends import (NullTracer, RawTracer, TracerOptions,
 from .cst import CST, MergedCST, merge_csts
 from .decoder import TraceDecoder
 from .encoder import CommIdSpace, MemoryTable, PerRankEncoder
-from .errors import (ChecksumError, CorruptTraceError, MissingRankError,
-                     TraceFormatError, TruncatedTraceError,
+from .errors import (ChecksumError, CorruptTraceError, FrameFormatError,
+                     MissingRankError, TraceFormatError, TruncatedTraceError,
                      UnsupportedVersionError)
-from .fuzz import (FuzzOutcome, FuzzReport, corpus_mutations, iter_mutations,
-                   run_fuzz)
+from .fuzz import (FuzzOutcome, FuzzReport, corpus_mutations,
+                   iter_blob_mutations, iter_mutations, run_fuzz)
 from .grammar import Grammar
 from .interproc import CFGMergeResult, expand_rank, merge_grammars
 from .pipeline import PipelineResult, TracePipeline, tree_reduce
 from .records import DecodedCall, sig_to_params
 from .sequitur import Sequitur
-from .shard import GrammarSet, RankCompressor, RankShard, merge_shards
+from .shard import (GrammarSet, RankCompressor, RankShard, ShardPartial,
+                    merge_shards)
 from .symbolic import IdPool, ObjectIdTable, RequestIdAllocator
 from .timing import (BinClampWarning, TimingCompressor, TimingMeta,
                      bin_value, reconstruct_times, unbin_value)
@@ -51,18 +52,19 @@ from .verify import VerifyReport, verify_roundtrip, verify_workload
 __all__ = [
     "BinClampWarning",
     "CFGMergeResult", "CST", "ChecksumError", "CommIdSpace",
-    "CorruptTraceError", "DecodedCall", "FuzzOutcome", "FuzzReport",
+    "CorruptTraceError", "DecodedCall", "FrameFormatError", "FuzzOutcome",
+    "FuzzReport",
     "Grammar", "GrammarSet", "IdPool", "IntervalTree", "MemoryTable",
     "MergedCST", "MissingRankError", "NullTracer", "ObjectIdTable",
     "PerRankEncoder",
     "PilgrimResult", "PilgrimTracer", "PipelineResult", "RankCompressor",
-    "RankShard", "RawTracer", "RequestIdAllocator", "Sequitur",
+    "RankShard", "RawTracer", "RequestIdAllocator", "Sequitur", "ShardPartial",
     "TIMING_AGGREGATE", "TIMING_LOSSY", "TimingCompressor", "TimingMeta",
     "TraceDecoder",
     "TraceFile", "TraceFormatError", "TracePipeline", "TracerOptions",
     "TruncatedTraceError", "UnsupportedVersionError", "VerifyReport",
     "available_backends", "bin_value", "corpus_mutations", "expand_rank",
-    "iter_mutations",
+    "iter_blob_mutations", "iter_mutations",
     "make_tracer", "merge_csts", "merge_grammars", "merge_shards",
     "reconstruct_times", "run_fuzz", "section_spans", "sig_to_params",
     "tree_reduce", "unbin_value", "verify_roundtrip", "verify_workload",

@@ -69,6 +69,23 @@ class TracerOptions:
     #: backend-specific constructor kwargs, passed through verbatim
     extra: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Eager validation: every consumer (CLI, facade, ingest client,
+        # experiment runner) builds one of these, so a bad value should
+        # fail here with the field's name — not deep inside
+        # RankCompressor after a run has already started.
+        if self.batch_size < 1:
+            raise ValueError(
+                f"TracerOptions.batch_size must be >= 1, "
+                f"got {self.batch_size}")
+        if self.jobs < 1:
+            raise ValueError(
+                f"TracerOptions.jobs must be >= 1, got {self.jobs}")
+        if self.memory_watermark is not None and self.memory_watermark < 1:
+            raise ValueError(
+                f"TracerOptions.memory_watermark must be >= 1 (or None "
+                f"to disable), got {self.memory_watermark}")
+
 
 BackendFactory = Callable[[TracerOptions], TracerHooks]
 

@@ -50,6 +50,14 @@ class CorruptTraceError(TraceFormatError):
     reference, impossible count, trailing bytes, ...)."""
 
 
+class FrameFormatError(TraceFormatError):
+    """An ingest-protocol frame violates the wire-format contract (bad
+    magic, unknown frame kind, failed CRC, truncated payload).  Lives in
+    the same hierarchy as the trace errors because the framing layer
+    reuses the v2 section writers — and because the server loop's
+    contract is the decoder's: structured errors only, never a crash."""
+
+
 class MissingRankError(CorruptTraceError):
     """A rank inside ``[0, nprocs)`` has no data in the trace — its
     entry is absent from the CFG rank map (typically a salvaged or

@@ -77,14 +77,17 @@ def _flip(blob: bytes, offset: int, bit: int) -> bytes:
     return bytes(mut)
 
 
-def iter_mutations(blob: bytes, seed: int = 0,
-                   n_random: int = 400) -> Iterator[tuple[str, bytes]]:
-    """Yield ``(description, mutated_blob)`` pairs: boundary-targeted
-    flips/truncations first, then ``n_random`` seeded random mutations.
-    Identity mutations (e.g. truncation at the full length) are skipped.
+def iter_blob_mutations(blob: bytes, spans: dict[str, tuple[int, int]],
+                        seed: int = 0,
+                        n_random: int = 400) -> Iterator[tuple[str, bytes]]:
+    """Format-agnostic mutation generator: boundary-targeted
+    flips/truncations around the given ``{name: (start, end)}`` *spans*,
+    then ``n_random`` seeded random mutations.  The trace fuzzer feeds
+    it :func:`~repro.core.trace_format.section_spans`; the ingest-frame
+    fuzzer (:mod:`repro.ingest.fuzz`) feeds it frame boundaries — same
+    attack, different victim.
     """
     n = len(blob)
-    spans = section_spans(blob)
     boundaries = sorted({off for a, b in spans.values() for off in (a, b)})
     names = {a: name for name, (a, b) in spans.items()}
 
@@ -110,6 +113,18 @@ def iter_mutations(blob: bytes, seed: int = 0,
         else:
             cut = rng.randrange(n)
             yield f"truncate to {cut} bytes (random #{i})", blob[:cut]
+
+
+def iter_mutations(blob: bytes, seed: int = 0,
+                   n_random: int = 400) -> Iterator[tuple[str, bytes]]:
+    """Yield ``(description, mutated_blob)`` pairs for a trace blob:
+    boundary-targeted flips/truncations at every section boundary first,
+    then ``n_random`` seeded random mutations.  Identity mutations (e.g.
+    truncation at the full length) are skipped by the caller's
+    ``mut == blob`` check.
+    """
+    return iter_blob_mutations(blob, section_spans(blob), seed=seed,
+                               n_random=n_random)
 
 
 def corpus_mutations(blob: bytes) -> Iterator[tuple[str, bytes]]:

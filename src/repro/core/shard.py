@@ -42,7 +42,8 @@ from .encoder import PerRankEncoder
 from .errors import (CorruptTraceError, TraceFormatError, TruncatedTraceError,
                      UnsupportedVersionError)
 from .grammar import Grammar
-from .packing import Reader, read_value, write_uvarint, write_value
+from .packing import (Reader, read_value, write_uvarint, write_value,
+                      write_varint)
 from .sequitur import Sequitur
 from .timing import TimingCompressor
 
@@ -50,6 +51,9 @@ SHARD_MAGIC = b"PSHD"
 SHARD_VERSION = 1
 _SHARD_FLAG_TIMING = 1
 _SHARD_FLAG_COMPRESSED = 2
+
+PARTIAL_MAGIC = b"PPRT"
+PARTIAL_VERSION = 1
 
 #: durations are carried through the reduction as integer nanoseconds so
 #: that merging is exactly associative; 1 ns is far below the simulator's
@@ -366,6 +370,162 @@ def merge_shards(a: RankShard, b: RankShard) -> RankShard:
     return merged
 
 
+_PARTIAL_FLAG_TIMING = 1
+_PARTIAL_FLAG_COMPRESSED = 2
+
+
+@dataclass
+class ShardPartial:
+    """A mid-run snapshot of one rank's *new* compression state since the
+    previous snapshot — the unit the streaming-ingest client ships.
+
+    Unlike :class:`RankShard` (a complete rank), a partial carries only
+    deltas: the signatures interned since the last flush (the CST is
+    append-only, so a slice suffices), sparse per-signature count and
+    integer-nanosecond duration increments, the grammar continuation
+    parts rotated out of the live Sequitur (the watermark-spill
+    mechanism), and the rotated timing-bin grammars.  A consumer that
+    re-expands every part of every partial in order and re-feeds the
+    terminal stream through one fresh Sequitur reconstructs exactly the
+    grammar a one-shot run would freeze — the byte-identity invariant
+    the ingest service is built on.
+
+    Duration deltas telescope over *rounded* totals: each flush sends
+    ``round(total_ns) - previously_sent_ns``, so the sum over any
+    chunking equals the one-shot rounded total exactly (integer
+    addition is associative; per-chunk rounding would not be).
+    """
+
+    rank: int
+    #: calls covered by this partial (conservation checks)
+    n_calls: int
+    #: CST signatures interned since the previous partial, in order
+    new_sigs: list[tuple]
+    #: sparse CST deltas: ``counts[idx[i]] += d_counts[i]`` etc.
+    idx: list[int]
+    d_counts: list[int]
+    d_dur_ns: list[int]
+    #: grammar continuation parts (terminals = rank-local CST indices)
+    parts: list[Grammar]
+    timing_duration: Optional[Grammar] = None
+    timing_interval: Optional[Grammar] = None
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_bytes(self, compress: bool = True) -> bytes:
+        """Serialize through the v2 section writers, like
+        :meth:`RankShard.to_bytes` — partials on the wire get the same
+        per-section CRC32 integrity checks as shards on disk."""
+        from .trace_format import emit_section
+
+        out = bytearray()
+        out.extend(PARTIAL_MAGIC)
+        out.append(PARTIAL_VERSION)
+        flags = (_PARTIAL_FLAG_TIMING if self.timing_duration is not None
+                 else 0) | (_PARTIAL_FLAG_COMPRESSED if compress else 0)
+        out.append(flags)
+        write_uvarint(out, self.rank)
+        write_uvarint(out, self.n_calls)
+
+        sigs_b = bytearray()
+        write_uvarint(sigs_b, len(self.new_sigs))
+        for sig in self.new_sigs:
+            write_value(sigs_b, sig)
+        delta_b = bytearray()
+        write_uvarint(delta_b, len(self.idx))
+        for i, dc, dns in zip(self.idx, self.d_counts, self.d_dur_ns):
+            write_uvarint(delta_b, i)
+            write_varint(delta_b, dc)
+            write_varint(delta_b, dns)
+        parts_b = bytearray()
+        write_uvarint(parts_b, len(self.parts))
+        for g in self.parts:
+            g.write_to(parts_b)
+        payloads = [bytes(sigs_b), bytes(delta_b), bytes(parts_b)]
+        if self.timing_duration is not None:
+            d = bytearray()
+            self.timing_duration.write_to(d)
+            i_b = bytearray()
+            self.timing_interval.write_to(i_b)
+            payloads.extend((bytes(d), bytes(i_b)))
+        for payload in payloads:
+            emit_section(out, payload, compress)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ShardPartial":
+        from .trace_format import take_section
+
+        if len(data) < 6:
+            raise TruncatedTraceError(
+                f"shard partial of {len(data)} bytes is shorter than "
+                f"the header")
+        if data[:4] != PARTIAL_MAGIC:
+            raise TraceFormatError("not a Pilgrim shard partial (bad magic)")
+        if data[4] != PARTIAL_VERSION:
+            raise UnsupportedVersionError(data[4], PARTIAL_VERSION)
+        flags = data[5]
+        if flags & ~(_PARTIAL_FLAG_TIMING | _PARTIAL_FLAG_COMPRESSED):
+            raise CorruptTraceError(
+                f"unknown shard-partial flag bits in {flags:#04x}")
+        compressed = bool(flags & _PARTIAL_FLAG_COMPRESSED)
+        try:
+            r = Reader(data, 6)
+            rank = r.read_uvarint()
+            n_calls = r.read_uvarint()
+            sr = take_section(r, compressed, "partial-sigs")
+            n = sr.read_uvarint()
+            if n > sr.remaining():
+                raise CorruptTraceError(
+                    f"shard partial claims {n} new signatures but only "
+                    f"{sr.remaining()} bytes remain")
+            new_sigs = []
+            for i in range(n):
+                sig = read_value(sr)
+                if not isinstance(sig, tuple):
+                    raise CorruptTraceError(
+                        f"shard-partial signature {i} is a "
+                        f"{type(sig).__name__}, not a signature tuple")
+                new_sigs.append(sig)
+            dr = take_section(r, compressed, "partial-deltas")
+            n = dr.read_uvarint()
+            if n > dr.remaining():
+                raise CorruptTraceError(
+                    f"shard partial claims {n} CST deltas but only "
+                    f"{dr.remaining()} bytes remain")
+            idx, d_counts, d_dur_ns = [], [], []
+            for _ in range(n):
+                idx.append(dr.read_uvarint())
+                d_counts.append(dr.read_varint())
+                d_dur_ns.append(dr.read_varint())
+            pr = take_section(r, compressed, "partial-parts")
+            n = pr.read_uvarint()
+            if n > pr.remaining():
+                raise CorruptTraceError(
+                    f"shard partial claims {n} grammar parts but only "
+                    f"{pr.remaining()} bytes remain")
+            parts = [Grammar.from_reader(pr) for _ in range(n)]
+            td = ti = None
+            if flags & _PARTIAL_FLAG_TIMING:
+                td = Grammar.from_reader(
+                    take_section(r, compressed, "partial-timing-duration"))
+                ti = Grammar.from_reader(
+                    take_section(r, compressed, "partial-timing-interval"))
+            if not r.exhausted:
+                raise CorruptTraceError(
+                    f"{len(data) - r.pos} trailing bytes after the last "
+                    f"shard-partial section")
+        except TraceFormatError:
+            raise
+        except (IndexError, KeyError, ValueError, OverflowError,
+                RecursionError, MemoryError, struct.error) as e:
+            raise CorruptTraceError(
+                f"malformed shard partial ({type(e).__name__}: {e})") from e
+        return cls(rank=rank, n_calls=n_calls, new_sigs=new_sigs, idx=idx,
+                   d_counts=d_counts, d_dur_ns=d_dur_ns, parts=parts,
+                   timing_duration=td, timing_interval=ti)
+
+
 class RankCompressor:
     """One rank's intra-process compression state, extracted from the
     tracer so it can be frozen into a :class:`RankShard` independently of
@@ -376,7 +536,8 @@ class RankCompressor:
                  "memory_watermark", "_spill_parts", "_spill_input",
                  "watermark_spills", "batch_size", "_batch_n",
                  "_b_sigs", "_b_fnames", "_b_durs", "_b_t0", "_b_t1",
-                 "_b_terms", "_bufs")
+                 "_b_terms", "_bufs", "streamed_calls", "partial_flushes",
+                 "_sent_sigs_n", "_sent_counts", "_sent_dur_ns")
 
     def __init__(self, rank: int, comm_space, *, win_space=None,
                  relative_ranks: bool = True,
@@ -416,6 +577,16 @@ class RankCompressor:
         self._spill_input = 0
         #: how many times the watermark fired (observability/tests)
         self.watermark_spills = 0
+        #: calls already handed off via :meth:`flush_partial`; a rank
+        #: that streamed anything must be folded by the stream's
+        #: consumer, never frozen locally (see the ``freeze`` guard)
+        self.streamed_calls = 0
+        self.partial_flushes = 0
+        #: CST high-water marks of the previous partial flush, for
+        #: computing append-only signature slices and sparse deltas
+        self._sent_sigs_n = 0
+        self._sent_counts: list[int] = []
+        self._sent_dur_ns: list[int] = []
         #: columnar call buffer (``batch_size > 1``): the symbolic encode
         #: stays synchronous per call — request/status objects mutate
         #: after the hook returns — while CST intern, grammar append and
@@ -572,6 +743,69 @@ class RankCompressor:
         self.watermark_spills += 1
         self.grammar = Sequitur(loop_detection=self.loop_detection)
 
+    def flush_partial(self) -> Optional[ShardPartial]:
+        """Streaming produce path: package everything observed since the
+        previous flush into a :class:`ShardPartial` and rotate the live
+        state, generalizing the watermark spill.
+
+        The live grammar is frozen into a continuation part exactly as
+        :meth:`spill` does (any watermark parts accumulated since the
+        last flush ride along first, in order); the timing compressor
+        rotates its two bin grammars; the CST — which stays live and
+        append-only — contributes a signature slice plus sparse integer
+        count/nanosecond deltas.  A consumer replaying the partials in
+        sequence rebuilds the exact one-shot state; see
+        :class:`ShardPartial` for the invariant.
+
+        Returns ``None`` when nothing was observed since the last flush.
+        """
+        self.flush_batch()
+        if self.grammar.n_input:
+            # same rotation as spill(), but not a *watermark* event
+            self._spill_parts.append(Grammar.freeze(self.grammar))
+            self._spill_input += self.grammar.n_input
+            self.grammar = Sequitur(loop_detection=self.loop_detection)
+        n_calls = self._spill_input - self.streamed_calls
+        if n_calls == 0:
+            return None
+        parts = self._spill_parts
+        self._spill_parts = []
+        self.streamed_calls = self._spill_input
+
+        cst = self.cst
+        sigs = cst.sigs
+        new_sigs = list(sigs[self._sent_sigs_n:])
+        counts_now = list(cst.counts)
+        ns_now = [_dur_to_ns(d) for d in cst.dur_sums]
+        sent_c, sent_ns = self._sent_counts, self._sent_dur_ns
+        n_sent = len(sent_c)
+        idx: list[int] = []
+        d_counts: list[int] = []
+        d_dur_ns: list[int] = []
+        for i in range(len(sigs)):
+            pc = sent_c[i] if i < n_sent else 0
+            pns = sent_ns[i] if i < n_sent else 0
+            c = counts_now[i]
+            ns = ns_now[i]
+            if c != pc or ns != pns:
+                idx.append(i)
+                d_counts.append(c - pc)
+                d_dur_ns.append(ns - pns)
+        self._sent_sigs_n = len(sigs)
+        self._sent_counts = counts_now
+        self._sent_dur_ns = ns_now
+
+        td = ti = None
+        if self.timing is not None:
+            rotated = self.timing.rotate()
+            if rotated is not None:
+                td, ti = rotated
+        self.partial_flushes += 1
+        return ShardPartial(rank=self.rank, n_calls=n_calls,
+                            new_sigs=new_sigs, idx=idx, d_counts=d_counts,
+                            d_dur_ns=d_dur_ns, parts=parts,
+                            timing_duration=td, timing_interval=ti)
+
     def freeze(self) -> RankShard:
         """Snapshot this rank into a self-contained single-rank shard.
         Terminals in the frozen grammar are this rank's local CST
@@ -588,6 +822,12 @@ class RankCompressor:
         consumes the exact terminal stream an unsplit run would have,
         so the frozen grammar — and the final trace — is byte-identical
         to a run that never spilled."""
+        if self.streamed_calls:
+            raise RuntimeError(
+                f"rank {self.rank} has streamed {self.streamed_calls} "
+                f"calls via flush_partial(); the stream's consumer owns "
+                f"the fold — freeze() here would produce a shard missing "
+                f"the already-streamed prefix")
         self.flush_batch()
         self.encoder.reset_cache()
         self.cst.reset_cache()

@@ -143,6 +143,7 @@ class TimingCompressor:
         self.base = base
         #: §3.2: the base is user-tunable per function
         self.per_function_base = per_function_base or {}
+        self.loop_detection = loop_detection
         self.duration_grammar = Sequitur(loop_detection=loop_detection)
         self.interval_grammar = Sequitur(loop_detection=loop_detection)
         #: per-signature-terminal reconstructed clock (sum of b^bin)
@@ -228,6 +229,26 @@ class TimingCompressor:
     def freeze(self) -> tuple[Grammar, Grammar]:
         return (Grammar.freeze(self.duration_grammar),
                 Grammar.freeze(self.interval_grammar))
+
+    def rotate(self) -> Optional[tuple[Grammar, Grammar]]:
+        """Freeze the two bin grammars into a continuation part and
+        restart them (the streaming-ingest produce path, mirroring
+        :meth:`RankCompressor.spill <repro.core.shard.RankCompressor.
+        spill>` for the main grammar).
+
+        Only the *grammars* rotate — the reconstructed clocks, the bin
+        memo, and the clamp counter stay live, so the bin streams across
+        rotations concatenate to exactly the stream an unrotated run
+        would have fed Sequitur.  Returns ``None`` when no calls were
+        recorded since the previous rotation.
+        """
+        if self.duration_grammar.n_input == 0:
+            return None
+        parts = (Grammar.freeze(self.duration_grammar),
+                 Grammar.freeze(self.interval_grammar))
+        self.duration_grammar = Sequitur(loop_detection=self.loop_detection)
+        self.interval_grammar = Sequitur(loop_detection=self.loop_detection)
+        return parts
 
 
 def reconstruct_times(duration_bins: list[int], interval_bins: list[int],

@@ -299,6 +299,26 @@ class PilgrimTracer(TracerHooks):
         for rc in self.ranks:
             rc.flush_batch()
 
+    def flush_partials(self) -> list:
+        """Streaming produce path: drain every rank's buffered calls and
+        package what was observed since the previous call into one
+        :class:`~repro.core.shard.ShardPartial` per rank (ranks with
+        nothing new are skipped).
+
+        A tracer that has flushed partials can no longer ``finalize()``
+        locally — the consumer of the partial stream owns the fold (see
+        :meth:`RankCompressor.flush_partial
+        <repro.core.shard.RankCompressor.flush_partial>`).  The ingest
+        client's :class:`~repro.ingest.client.ChunkingTracer` drives
+        this between simulator steps.
+        """
+        out = []
+        for rc in self.ranks:
+            p = rc.flush_partial()
+            if p is not None:
+                out.append(p)
+        return out
+
     def on_mem(self, rank: int, fname: str, args: dict[str, Any],
                result: Any, t: float) -> None:
         tick = _time.perf_counter()

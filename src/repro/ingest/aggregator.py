@@ -1,0 +1,385 @@
+"""Ingest aggregation layer — layer 3 (the incremental fold).
+
+Each tenant's stream of :class:`~repro.core.shard.ShardPartial` chunks
+is folded into per-rank accumulators (:class:`RankFold`) that mirror the
+state a one-shot :class:`~repro.core.shard.RankCompressor` would hold at
+the same point:
+
+* the CST rebuilt from append-only signature slices plus sparse integer
+  count/nanosecond deltas (integer addition is associative, so any
+  chunking sums to the same totals);
+* the grammar as an ordered list of frozen continuation parts — exactly
+  the watermark-spill representation, bounded by periodic
+  *consolidation* (re-feed the concatenated terminal stream through one
+  fresh Sequitur and keep the single frozen result, which preserves the
+  stream and therefore the final bytes);
+* the lossy-timing bin grammars, likewise as rotated parts.
+
+``finish()`` turns the accumulators into single-rank
+:class:`~repro.core.shard.RankShard` objects and runs the *existing*
+pipeline — ``tree_reduce(merge_shards)`` then
+:meth:`TracePipeline.serialize` — so the folded trace is byte-identical
+to the one-shot in-process run (the invariant
+``tests/test_ingest.py::test_chunked_fold_byte_identity`` pins across
+workload families and chunk sizes).
+
+Tenants are isolated: one tenant's corrupt partial raises inside its
+own fold and never touches another tenant's state.  Checkpoints pair
+each fold with its session watermark so a restarted server resumes
+exactly where the durable state says.
+
+Imports: ``repro.core``, :mod:`repro.ingest.protocol`, and
+:mod:`repro.ingest.session` — dependencies flow upward (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..core.errors import CorruptTraceError, TraceFormatError
+from ..core.grammar import Grammar
+from ..core.packing import Reader, read_value, write_uvarint, write_value
+from ..core.pipeline import TracePipeline, tree_reduce
+from ..core.sequitur import Sequitur
+from ..core.shard import (GrammarSet, RankShard, ShardPartial, merge_shards)
+from ..core.timing import TimingMeta
+from ..obs import NULL_RECORDER, NULL_REGISTRY
+from .protocol import IngestConfig, validate_tenant
+from .session import TenantState
+
+CHECKPOINT_MAGIC = b"PICK"
+CHECKPOINT_VERSION = 1
+
+#: consolidate a rank's part list once it holds this many frozen
+#: grammars (memory bound; byte-invisible — see module docstring)
+CONSOLIDATE_AFTER = 64
+
+
+class FoldError(RuntimeError):
+    """A tenant's fold is inconsistent (rank out of range, signature
+    slice out of order, conservation mismatch at FIN)."""
+
+
+class RankFold:
+    """One rank's accumulated streaming state."""
+
+    __slots__ = ("rank", "sigs", "counts", "dur_ns", "parts",
+                 "timing_dur_parts", "timing_int_parts", "calls",
+                 "consolidations")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.sigs: list[tuple] = []
+        self.counts: list[int] = []
+        self.dur_ns: list[int] = []
+        self.parts: list[Grammar] = []
+        self.timing_dur_parts: list[Grammar] = []
+        self.timing_int_parts: list[Grammar] = []
+        self.calls = 0
+        self.consolidations = 0
+
+    def absorb(self, p: ShardPartial, *, loop_detection: bool) -> None:
+        if p.rank != self.rank:
+            raise FoldError(
+                f"partial for rank {p.rank} routed to fold {self.rank}")
+        if len(p.idx) != len(p.d_counts) or len(p.idx) != len(p.d_dur_ns):
+            raise FoldError(
+                f"rank {p.rank}: ragged CST delta arrays "
+                f"({len(p.idx)}/{len(p.d_counts)}/{len(p.d_dur_ns)})")
+        n_before = len(self.sigs)
+        if p.new_sigs:
+            self.sigs.extend(p.new_sigs)
+            self.counts.extend([0] * len(p.new_sigs))
+            self.dur_ns.extend([0] * len(p.new_sigs))
+        for i, dc, dns in zip(p.idx, p.d_counts, p.d_dur_ns):
+            if not 0 <= i < len(self.sigs):
+                raise FoldError(
+                    f"rank {p.rank}: CST delta targets signature {i} but "
+                    f"the fold knows {len(self.sigs)}")
+            if i < n_before and dc == 0 and dns == 0:
+                # zero deltas for known sigs are legal but pointless
+                continue
+            self.counts[i] += dc
+            self.dur_ns[i] += dns
+        self.parts.extend(p.parts)
+        if p.timing_duration is not None:
+            self.timing_dur_parts.append(p.timing_duration)
+            self.timing_int_parts.append(p.timing_interval)
+        self.calls += p.n_calls
+        if len(self.parts) > CONSOLIDATE_AFTER:
+            self._consolidate(loop_detection)
+
+    @staticmethod
+    def _refeed(parts: list[Grammar], loop_detection: bool) -> Grammar:
+        """Expand *parts* in order and feed the concatenated terminal
+        stream through one fresh Sequitur — the same splice
+        :meth:`RankCompressor.freeze` performs for watermark spills, so
+        the result is what an unchunked run would have frozen."""
+        seq = Sequitur(loop_detection=loop_detection)
+        for part in parts:
+            seq.append_array(part.expand())
+        return Grammar.freeze(seq)
+
+    def _consolidate(self, loop_detection: bool) -> None:
+        self.parts = [self._refeed(self.parts, loop_detection)]
+        if self.timing_dur_parts:
+            self.timing_dur_parts = [
+                self._refeed(self.timing_dur_parts, loop_detection)]
+            self.timing_int_parts = [
+                self._refeed(self.timing_int_parts, loop_detection)]
+        self.consolidations += 1
+
+    def to_shard(self, config: IngestConfig) -> RankShard:
+        """Freeze the fold into the single-rank shard a one-shot
+        ``RankCompressor.freeze()`` would have produced."""
+        ld = config.loop_detection
+        g = self._refeed(self.parts, ld)
+        shard = RankShard(
+            base_rank=self.rank, nranks=1,
+            sigs=list(self.sigs), counts=list(self.counts),
+            dur_ns=list(self.dur_ns),
+            cfg=GrammarSet.single(g), calls=[self.calls])
+        if config.lossy_timing:
+            shard.timing_duration = GrammarSet.single(
+                self._refeed(self.timing_dur_parts, ld))
+            shard.timing_interval = GrammarSet.single(
+                self._refeed(self.timing_int_parts, ld))
+        return shard
+
+    def to_partial(self) -> ShardPartial:
+        """The fold's whole accumulated state as one consolidated
+        partial — what checkpoints persist (a checkpoint restore is just
+        ``absorb`` of this into a fresh fold; partials compose)."""
+        n = len(self.sigs)
+        idx = [i for i in range(n) if self.counts[i] or self.dur_ns[i]]
+        td = ti = None
+        if self.timing_dur_parts:
+            # a checkpoint must hold at most one timing pair per rank so
+            # the restore absorb sees a well-formed partial
+            td = self._refeed(self.timing_dur_parts, True) \
+                if len(self.timing_dur_parts) > 1 else self.timing_dur_parts[0]
+            ti = self._refeed(self.timing_int_parts, True) \
+                if len(self.timing_int_parts) > 1 else self.timing_int_parts[0]
+        return ShardPartial(
+            rank=self.rank, n_calls=self.calls, new_sigs=list(self.sigs),
+            idx=idx, d_counts=[self.counts[i] for i in idx],
+            d_dur_ns=[self.dur_ns[i] for i in idx],
+            parts=list(self.parts), timing_duration=td, timing_interval=ti)
+
+
+class TenantFold:
+    """One tenant's whole fold: per-rank accumulators + config."""
+
+    def __init__(self, tenant: str, nprocs: int, config: IngestConfig):
+        validate_tenant(tenant)
+        if nprocs < 1:
+            raise FoldError(f"tenant {tenant!r}: nprocs {nprocs} < 1")
+        self.tenant = tenant
+        self.nprocs = nprocs
+        self.config = config
+        self.ranks: dict[int, RankFold] = {}
+        self.partials_absorbed = 0
+        self.bytes_absorbed = 0
+
+    def absorb_blob(self, blob: bytes) -> ShardPartial:
+        p = ShardPartial.from_bytes(blob)
+        self.absorb(p)
+        self.bytes_absorbed += len(blob)
+        return p
+
+    def absorb(self, p: ShardPartial) -> None:
+        if not 0 <= p.rank < self.nprocs:
+            raise FoldError(
+                f"tenant {self.tenant!r}: partial for rank {p.rank} "
+                f"outside [0, {self.nprocs})")
+        if bool(p.timing_duration is not None) != self.config.lossy_timing:
+            raise FoldError(
+                f"tenant {self.tenant!r}: partial timing presence does "
+                f"not match the session's lossy_timing config")
+        fold = self.ranks.get(p.rank)
+        if fold is None:
+            fold = self.ranks[p.rank] = RankFold(p.rank)
+        fold.absorb(p, loop_detection=self.config.loop_detection)
+        self.partials_absorbed += 1
+
+    @property
+    def total_calls(self) -> int:
+        return sum(f.calls for f in self.ranks.values())
+
+    def per_rank_calls(self) -> list[int]:
+        return [self.ranks[r].calls if r in self.ranks else 0
+                for r in range(self.nprocs)]
+
+    def finish(self, expected_calls: Optional[list[int]] = None) -> bytes:
+        """Fold to the final trace blob through the existing pipeline.
+
+        *expected_calls* (from the FIN frame) is the conservation check:
+        the fold must account for exactly the calls the client traced.
+        """
+        if expected_calls is not None:
+            got = self.per_rank_calls()
+            if list(expected_calls) != got:
+                raise FoldError(
+                    f"tenant {self.tenant!r}: conservation mismatch — "
+                    f"client declared {sum(expected_calls)} calls, fold "
+                    f"holds {sum(got)} (per-rank {expected_calls} vs "
+                    f"{got})")
+        cfg = self.config
+        shards = [
+            (self.ranks[r] if r in self.ranks else RankFold(r))
+            .to_shard(cfg)
+            for r in range(self.nprocs)]
+        final = tree_reduce(shards, merge_shards)
+        timing_meta = TimingMeta(
+            base=cfg.timing_base,
+            per_function_base=dict(cfg.per_function_base)) \
+            if cfg.lossy_timing else None
+        pipeline = TracePipeline(loop_detection=cfg.loop_detection,
+                                 cfg_dedup=cfg.cfg_dedup, jobs=1,
+                                 timing_meta=timing_meta)
+        return pipeline.serialize(final).trace_bytes
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def to_bytes(self, state: TenantState) -> bytes:
+        out = bytearray(CHECKPOINT_MAGIC)
+        out.append(CHECKPOINT_VERSION)
+        write_value(out, (self.tenant, self.nprocs, state.next_seq,
+                          state.finished, self.config.to_tuple()))
+        live = sorted(self.ranks)
+        write_uvarint(out, len(live))
+        for r in live:
+            blob = self.ranks[r].to_partial().to_bytes()
+            write_uvarint(out, len(blob))
+            out.extend(blob)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> tuple["TenantFold", TenantState]:
+        if len(data) < 5 or data[:4] != CHECKPOINT_MAGIC:
+            raise CorruptTraceError(
+                "not an ingest checkpoint (bad magic)")
+        if data[4] != CHECKPOINT_VERSION:
+            raise CorruptTraceError(
+                f"unsupported checkpoint version {data[4]}")
+        r = Reader(data, 5)
+        head = read_value(r)
+        if (not isinstance(head, tuple) or len(head) != 5
+                or not isinstance(head[0], str)
+                or isinstance(head[1], bool) or not isinstance(head[1], int)
+                or isinstance(head[2], bool) or not isinstance(head[2], int)
+                or not isinstance(head[3], bool)):
+            raise CorruptTraceError("malformed checkpoint header")
+        tenant, nprocs, next_seq, finished, cfg_tuple = head
+        try:
+            config = IngestConfig.from_tuple(cfg_tuple)
+        except TraceFormatError as e:
+            raise CorruptTraceError(
+                f"malformed checkpoint config ({e})") from e
+        fold = cls(tenant, nprocs, config)
+        n = r.read_uvarint()
+        if n > nprocs:
+            raise CorruptTraceError(
+                f"checkpoint claims {n} rank folds for {nprocs} ranks")
+        for _ in range(n):
+            blob = r.read_bytes(r.read_uvarint())
+            fold.absorb(ShardPartial.from_bytes(blob))
+        state = TenantState(tenant=tenant, nprocs=nprocs, config=config,
+                            next_seq=next_seq, finished=finished)
+        return fold, state
+
+
+class Aggregator:
+    """All tenant folds behind one server, with obs counters and
+    checkpoint persistence."""
+
+    def __init__(self, *, metrics=None, recorder=None,
+                 checkpoint_dir: Optional[str] = None):
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self.obs = registry.scope("ingest")
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.checkpoint_dir = checkpoint_dir
+        self.tenants: dict[str, TenantFold] = {}
+        self.folds_completed = 0
+
+    def start(self, tenant: str, nprocs: int, config: IngestConfig, *,
+              resume: bool = False) -> TenantFold:
+        fold = self.tenants.get(tenant)
+        if fold is None or not resume:
+            fold = TenantFold(tenant, nprocs, config)
+            self.tenants[tenant] = fold
+        elif fold.nprocs != nprocs or fold.config != config:
+            raise FoldError(
+                f"tenant {tenant!r}: resume config does not match the "
+                f"existing fold")
+        if self.obs.enabled:
+            self.obs.gauge("tenants").set(len(self.tenants))
+        return fold
+
+    def absorb(self, tenant: str, blob: bytes) -> ShardPartial:
+        fold = self._fold(tenant)
+        p = fold.absorb_blob(blob)
+        if self.obs.enabled:
+            self.obs.counter("partials").inc()
+            self.obs.counter("calls").inc(p.n_calls)
+            self.obs.counter("bytes").inc(len(blob))
+        return p
+
+    def finish(self, tenant: str,
+               expected_calls: Optional[list[int]] = None) -> bytes:
+        fold = self._fold(tenant)
+        with self.recorder.span("ingest.fold", scope="ingest",
+                                tenant=tenant, nprocs=fold.nprocs,
+                                partials=fold.partials_absorbed):
+            blob = fold.finish(expected_calls)
+        self.folds_completed += 1
+        if self.obs.enabled:
+            self.obs.counter("folds").inc()
+            self.obs.counter("trace_bytes").inc(len(blob))
+        return blob
+
+    def discard(self, tenant: str) -> None:
+        self.tenants.pop(tenant, None)
+        if self.obs.enabled:
+            self.obs.gauge("tenants").set(len(self.tenants))
+
+    def _fold(self, tenant: str) -> TenantFold:
+        fold = self.tenants.get(tenant)
+        if fold is None:
+            raise FoldError(f"no fold open for tenant {tenant!r}")
+        return fold
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def checkpoint(self, tenant: str, state: TenantState) -> Optional[str]:
+        """Persist one tenant's fold + session watermark; returns the
+        path (None when no checkpoint dir is configured)."""
+        if self.checkpoint_dir is None:
+            return None
+        fold = self._fold(tenant)
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        path = os.path.join(self.checkpoint_dir, f"{tenant}.ckpt")
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(fold.to_bytes(state))
+        os.replace(tmp, path)
+        if self.obs.enabled:
+            self.obs.counter("checkpoints").inc()
+        return path
+
+    def restore(self) -> list[TenantState]:
+        """Load every checkpoint in the configured dir; installs the
+        folds here and returns the session states for the registry."""
+        if self.checkpoint_dir is None or \
+                not os.path.isdir(self.checkpoint_dir):
+            return []
+        states = []
+        for name in sorted(os.listdir(self.checkpoint_dir)):
+            if not name.endswith(".ckpt"):
+                continue
+            with open(os.path.join(self.checkpoint_dir, name), "rb") as fh:
+                fold, state = TenantFold.from_bytes(fh.read())
+            self.tenants[fold.tenant] = fold
+            states.append(state)
+        return states

@@ -1,0 +1,146 @@
+"""Frame-stream corruption fuzzer (the ingest twin of
+:mod:`repro.core.fuzz`).
+
+The server's robustness contract: a corrupt or truncated client byte
+stream **always** surfaces as a structured
+:class:`~repro.core.errors.TraceFormatError` subclass — never a raw
+``IndexError``/``KeyError``/``zlib.error``, never a hang, and never a
+silently different decode (every frame's payload is CRC-checked and
+every header byte is validated, so any byte change must be caught).
+The server turns exactly these errors into ERROR frames and drops only
+the offending connection; this module proves the "always" part by
+attacking a real recorded session byte stream with the shared
+:func:`~repro.core.fuzz.iter_blob_mutations` mutation engine, pointed
+at frame boundaries via :func:`~repro.ingest.protocol.frame_spans`.
+
+Deep decode goes all the way down: frame framing → per-kind payload
+parse → :meth:`ShardPartial.from_bytes
+<repro.core.shard.ShardPartial.from_bytes>` for every CHUNK → EOF
+check, so lazily-materialized corruption inside a partial cannot hide
+behind an intact frame header.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import TraceFormatError
+from ..core.fuzz import (CRASH, SILENT, STRUCTURED, FuzzOutcome, FuzzReport,
+                         iter_blob_mutations)
+from ..core.shard import ShardPartial
+from . import protocol as proto
+
+
+def build_frame_corpus(workload: str = "stencil2d", nprocs: int = 2, *,
+                       seed: int = 3, chunk_calls: int = 16,
+                       lossy_timing: bool = True) -> bytes:
+    """Record a real client session as one contiguous byte stream:
+    HELLO, every CHUNK a small traced run produces, FIN.  This is the
+    known-good blob the fuzzer mutates — real partials, real grammars,
+    real CRCs."""
+    from ..workloads import make as make_workload
+    from .client import ChunkingTracer
+
+    frames = bytearray()
+    seq = [0]
+
+    def emit(p: ShardPartial) -> None:
+        frames.extend(proto.encode_chunk(seq[0], p.to_bytes()))
+        seq[0] += 1
+
+    tracer = ChunkingTracer(
+        emit, chunk_calls=chunk_calls,
+        timing_mode="lossy" if lossy_timing else "aggregate")
+    wl = make_workload(workload, nprocs)
+    hello = proto.encode_hello("fuzz-corpus", nprocs, tracer.config())
+    wl.run(seed=seed, tracer=tracer, noise=0.05)
+    fin = proto.encode_fin([rc.streamed_calls for rc in tracer.ranks])
+    return hello + bytes(frames) + fin
+
+
+def decode_stream(blob: bytes) -> list[tuple[int, tuple]]:
+    """Fully decode a client byte stream, the way the server would —
+    framing, per-kind payload parsing, deep :class:`ShardPartial`
+    decode for CHUNKs, and an EOF check for trailing partial frames.
+    Returns the parsed frames (used for the identical-decode check);
+    raises a :class:`TraceFormatError` subclass on any corruption."""
+    dec = proto.FrameDecoder()
+    dec.feed(blob)
+    out: list[tuple[int, tuple]] = []
+    for kind, payload in dec.frames():
+        if kind == proto.HELLO:
+            out.append((kind, proto.parse_hello(payload)))
+        elif kind == proto.HELLO_ACK:
+            out.append((kind, (proto.parse_hello_ack(payload),)))
+        elif kind == proto.CHUNK:
+            chunk_seq, partial_blob = proto.parse_chunk(payload)
+            partial = ShardPartial.from_bytes(partial_blob)
+            # canonical re-serialization pins the deep decode
+            out.append((kind, (chunk_seq, partial.to_bytes())))
+        elif kind == proto.ACK:
+            out.append((kind, (proto.parse_ack(payload),)))
+        elif kind == proto.FIN:
+            out.append((kind, tuple(proto.parse_fin(payload))))
+        elif kind == proto.ERROR:
+            out.append((kind, proto.parse_error(payload)))
+        else:  # RESULT: payload is an opaque trace blob
+            out.append((kind, (payload,)))
+    dec.check_eof()
+    return out
+
+
+def run_frame_fuzz(blob: Optional[bytes] = None, seed: int = 0,
+                   n_random: int = 400) -> FuzzReport:
+    """Attack a recorded session stream with boundary-targeted and
+    seeded random mutations.
+
+    Every mutation must either raise a structured
+    :class:`TraceFormatError` subclass or — vanishingly rare, but legal
+    — decode to *exactly* the frames of the pristine stream.  A decode
+    that silently yields different frames is an integrity bug; any
+    other exception is a parser bug.  Mirrors
+    :func:`repro.core.fuzz.run_fuzz` so ``repro fuzz --frames`` reports
+    with the same :class:`FuzzReport`."""
+    if blob is None:
+        blob = build_frame_corpus()
+    reference = decode_stream(blob)
+    report = FuzzReport()
+    spans = proto.frame_spans(blob)
+    for desc, mut in iter_blob_mutations(blob, spans, seed=seed,
+                                         n_random=n_random):
+        if mut == blob:
+            continue
+        report.total += 1
+        try:
+            frames = decode_stream(mut)
+        except TraceFormatError as e:
+            report.structured += 1
+            name = type(e).__name__
+            report.by_error[name] = report.by_error.get(name, 0) + 1
+        except Exception as e:  # noqa: BLE001 — the whole point
+            report.failures.append(FuzzOutcome(
+                desc, CRASH, f"{type(e).__name__}: {e}"))
+        else:
+            if frames == reference:
+                # the mutation round-tripped to the same parse (possible
+                # only for non-load-bearing encodings); count it as
+                # covered, not as a silent integrity failure
+                report.structured += 1
+                report.by_error["identical-decode"] = \
+                    report.by_error.get("identical-decode", 0) + 1
+            elif frames == reference[:len(frames)]:
+                # truncation at an exact frame boundary: a byte stream
+                # has no global length, so the framing layer *cannot*
+                # flag this — the session layer does (no FIN, or the
+                # FIN conservation check).  Covered, one layer up.
+                report.structured += 1
+                report.by_error["clean-prefix"] = \
+                    report.by_error.get("clean-prefix", 0) + 1
+            else:
+                report.failures.append(FuzzOutcome(
+                    desc, SILENT, "decoded to different frames"))
+    return report
+
+
+__all__ = ["STRUCTURED", "CRASH", "SILENT", "FuzzReport", "FuzzOutcome",
+           "build_frame_corpus", "decode_stream", "run_frame_fuzz"]

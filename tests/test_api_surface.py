@@ -21,7 +21,8 @@ import repro.api as api
 SNAPSHOT = Path(__file__).parent / "data" / "api_surface.json"
 
 #: the callables whose signatures form the contract
-PINNED_FUNCTIONS = ["trace", "decode", "verify", "compare", "bench"]
+PINNED_FUNCTIONS = ["trace", "decode", "verify", "compare", "bench",
+                    "serve", "push"]
 
 
 def _describe_signature(fn) -> dict:

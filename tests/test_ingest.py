@@ -1,0 +1,250 @@
+"""The streaming ingest subsystem's core invariant and its service.
+
+The invariant (tentpole): **any** chunking of a rank's stream into
+partial shards folds, server-side, to a trace byte-identical to the
+one-shot in-process run — across workload families, chunk sizes
+(including per-call streaming and whole-run), lossy timing, and the
+memory watermark.  Property-tested in-memory (fast), then pinned over
+real sockets with concurrent multi-tenant pushes, reconnects, and a
+corrupt client that must not disturb healthy tenants.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.backends import TracerOptions, make_tracer
+from repro.ingest import (ChunkingTracer, IngestClient, IngestError,
+                          protocol as proto, push, serve_in_thread)
+from repro.ingest.aggregator import Aggregator
+from repro.workloads import make
+
+FAMILIES = ("stencil2d", "osu_latency", "npb_mg", "flash_sedov",
+            "milc_su3_rmd")
+
+#: per-call streaming, tiny, mid-size, and one whole-run chunk
+CHUNKINGS = (1, 7, 97, 10 ** 9)
+
+
+def _one_shot(family: str, nprocs: int, seed: int, *,
+              lossy: bool, watermark=None) -> bytes:
+    tracer = make_tracer("pilgrim", TracerOptions(
+        lossy_timing=lossy, memory_watermark=watermark))
+    make(family, nprocs).run(seed=seed, tracer=tracer, noise=0.05)
+    return tracer.result.trace_bytes
+
+
+def _folded(family: str, nprocs: int, seed: int, *, chunk_calls: int,
+            lossy: bool, watermark=None) -> bytes:
+    """Stream through ChunkingTracer into an Aggregator, no sockets."""
+    agg = Aggregator()
+    tracer = ChunkingTracer(
+        lambda p: agg.absorb("t", p.to_bytes()),
+        chunk_calls=chunk_calls,
+        timing_mode="lossy" if lossy else "aggregate",
+        memory_watermark=watermark)
+    agg.start("t", nprocs, tracer.config())
+    make(family, nprocs).run(seed=seed, tracer=tracer, noise=0.05)
+    return agg.finish("t", [rc.streamed_calls for rc in tracer.ranks])
+
+
+class TestFoldByteIdentity:
+    """The tentpole property, over >= 4 workload families."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(family=st.sampled_from(FAMILIES),
+           nprocs=st.sampled_from([2, 4]),
+           seed=st.integers(0, 2 ** 16),
+           chunk_calls=st.sampled_from(CHUNKINGS),
+           lossy=st.booleans())
+    def test_chunked_fold_byte_identity(self, family, nprocs, seed,
+                                        chunk_calls, lossy):
+        ref = _one_shot(family, nprocs, seed, lossy=lossy)
+        got = _folded(family, nprocs, seed, chunk_calls=chunk_calls,
+                      lossy=lossy)
+        assert got == ref
+
+    @pytest.mark.parametrize("family", ["stencil2d", "milc_su3_rmd"])
+    @pytest.mark.parametrize("chunk_calls", [1, 23, 10 ** 9])
+    def test_identity_under_memory_watermark(self, family, chunk_calls):
+        ref = _one_shot(family, 4, 5, lossy=True, watermark=7)
+        got = _folded(family, 4, 5, chunk_calls=chunk_calls,
+                      lossy=True, watermark=7)
+        assert got == ref
+
+    def test_every_family_whole_run_and_per_call(self):
+        for family in FAMILIES[:4]:
+            ref = _one_shot(family, 2, 3, lossy=False)
+            for chunk_calls in (1, 10 ** 9):
+                assert _folded(family, 2, 3, chunk_calls=chunk_calls,
+                               lossy=False) == ref, family
+
+
+class TestSocketEndToEnd:
+    def test_push_matches_in_process(self):
+        ref = repro.trace("stencil2d", 4, seed=5,
+                          options=TracerOptions(lossy_timing=True)
+                          ).trace_bytes
+        with serve_in_thread() as srv:
+            res = push("stencil2d", 4, port=srv.port, seed=5,
+                       options=TracerOptions(lossy_timing=True),
+                       chunk_calls=32)
+        assert res.trace_bytes == ref
+        assert res.chunks_sent > 10
+        assert res.total_calls == sum(res.per_rank_calls)
+
+    def test_concurrent_tenants_are_isolated(self):
+        jobs = [("t0", "stencil2d", 1), ("t1", "osu_latency", 2),
+                ("t2", "stencil2d", 3), ("t3", "npb_mg", 4)]
+        refs = {t: repro.trace(w, 2, seed=s).trace_bytes
+                for t, w, s in jobs}
+        results, errors = {}, []
+
+        def _push(tenant, wl, seed, port):
+            try:
+                results[tenant] = push(wl, 2, port=port, tenant=tenant,
+                                       seed=seed, chunk_calls=16)
+            except Exception as e:  # noqa: BLE001 — collected for assert
+                errors.append((tenant, e))
+
+        with serve_in_thread() as srv:
+            threads = [threading.Thread(target=_push,
+                                        args=(t, w, s, srv.port))
+                       for t, w, s in jobs]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join(120)
+        assert not errors, errors
+        for tenant, wl, seed in jobs:
+            assert results[tenant].trace_bytes == refs[tenant], tenant
+
+    def test_corrupt_client_does_not_disturb_healthy_tenants(self):
+        ref = repro.trace("osu_latency", 2, seed=7).trace_bytes
+        with serve_in_thread() as srv:
+            # a garbage stream: must get a structured ERROR frame back
+            with socket.create_connection(("127.0.0.1", srv.port),
+                                          timeout=10) as bad:
+                bad.sendall(b"\xde\xad\xbe\xef" * 16)
+                dec = proto.FrameDecoder()
+                while True:
+                    data = bad.recv(65536)
+                    if not data:
+                        break
+                    dec.feed(data)
+                frames = list(dec.frames())
+            assert frames and frames[0][0] == proto.ERROR
+            code, _ = proto.parse_error(frames[0][1])
+            assert code == "FrameFormatError"
+            # a mid-session corruption: valid HELLO, then garbage
+            with socket.create_connection(("127.0.0.1", srv.port),
+                                          timeout=10) as bad:
+                bad.sendall(proto.encode_hello("evil", 2,
+                                               proto.IngestConfig()))
+                bad.sendall(b"\x00" * 64)
+                while bad.recv(65536):
+                    pass
+            # the healthy tenant's stream still folds byte-identically
+            res = push("osu_latency", 2, port=srv.port, tenant="good",
+                       seed=7, chunk_calls=16)
+            assert res.trace_bytes == ref
+            assert srv.server.errors >= 2
+
+    def test_reconnect_resumes_idempotently(self):
+        ref = repro.trace("stencil2d", 2, seed=11).trace_bytes
+        with serve_in_thread() as srv:
+            client = IngestClient("127.0.0.1", srv.port, "t")
+            sent = [0]
+
+            def emit(p):
+                # sever the transport under the client mid-stream, twice
+                if sent[0] in (3, 9):
+                    client._sock.close()
+                    time.sleep(0.05)
+                client.send_partial(p)
+                sent[0] += 1
+
+            tracer = ChunkingTracer(emit, chunk_calls=32)
+            client.connect(2, tracer.config())
+            make("stencil2d", 2).run(seed=11, tracer=tracer, noise=0.05)
+            blob = client.finish(
+                [rc.streamed_calls for rc in tracer.ranks])
+        assert client.reconnects >= 2
+        assert blob == ref
+
+    def test_conservation_mismatch_is_refused(self):
+        with serve_in_thread() as srv:
+            client = IngestClient("127.0.0.1", srv.port, "t")
+            tracer = ChunkingTracer(client.send_partial, chunk_calls=16)
+            client.connect(2, tracer.config())
+            make("osu_latency", 2).run(seed=1, tracer=tracer)
+            wrong = [rc.streamed_calls + 1 for rc in tracer.ranks]
+            with pytest.raises(IngestError) as ei:
+                client.finish(wrong)
+            assert ei.value.code == "FoldError"
+            assert "conservation" in ei.value.detail
+
+
+class TestSatelliteGuards:
+    """The smaller PR-8 satellites: eager option validation, the
+    freeze() guard, and the upward-only layering rule."""
+
+    def test_tracer_options_validate_eagerly(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            TracerOptions(batch_size=0)
+        with pytest.raises(ValueError, match="memory_watermark"):
+            TracerOptions(memory_watermark=0)
+        with pytest.raises(ValueError, match="jobs"):
+            TracerOptions(jobs=-1)
+        TracerOptions(batch_size=1, memory_watermark=1, jobs=1)
+
+    def test_chunk_calls_validates(self):
+        with pytest.raises(ValueError, match="chunk_calls"):
+            ChunkingTracer(lambda p: None, chunk_calls=0)
+
+    def test_freeze_refused_after_streaming(self):
+        tracer = ChunkingTracer(lambda p: None, chunk_calls=16)
+        make("osu_latency", 2).run(seed=1, tracer=tracer)
+        with pytest.raises(RuntimeError, match="flush_partial"):
+            tracer.finalize()
+
+    def test_layering_is_upward_only(self):
+        """Each ingest layer may import only layers strictly below it
+        (and repro.core / repro.obs / repro.resilience)."""
+        import ast
+        import os
+
+        import repro.ingest as ingest_pkg
+        pkg_dir = os.path.dirname(ingest_pkg.__file__)
+        order = {"protocol": 1, "session": 2, "aggregator": 3,
+                 "server": 4, "client": 4}
+        for mod, level in order.items():
+            tree = ast.parse(
+                open(os.path.join(pkg_dir, mod + ".py")).read())
+            for node in ast.walk(tree):
+                names = []
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    names.append(node.module)
+                elif isinstance(node, ast.ImportFrom) and node.level:
+                    # "from . import protocol as proto" style
+                    names.extend(a.name for a in node.names)
+                elif isinstance(node, ast.Import):
+                    names.extend(a.name for a in node.names)
+                for name in names:
+                    leaf = name.split(".")[-1]
+                    if leaf in order and leaf != mod:
+                        assert order[leaf] < level, (
+                            f"{mod} (layer {level}) imports {leaf} "
+                            f"(layer {order[leaf]}): dependencies must "
+                            f"flow upward only")
+
+    def test_facade_exports(self):
+        assert callable(repro.serve)
+        assert callable(repro.push)
+        assert "push" in repro.api.__all__ and "serve" in repro.api.__all__

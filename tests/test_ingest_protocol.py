@@ -1,0 +1,284 @@
+"""The ingest subsystem's lower layers, sans-io.
+
+Layer 1 (framing): every frame kind round-trips through the decoder at
+any byte-split granularity; every corruption raises a structured
+``TraceFormatError`` subclass (the frame fuzzer pins the exhaustive
+version).  Layer 2 (sessions): the per-tenant state machine accepts
+exactly the in-order stream, re-classifies duplicates, refuses gaps and
+concurrent sessions, and resumes idempotently.  Layer 3 (fold
+checkpoints): a checkpoint round-trip reproduces the exact final trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (ChecksumError, FrameFormatError,
+                               TraceFormatError, TruncatedTraceError,
+                               UnsupportedVersionError)
+from repro.core.shard import ShardPartial
+from repro.ingest import protocol as proto
+from repro.ingest.aggregator import Aggregator, TenantFold
+from repro.ingest.client import ChunkingTracer
+from repro.ingest.fuzz import build_frame_corpus, run_frame_fuzz
+from repro.ingest.session import (SEQ_DUPLICATE, SEQ_NEW, SequenceError,
+                                  Session, SessionError, SessionRegistry)
+from repro.workloads import make
+
+CFG = proto.IngestConfig()
+
+
+def _decode_all(blob: bytes, *, step: int = 0) -> list:
+    dec = proto.FrameDecoder()
+    if step:
+        for i in range(0, len(blob), step):
+            dec.feed(blob[i:i + step])
+    else:
+        dec.feed(blob)
+    frames = list(dec.frames())
+    dec.check_eof()
+    return frames
+
+
+class TestFraming:
+    def all_kinds(self) -> bytes:
+        return b"".join([
+            proto.encode_hello("t-1", 4, CFG),
+            proto.encode_hello_ack(7),
+            proto.encode_chunk(3, b"partial-blob"),
+            proto.encode_ack(3),
+            proto.encode_fin([10, 20, 30, 40]),
+            proto.encode_result(b"trace-blob"),
+            proto.encode_error("FoldError", "boom"),
+        ])
+
+    @pytest.mark.parametrize("step", [0, 1, 3, 1000])
+    def test_roundtrip_any_split(self, step):
+        frames = _decode_all(self.all_kinds(), step=step)
+        kinds = [k for k, _ in frames]
+        assert kinds == [proto.HELLO, proto.HELLO_ACK, proto.CHUNK,
+                         proto.ACK, proto.FIN, proto.RESULT, proto.ERROR]
+        assert proto.parse_hello(frames[0][1]) == ("t-1", 4, False, CFG)
+        assert proto.parse_hello_ack(frames[1][1]) == 7
+        assert proto.parse_chunk(frames[2][1]) == (3, b"partial-blob")
+        assert proto.parse_ack(frames[3][1]) == 3
+        assert proto.parse_fin(frames[4][1]) == [10, 20, 30, 40]
+        assert frames[5][1] == b"trace-blob"
+        assert proto.parse_error(frames[6][1]) == ("FoldError", "boom")
+
+    def test_compressed_frame_roundtrip(self):
+        payload = b"x" * 4096
+        blob = proto.encode_frame(proto.RESULT, payload, compress=True)
+        assert len(blob) < len(payload)
+        [(kind, got)] = _decode_all(blob)
+        assert (kind, got) == (proto.RESULT, payload)
+
+    def test_bad_magic(self):
+        blob = bytearray(proto.encode_ack(0))
+        blob[0] ^= 0xFF
+        with pytest.raises(FrameFormatError):
+            _decode_all(bytes(blob))
+
+    def test_bad_version(self):
+        blob = bytearray(proto.encode_ack(0))
+        blob[4] = 99
+        with pytest.raises(UnsupportedVersionError):
+            _decode_all(bytes(blob))
+
+    def test_unknown_kind_and_flags(self):
+        blob = bytearray(proto.encode_ack(0))
+        blob[5] = 200
+        with pytest.raises(FrameFormatError):
+            _decode_all(bytes(blob))
+        blob = bytearray(proto.encode_ack(0))
+        blob[6] |= 0x80
+        with pytest.raises(FrameFormatError):
+            _decode_all(bytes(blob))
+
+    def test_payload_corruption_fails_crc(self):
+        blob = bytearray(proto.encode_chunk(1, b"partial-blob"))
+        blob[-1] ^= 0x01
+        with pytest.raises(ChecksumError):
+            _decode_all(bytes(blob))
+
+    def test_truncation_is_structured(self):
+        blob = self.all_kinds()
+        with pytest.raises(TruncatedTraceError):
+            _decode_all(blob[:-3])
+
+    def test_tenant_validation(self):
+        assert proto.validate_tenant("a.B-2_c") == "a.B-2_c"
+        for bad in ("", "a b", "a/b", "x" * 100, "t\n"):
+            with pytest.raises(FrameFormatError):
+                proto.validate_tenant(bad)
+
+    def test_config_tuple_roundtrip(self):
+        cfg = proto.IngestConfig(loop_detection=False, lossy_timing=True,
+                                 timing_base=1.5,
+                                 per_function_base={"MPI_Send": 1.1})
+        assert proto.IngestConfig.from_tuple(cfg.to_tuple()) == cfg
+        with pytest.raises(TraceFormatError):
+            proto.IngestConfig.from_tuple(("nope",))
+
+    def test_fin_rejects_negatives(self):
+        from repro.core.packing import write_value
+        payload = bytearray()
+        write_value(payload, (1, -2))
+        with pytest.raises(FrameFormatError):
+            proto.parse_fin(bytes(payload))
+
+
+class TestFrameFuzz:
+    """Satellite: corrupt/truncated frames through the shared fuzz
+    harness — structured errors only, never a crash, never a silently
+    different decode."""
+
+    def test_recorded_stream_survives_fuzz(self):
+        blob = build_frame_corpus("osu_latency", 2, seed=11,
+                                  chunk_calls=32)
+        report = run_frame_fuzz(blob, seed=1, n_random=150)
+        assert report.ok, report.summary() + "".join(
+            f"\n  {f}" for f in report.failures[:10])
+        # the boundary attack must actually exercise the CRC and
+        # truncation paths, not just bounce off the magic check
+        assert report.by_error.get("ChecksumError", 0) > 0
+        assert report.by_error.get("TruncatedTraceError", 0) > 0
+
+
+class TestSession:
+    def test_happy_path(self):
+        reg = SessionRegistry()
+        s = Session(reg)
+        assert s.on_hello("t", 2, CFG) == 0
+        assert s.on_chunk(0) == SEQ_NEW
+        s.absorbed(0)
+        assert s.on_chunk(1) == SEQ_NEW
+        s.absorbed(1)
+        s.on_fin([3, 4])
+        assert s.tenant_state.fin_calls == [3, 4]
+        s.finish()
+        assert s.state == Session.CLOSED
+        assert reg.active_sessions == 0
+
+    def test_duplicate_and_gap(self):
+        s = Session(SessionRegistry())
+        s.on_hello("t", 1, CFG)
+        assert s.on_chunk(0) == SEQ_NEW
+        assert s.on_chunk(0) == SEQ_DUPLICATE
+        with pytest.raises(SequenceError):
+            s.on_chunk(5)
+
+    def test_frames_out_of_state(self):
+        reg = SessionRegistry()
+        s = Session(reg)
+        with pytest.raises(SessionError):
+            s.on_chunk(0)
+        s.on_hello("t", 1, CFG)
+        with pytest.raises(SessionError):
+            s.on_hello("t", 1, CFG)
+        with pytest.raises(SessionError):
+            s.on_fin([1, 2])  # wrong rank count
+        s.on_fin([1])
+        with pytest.raises(SessionError):
+            s.on_chunk(1)  # FINISHING, not ACTIVE
+
+    def test_concurrent_sessions_refused(self):
+        reg = SessionRegistry()
+        Session(reg).on_hello("t", 2, CFG)
+        with pytest.raises(SessionError):
+            Session(reg).on_hello("t", 2, CFG)
+        # a different tenant is fine
+        Session(reg).on_hello("u", 2, CFG)
+
+    def test_resume_keeps_watermark(self):
+        reg = SessionRegistry()
+        s1 = Session(reg)
+        s1.on_hello("t", 2, CFG)
+        assert s1.on_chunk(0) == SEQ_NEW
+        s1.absorbed(0)
+        s1.close()  # connection dropped; durable state survives
+        s2 = Session(reg)
+        assert s2.on_hello("t", 2, CFG, resume=True) == 1
+        # the resent chunk 0 is recognized as a duplicate
+        assert s2.on_chunk(0) == SEQ_DUPLICATE
+        assert s2.on_chunk(1) == SEQ_NEW
+
+    def test_resume_mismatch_refused(self):
+        reg = SessionRegistry()
+        s1 = Session(reg)
+        s1.on_hello("t", 2, CFG)
+        s1.close()
+        with pytest.raises(SessionError):
+            Session(reg).on_hello("t", 4, CFG, resume=True)
+
+    def test_fresh_hello_resets_finished_tenant(self):
+        reg = SessionRegistry()
+        s1 = Session(reg)
+        s1.on_hello("t", 2, CFG)
+        s1.on_fin([0, 0])
+        s1.finish()
+        with pytest.raises(SessionError):
+            Session(reg).on_hello("t", 2, CFG, resume=True)
+        assert Session(reg).on_hello("t", 2, CFG) == 0
+
+    def test_absorb_out_of_order_refused(self):
+        s = Session(SessionRegistry())
+        s.on_hello("t", 1, CFG)
+        s.on_chunk(0)
+        s.on_chunk(1)
+        with pytest.raises(SessionError):
+            s.absorbed(1)  # 0 not yet absorbed
+
+
+def _stream_partials(family: str, nprocs: int, seed: int,
+                     chunk_calls: int = 32) -> tuple[list, list]:
+    """Trace a run with the chunking tracer; return (partials, fin)."""
+    out: list[ShardPartial] = []
+    tracer = ChunkingTracer(out.append, chunk_calls=chunk_calls)
+    make(family, nprocs).run(seed=seed, tracer=tracer, noise=0.05)
+    return out, [rc.streamed_calls for rc in tracer.ranks]
+
+
+class TestCheckpoint:
+    def test_fold_checkpoint_roundtrip_is_byte_identical(self):
+        from repro.ingest.session import TenantState
+        partials, fin = _stream_partials("stencil2d", 2, seed=9)
+        assert len(partials) > 4
+        cut = len(partials) // 2
+
+        ref = TenantFold("t", 2, CFG)
+        for p in partials:
+            ref.absorb(p)
+
+        half = TenantFold("t", 2, CFG)
+        for p in partials[:cut]:
+            half.absorb(p)
+        st = TenantState(tenant="t", nprocs=2, config=CFG, next_seq=cut)
+        restored, st2 = TenantFold.from_bytes(half.to_bytes(st))
+        assert (st2.tenant, st2.nprocs, st2.next_seq) == ("t", 2, cut)
+        for p in partials[cut:]:
+            restored.absorb(p)
+        assert restored.finish(fin) == ref.finish(fin)
+
+    def test_aggregator_checkpoint_restore(self, tmp_path):
+        from repro.ingest.session import TenantState
+        partials, fin = _stream_partials("osu_latency", 2, seed=4)
+        ckdir = str(tmp_path / "ck")
+
+        a1 = Aggregator(checkpoint_dir=ckdir)
+        a1.start("t", 2, CFG)
+        for i, p in enumerate(partials):
+            a1.absorb("t", p.to_bytes())
+        path = a1.checkpoint("t", TenantState(
+            tenant="t", nprocs=2, config=CFG, next_seq=len(partials)))
+        assert path is not None and path.endswith("t.ckpt")
+        expected = a1.finish("t", fin)
+
+        a2 = Aggregator(checkpoint_dir=ckdir)
+        [state] = a2.restore()
+        assert state.tenant == "t" and state.next_seq == len(partials)
+        assert a2.finish("t", fin) == expected
+
+    def test_corrupt_checkpoint_is_structured(self):
+        with pytest.raises(TraceFormatError):
+            TenantFold.from_bytes(b"NOPE" + b"\x00" * 20)
