@@ -21,6 +21,8 @@ Packages:
   partial-trace salvage (tracing under failure).
 * :mod:`repro.ingest` — the streaming trace-ingest service: layered
   framing → session → fold, surfaced as ``serve``/``push``.
+* :mod:`repro.store` — the content-addressed cross-run trace store:
+  structural dedup of format-v2 sections, run manifests, drift queries.
 * :mod:`repro.scalatrace` — the ScalaTrace-style baseline tracer.
 * :mod:`repro.workloads` — stencils, OSU, NPB, FLASH, MILC skeletons.
 * :mod:`repro.analysis` — size accounting, overhead timers, report tables.
@@ -29,7 +31,7 @@ Packages:
 """
 
 from .api import (TraceResult, TracerOptions, VerifyReport, compare,
-                  decode, push, serve, trace, verify)
+                  decode, push, serve, store, trace, verify)
 from .resilience import FaultPlan, RetryPolicy, SalvageReport
 
 # ``repro.bench`` is the benchmark subpackage, made callable so it also
@@ -41,5 +43,5 @@ __version__ = "1.1.0"
 __all__ = [
     "FaultPlan", "RetryPolicy", "SalvageReport", "TraceResult",
     "TracerOptions", "VerifyReport", "bench", "compare", "decode",
-    "push", "serve", "trace", "verify", "__version__",
+    "push", "serve", "store", "trace", "verify", "__version__",
 ]

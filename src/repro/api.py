@@ -53,7 +53,8 @@ from .workloads import make as _make_workload
 
 __all__ = [
     "TraceResult", "TracerOptions", "VerifyReport",
-    "bench", "compare", "decode", "push", "serve", "trace", "verify",
+    "bench", "compare", "decode", "push", "serve", "store", "trace",
+    "verify",
 ]
 
 #: TracerOptions fields that used to travel as loose keyword arguments;
@@ -341,9 +342,27 @@ def bench(name: str = "hotpath", *, repeats: int = 5, warmup: int = 1,
                                 params=params)
 
 
+def store(root: Optional[str] = None, *, metrics: Any = None):
+    """Open (creating on first put) the content-addressed trace store
+    rooted at *root* and return a
+    :class:`~repro.store.TraceStore`.
+
+    *root* defaults to the ``REPRO_STORE`` environment variable, then
+    ``.repro-store``.  The store splits every trace into its
+    format-v2 sections, keeps each unique section blob once under its
+    SHA-256, and records runs as manifests of hash references — so N
+    runs of the same workload cost far less than N traces
+    (``repro store stats`` reports the achieved ratio)."""
+    from .store import DEFAULT_ROOT, TraceStore  # heavier import, lazy
+    if root is None:
+        root = os.environ.get("REPRO_STORE") or DEFAULT_ROOT
+    return TraceStore(root, metrics=metrics)
+
+
 def serve(host: str = "127.0.0.1", port: int = 0, *,
           checkpoint_dir: Optional[str] = None,
           checkpoint_every: int = 0,
+          store_dir: Optional[str] = None,
           metrics: Any = None):
     """Start the streaming trace-ingest service on a background thread
     and return a :class:`~repro.ingest.server.RunningServer` (context
@@ -352,11 +371,17 @@ def serve(host: str = "127.0.0.1", port: int = 0, *,
     The blocking foreground variant is ``repro serve`` on the CLI; both
     accept pushed partial-shard streams from :func:`push` / ``repro
     push`` and fold them to traces byte-identical to in-process runs.
+
+    With *store_dir* set, every completed fold is also archived into
+    the trace store at that path as a run of workload == tenant, so
+    repeated pushes dedup against each other (see :func:`store`).
     """
     from .ingest import serve_in_thread  # heavier import (asyncio), lazy
+    trace_store = store(store_dir, metrics=metrics) \
+        if store_dir is not None else None
     return serve_in_thread(host, port, checkpoint_dir=checkpoint_dir,
                            checkpoint_every=checkpoint_every,
-                           metrics=metrics)
+                           metrics=metrics, store=trace_store)
 
 
 def push(workload: str, nprocs: int = 8, *,

@@ -2,11 +2,14 @@
 
 Times the consumer side: parsing a serialized trace and expanding every
 rank's grammar back to its full terminal stream ("recursive rule
-application", §3.6).  Trace blobs are produced once at setup.
+application", §3.6), plus the trace-store read path — reassembling and
+integrity-verifying a stored run (``store.get``).  Trace blobs are
+produced and stored once at setup.
 """
 
 from __future__ import annotations
 
+import tempfile
 from time import perf_counter
 
 from ..core.backends import TracerOptions, make_tracer
@@ -16,8 +19,10 @@ from . import register
 from .hotpath import DEFAULT_FAMILIES
 
 
-@register("decode", "trace parse + full grammar expansion time")
+@register("decode", "trace parse + full grammar expansion time, "
+                    "plus the trace-store read path")
 def _decode(params: dict):
+    from ..store import TraceStore
     families = list(params.setdefault("families", list(DEFAULT_FAMILIES)))
     nprocs = int(params.setdefault("nprocs", 8))
     seed = int(params.setdefault("seed", 1))
@@ -26,13 +31,21 @@ def _decode(params: dict):
         tracer = make_tracer("pilgrim", TracerOptions())
         make(fam, nprocs).run(seed=seed, tracer=tracer)
         blobs.append((fam, tracer.result.trace_bytes))
+    # held in the sample closure so the store outlives setup; cleaned
+    # up by the TemporaryDirectory finalizer on release
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+    store = TraceStore(tmp.name)
+    runs = {fam: store.put(blob, fam).run_id for fam, blob in blobs}
 
-    def sample() -> dict:
+    def sample(_tmp=tmp) -> dict:
         out: dict = {}
         for fam, blob in blobs:
             start = perf_counter()
             TraceDecoder.from_bytes(blob).all_terminals()
             out[f"{fam}.decode_ms"] = (perf_counter() - start) * 1e3
+            start = perf_counter()
+            store.get(runs[fam])
+            out[f"{fam}.store_get_ms"] = (perf_counter() - start) * 1e3
         return out
 
     return sample

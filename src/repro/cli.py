@@ -3,6 +3,8 @@
 The workflows a downstream user actually runs:
 
 * ``trace``    — run a workload under a tracer backend, write the trace
+* ``store``    — the content-addressed cross-run trace store
+  (``put``/``get``/``ls``/``diff``/``drift``/``pin``/``gc``/``stats``)
 * ``verify``   — differential lossless round-trip check on workload(s)
 * ``faults``   — describe fault plans / run the chaos recovery matrix
 * ``fuzz``     — corruption-fuzz the decoder (structured errors only)
@@ -210,6 +212,31 @@ def cmd_fuzz(args) -> int:
         for failure in report.failures[:20]:
             print(f"  {failure}")
         return 0 if report.ok else 1
+    if args.store:
+        import shutil
+        import tempfile
+
+        from .store import TraceStore
+        from .store.fuzz import run_store_fuzz
+        blob = api.trace(
+            args.workload, args.procs, seed=args.seed,
+            params=_parse_params(args.param),
+            options=TracerOptions(
+                lossy_timing=args.lossy_timing)).trace_bytes
+        root = tempfile.mkdtemp(prefix="repro-store-fuzz-")
+        try:
+            st = TraceStore(root)
+            put = st.put(blob, args.workload)
+            report = run_store_fuzz(st, put.run_id, seed=args.fuzz_seed,
+                                    n_random=args.mutations)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        print(f"{args.workload} ({args.procs} ranks, "
+              f"{len(put.record.to_bytes())} byte run manifest)")
+        print(report.summary())
+        for failure in report.failures[:20]:
+            print(f"  {failure}")
+        return 0 if report.ok else 1
     blob = api.trace(
         args.workload, args.procs, seed=args.seed,
         params=_parse_params(args.param),
@@ -230,9 +257,11 @@ def cmd_serve(args) -> int:
 
     from .ingest.server import IngestServer
 
+    store = api.store(args.store) if args.store else None
     server = IngestServer(args.host, args.port,
                           checkpoint_dir=args.checkpoint_dir,
-                          checkpoint_every=args.checkpoint_every)
+                          checkpoint_every=args.checkpoint_every,
+                          store=store)
 
     async def _run() -> None:
         await server.start()
@@ -279,6 +308,125 @@ def cmd_push(args) -> int:
             fh.write(res.trace_bytes)
         print(f"wrote {args.output}")
     return 0
+
+
+def cmd_store(args) -> int:
+    """The content-addressed cross-run trace store."""
+    st = api.store(args.root)
+    verb = args.store_verb
+    if verb == "put":
+        with open(args.trace, "rb") as fh:
+            blob = fh.read()
+        put = st.put(blob, args.workload, tenant=args.tenant)
+        if args.json:
+            print(json.dumps({
+                "run_id": put.run_id,
+                "workload": put.record.workload,
+                "sections": len(put.record.sections),
+                "total_bytes": put.record.total_bytes,
+                "new_bytes": put.record.new_bytes,
+                "reused_bytes": put.record.reused_bytes,
+                "reused_fraction": round(put.record.reused_fraction, 4),
+            }, indent=2, sort_keys=True))
+        else:
+            print(put.summary())
+        return 0
+    if verb == "get":
+        blob = st.get(args.ref, verify=not args.no_verify)
+        if args.output:
+            with open(args.output, "wb") as fh:
+                fh.write(blob)
+            print(f"wrote {len(blob)} bytes to {args.output}")
+        else:
+            sys.stdout.buffer.write(blob)
+        return 0
+    if verb == "ls":
+        records = st.ls(args.workload)
+        if args.json:
+            print(json.dumps([
+                {"run_id": r.run_id, "workload": r.workload,
+                 "tenant": r.tenant, "nprocs": r.nprocs,
+                 "parent": r.parent or None,
+                 "golden": st.index.golden(r.workload) == r.run_id,
+                 "total_bytes": r.total_bytes,
+                 "reused_fraction": round(r.reused_fraction, 4)}
+                for r in records], indent=2, sort_keys=True))
+        elif records:
+            print_table(
+                f"trace store {st.root}",
+                ["run", "workload", "ranks", "bytes", "dedup", "golden"],
+                [(r.run_id, r.workload, r.nprocs, fmt_kb(r.total_bytes),
+                  f"{100 * r.reused_fraction:.0f}%",
+                  "*" if st.index.golden(r.workload) == r.run_id else "")
+                 for r in records])
+        else:
+            print(f"trace store {st.root}: no runs")
+        return 0
+    if verb == "diff":
+        # exit status follows GNU diff: 0 identical, 1 drifted
+        diff = st.diff(args.ref_a, args.ref_b)
+        if args.json:
+            print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(diff.summary())
+            for e in diff.drifted:
+                print(f"  {e.kind:8s} {e.name} "
+                      f"({e.a_size} -> {e.b_size} bytes)")
+        return 0 if diff.identical else 1
+    if verb == "drift":
+        pairs = st.drifted(args.workload)
+        if args.json:
+            print(json.dumps([d.as_dict() for _, d in pairs],
+                             indent=2, sort_keys=True))
+        else:
+            for _, diff in pairs:
+                print(diff.summary())
+            if not pairs:
+                print(f"{args.workload}: no runs besides the golden")
+        return 1 if any(not d.identical for _, d in pairs) else 0
+    if verb == "pin":
+        workload = st.pin_golden(args.run_id)
+        print(f"pinned {args.run_id} as golden for {workload!r}")
+        return 0
+    if verb == "gc":
+        from .store import apply_retention, gc
+        if args.keep_last:
+            report = apply_retention(st, args.keep_last,
+                                     workload=args.workload)
+            doc = report.as_dict()
+            gc_report = report.gc
+        else:
+            gc_report = gc(st, repair=args.repair)
+            doc = gc_report.as_dict()
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            if args.keep_last:
+                print(f"retention: kept {report.kept_runs} runs, "
+                      f"deleted {len(report.deleted_runs)}")
+            print(gc_report.summary())
+        return 0 if gc_report.conserved else 1
+    if verb == "stats":
+        stats = st.dedup_stats(args.workload)
+        objs = st.objects.stats()
+        if args.json:
+            doc = stats.as_dict()
+            doc["objects"] = {"count": objs.objects, "bytes": objs.bytes,
+                              "refs": objs.refs}
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print_table(
+                f"trace store {st.root}"
+                + (f" (workload {args.workload})" if args.workload else ""),
+                ["metric", "value"],
+                [("runs", stats.runs),
+                 ("logical bytes", fmt_kb(stats.logical_bytes)),
+                 ("stored bytes", fmt_kb(stats.stored_bytes)),
+                 ("dedup ratio", f"{stats.ratio:.2f}x"),
+                 ("objects", objs.objects),
+                 ("object refs", objs.refs)])
+        return 0
+    raise SystemExit(f"repro store: unknown verb {verb!r}")
 
 
 def cmd_info(args) -> int:
@@ -649,6 +797,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fuzz the ingest frame protocol instead: attack "
                         "a recorded client session stream; the reader "
                         "must raise structured errors, never crash")
+    p.add_argument("--store", action="store_true",
+                   help="fuzz the trace-store run manifests instead: "
+                        "corrupt hash refs and manifest fields against "
+                        "a live store; every failure must be a "
+                        "structured StoreFormatError, never a bare "
+                        "KeyError or FileNotFoundError")
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("serve",
@@ -666,6 +820,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="CHUNKS",
                    help="checkpoint a tenant's fold every N absorbed "
                         "chunks (0 = never; needs --checkpoint-dir)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="archive every completed fold into the trace "
+                        "store at DIR (workload == tenant, so repeated "
+                        "pushes dedup against each other)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("push",
@@ -696,6 +854,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None,
                    help="write the folded trace here")
     p.set_defaults(fn=cmd_push)
+
+    p = sub.add_parser("store",
+                       help="the content-addressed cross-run trace "
+                            "store (structural dedup, drift queries)")
+    store_sub = p.add_subparsers(dest="store_verb", required=True)
+
+    def _store_verb(name: str, help_: str, *, json_flag: bool = True):
+        sp = store_sub.add_parser(name, help=help_)
+        sp.add_argument("--root", metavar="DIR", default=None,
+                        help="store root (default: $REPRO_STORE or "
+                             ".repro-store)")
+        if json_flag:
+            sp.add_argument("--json", action="store_true",
+                            help="machine-readable JSON output")
+        sp.set_defaults(fn=cmd_store)
+        return sp
+
+    sp = _store_verb("put", "store a trace file as a run of a workload")
+    sp.add_argument("trace", help="serialized trace file to store")
+    sp.add_argument("-w", "--workload", required=True,
+                    help="workload key the run belongs to (runs of the "
+                         "same workload dedup against each other)")
+    sp.add_argument("--tenant", default="default")
+
+    sp = _store_verb("get", "reassemble a stored run's trace blob",
+                     json_flag=False)
+    sp.add_argument("ref", help="run id, WORKLOAD@latest, or "
+                                "WORKLOAD@golden")
+    sp.add_argument("-o", "--output", default=None,
+                    help="write here (default: stdout)")
+    sp.add_argument("--no-verify", action="store_true",
+                    help="skip per-section integrity re-verification")
+
+    sp = _store_verb("ls", "list stored runs")
+    sp.add_argument("workload", nargs="?", default=None)
+
+    sp = _store_verb("diff", "section-level diff of two runs "
+                             "(exit 0 identical, 1 drifted)")
+    sp.add_argument("ref_a")
+    sp.add_argument("ref_b")
+
+    sp = _store_verb("drift", "diff every run of a workload against "
+                              "its golden run")
+    sp.add_argument("workload")
+
+    sp = _store_verb("pin", "pin a run as its workload's golden run",
+                     json_flag=False)
+    sp.add_argument("run_id")
+
+    sp = _store_verb("gc", "sweep unreferenced blobs; audit refcount "
+                           "conservation (exit 1 on mismatch)")
+    sp.add_argument("--repair", action="store_true",
+                    help="rewrite mismatched refcount sidecars to the "
+                         "counts computed from the manifests")
+    sp.add_argument("--keep-last", type=int, default=0, metavar="N",
+                    help="first apply retention: keep each workload's "
+                         "newest N runs (golden always kept)")
+    sp.add_argument("--workload", default=None,
+                    help="restrict --keep-last to one workload")
+
+    sp = _store_verb("stats", "dedup ratio and object-store totals")
+    sp.add_argument("workload", nargs="?", default=None)
 
     p = sub.add_parser("info", help="summarize a trace file")
     p.add_argument("trace")

@@ -31,8 +31,9 @@ from .cst import CST, MergedCST, merge_csts
 from .decoder import TraceDecoder
 from .encoder import CommIdSpace, MemoryTable, PerRankEncoder
 from .errors import (ChecksumError, CorruptTraceError, FrameFormatError,
-                     MissingRankError, TraceFormatError, TruncatedTraceError,
-                     UnsupportedVersionError)
+                     MissingObjectError, MissingRankError, StoreFormatError,
+                     StoreIntegrityError, TraceFormatError,
+                     TruncatedTraceError, UnsupportedVersionError)
 from .fuzz import (FuzzOutcome, FuzzReport, corpus_mutations,
                    iter_blob_mutations, iter_mutations, run_fuzz)
 from .grammar import Grammar
@@ -45,7 +46,8 @@ from .shard import (GrammarSet, RankCompressor, RankShard, ShardPartial,
 from .symbolic import IdPool, ObjectIdTable, RequestIdAllocator
 from .timing import (BinClampWarning, TimingCompressor, TimingMeta,
                      bin_value, reconstruct_times, unbin_value)
-from .trace_format import TraceFile, section_spans
+from .trace_format import (TraceFile, section_hashes, section_spans,
+                           split_sections)
 from .tracer import TIMING_AGGREGATE, TIMING_LOSSY, PilgrimResult, PilgrimTracer
 from .verify import VerifyReport, verify_roundtrip, verify_workload
 
@@ -55,10 +57,11 @@ __all__ = [
     "CorruptTraceError", "DecodedCall", "FrameFormatError", "FuzzOutcome",
     "FuzzReport",
     "Grammar", "GrammarSet", "IdPool", "IntervalTree", "MemoryTable",
-    "MergedCST", "MissingRankError", "NullTracer", "ObjectIdTable",
-    "PerRankEncoder",
+    "MergedCST", "MissingObjectError", "MissingRankError", "NullTracer",
+    "ObjectIdTable", "PerRankEncoder",
     "PilgrimResult", "PilgrimTracer", "PipelineResult", "RankCompressor",
     "RankShard", "RawTracer", "RequestIdAllocator", "Sequitur", "ShardPartial",
+    "StoreFormatError", "StoreIntegrityError",
     "TIMING_AGGREGATE", "TIMING_LOSSY", "TimingCompressor", "TimingMeta",
     "TraceDecoder",
     "TraceFile", "TraceFormatError", "TracePipeline", "TracerOptions",
@@ -66,6 +69,7 @@ __all__ = [
     "available_backends", "bin_value", "corpus_mutations", "expand_rank",
     "iter_blob_mutations", "iter_mutations",
     "make_tracer", "merge_csts", "merge_grammars", "merge_shards",
-    "reconstruct_times", "run_fuzz", "section_spans", "sig_to_params",
+    "reconstruct_times", "run_fuzz", "section_hashes", "section_spans",
+    "sig_to_params", "split_sections",
     "tree_reduce", "unbin_value", "verify_roundtrip", "verify_workload",
 ]

@@ -58,6 +58,39 @@ class FrameFormatError(TraceFormatError):
     contract is the decoder's: structured errors only, never a crash."""
 
 
+class StoreFormatError(TraceFormatError):
+    """A trace-store artifact (run manifest, run index, refcount
+    sidecar) violates its on-disk contract.  Lives in the trace-error
+    hierarchy because the store reuses the v2 section writers — and
+    because the store's read paths inherit the decoder's contract:
+    structured errors only, never a bare ``KeyError`` and never a
+    leaked ``FileNotFoundError``."""
+
+
+class MissingObjectError(StoreFormatError):
+    """A manifest references a content hash the object store does not
+    hold (deleted out-of-band, or a corrupt hash ref).  Carries the
+    digest so callers can report exactly which blob is gone."""
+
+    def __init__(self, digest: str, detail: str = ""):
+        super().__init__(
+            f"object {digest[:12]}… is not in the store"
+            + (f" ({detail})" if detail else ""))
+        self.digest = digest
+
+
+class StoreIntegrityError(StoreFormatError):
+    """A stored object's bytes no longer hash to its address (on-disk
+    corruption caught by the read-path re-verification)."""
+
+    def __init__(self, digest: str, computed: str):
+        super().__init__(
+            f"object {digest[:12]}… failed integrity re-verification: "
+            f"stored bytes hash to {computed[:12]}…")
+        self.digest = digest
+        self.computed = computed
+
+
 class MissingRankError(CorruptTraceError):
     """A rank inside ``[0, nprocs)`` has no data in the trace — its
     entry is absent from the CFG rank map (typically a salvaged or

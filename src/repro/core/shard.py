@@ -232,6 +232,13 @@ class RankShard:
             emit_section(out, payload, compress)
         return bytes(out)
 
+    def content_hash(self, compress: bool = True) -> str:
+        """SHA-256 of the serialized shard — the content address a
+        trace store (or a shard cache) would file this shard under.
+        Serialization is deterministic, so equal shards hash equal."""
+        import hashlib
+        return hashlib.sha256(self.to_bytes(compress)).hexdigest()
+
     @classmethod
     def from_bytes(cls, data: bytes, salvage: bool = False) -> "RankShard":
         """Parse a shard blob.

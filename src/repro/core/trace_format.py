@@ -399,6 +399,12 @@ class TraceFile:
         sizes["total"] = sum(sizes.values())
         return sizes
 
+    def section_hashes(self, compress: bool = True) -> dict[str, str]:
+        """SHA-256 per serialized section — what the trace store would
+        address this trace's sections under (see :func:`section_hashes`
+        for the blob-level equivalent)."""
+        return section_hashes(self.to_bytes(compress))
+
 
 def section_spans(data: bytes) -> dict[str, tuple[int, int]]:
     """Byte spans ``name -> (start, end)`` of every region in a valid
@@ -427,6 +433,41 @@ def section_spans(data: bytes) -> dict[str, tuple[int, int]]:
         spans[f"{name}.payload"] = (r.pos, r.pos + n)
         r.read_bytes(n)
     return spans
+
+
+def split_sections(data: bytes) -> tuple[bytes, list[tuple[str, bytes]]]:
+    """Split a v2 blob into ``(header_bytes, [(name, section_bytes)])``
+    where each section's bytes cover its length prefix, CRC, and
+    payload — concatenating the header with the sections reproduces
+    *data* exactly (the trace store's reassembly invariant).
+
+    Only the framing is walked (no payload parsing); damage inside a
+    section surfaces later through its CRC.  Trailing bytes are
+    rejected so a reassembled blob can never silently grow.
+    """
+    spans = section_spans(data)
+    names = [n[:-len(".len")] for n in spans if n.endswith(".len")]
+    sections = []
+    end = HEADER_FIXED
+    for name in names:
+        start = spans[f"{name}.len"][0]
+        end = spans[f"{name}.payload"][1]
+        sections.append((name, data[start:end]))
+    if end != len(data):
+        raise CorruptTraceError(
+            f"{len(data) - end} trailing bytes after the last section")
+    header_end = spans[f"{names[0]}.len"][0] if names else len(data)
+    return data[:header_end], sections
+
+
+def section_hashes(data: bytes) -> dict[str, str]:
+    """SHA-256 content hash per section of a valid v2 blob — the free
+    content addresses the trace store keys its blobs on (section bytes
+    are deterministic, so identical runs hash identically)."""
+    import hashlib
+    _, sections = split_sections(data)
+    return {name: hashlib.sha256(blob).hexdigest()
+            for name, blob in sections}
 
 
 def _uvarint_bytes(n: int) -> bytes:

@@ -291,15 +291,21 @@ class TenantFold:
 
 
 class Aggregator:
-    """All tenant folds behind one server, with obs counters and
-    checkpoint persistence."""
+    """All tenant folds behind one server, with obs counters,
+    checkpoint persistence, and optional trace-store archival."""
 
     def __init__(self, *, metrics=None, recorder=None,
-                 checkpoint_dir: Optional[str] = None):
+                 checkpoint_dir: Optional[str] = None, store=None):
         registry = metrics if metrics is not None else NULL_REGISTRY
         self.obs = registry.scope("ingest")
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.checkpoint_dir = checkpoint_dir
+        #: a :class:`repro.store.TraceStore` (or None): every completed
+        #: fold is put as a run of workload == tenant, so successive
+        #: pushes of the same tenant dedup against each other
+        self.store = store
+        #: tenant -> run id of its most recently archived fold
+        self.stored_runs: dict[str, str] = {}
         self.tenants: dict[str, TenantFold] = {}
         self.folds_completed = 0
 
@@ -337,7 +343,27 @@ class Aggregator:
         if self.obs.enabled:
             self.obs.counter("folds").inc()
             self.obs.counter("trace_bytes").inc(len(blob))
+        if self.store is not None:
+            self._archive(tenant, blob)
         return blob
+
+    def _archive(self, tenant: str, blob: bytes) -> None:
+        """Persist a completed fold into the trace store.
+
+        Archival is best-effort relative to the client: the fold
+        succeeded and the RESULT frame must still go out, so a store
+        rejection (e.g. a tenant name outside the stricter workload
+        grammar) is counted, not raised."""
+        from ..core.errors import StoreFormatError
+        try:
+            put = self.store.put(blob, tenant, tenant=tenant)
+        except StoreFormatError:
+            if self.obs.enabled:
+                self.obs.counter("store_errors").inc()
+            return
+        self.stored_runs[tenant] = put.run_id
+        if self.obs.enabled:
+            self.obs.counter("stored_runs").inc()
 
     def discard(self, tenant: str) -> None:
         self.tenants.pop(tenant, None)

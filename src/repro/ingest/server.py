@@ -53,11 +53,13 @@ class IngestServer:
                  checkpoint_dir: Optional[str] = None,
                  checkpoint_every: int = 0,
                  window: int = DEFAULT_WINDOW,
-                 idle_timeout: float = 60.0):
+                 idle_timeout: float = 60.0,
+                 store=None):
         self.host = host
         self.port = port
         self.aggregator = aggregator if aggregator is not None else \
-            Aggregator(metrics=metrics, checkpoint_dir=checkpoint_dir)
+            Aggregator(metrics=metrics, checkpoint_dir=checkpoint_dir,
+                       store=store)
         self.registry = registry if registry is not None else \
             SessionRegistry()
         mreg = metrics if metrics is not None else NULL_REGISTRY

@@ -1,0 +1,137 @@
+"""Store maintenance — layer 4 (GC, retention, compaction).
+
+The GC is mark-sweep with an audit: it recomputes every object's
+expected refcount from the manifests that actually reference it, checks
+the sidecar counts *conserve* (stored == computed for every object — the
+property the ``store-smoke`` CI job asserts), then removes blobs no
+manifest references.  ``repair=True`` additionally rewrites any
+mismatched sidecar to the computed truth, so a store damaged by an
+interrupted delete heals on the next sweep.
+
+Retention is policy-driven pruning above the GC: keep the last N runs
+per workload (the golden run is always kept), delete the rest, then
+sweep.  Compaction is hygiene: stranded temp files and empty shard
+directories from interrupted puts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .repository import TraceStore
+
+
+@dataclass
+class GCReport:
+    """What one :func:`gc` sweep did and whether refcounts conserve."""
+
+    objects_before: int = 0
+    removed_objects: int = 0
+    removed_bytes: int = 0
+    #: refcount audit: every (digest, stored, computed) disagreement
+    mismatches: list[tuple[str, int, int]] = field(default_factory=list)
+    repaired: int = 0
+    pruned_entries: int = 0
+
+    @property
+    def conserved(self) -> bool:
+        """True when every sidecar refcount equals the count computed
+        from the manifests (after repair, if it ran)."""
+        return self.repaired == len(self.mismatches)
+
+    def as_dict(self) -> dict:
+        return {"objects_before": self.objects_before,
+                "removed_objects": self.removed_objects,
+                "removed_bytes": self.removed_bytes,
+                "refcounts_conserved": self.conserved,
+                "mismatches": [
+                    {"digest": d, "stored": s, "computed": c}
+                    for d, s, c in self.mismatches],
+                "repaired": self.repaired,
+                "pruned_entries": self.pruned_entries}
+
+    def summary(self) -> str:
+        status = "conserved" if self.conserved else "MISMATCHED"
+        return (f"gc: removed {self.removed_objects} of "
+                f"{self.objects_before} objects "
+                f"({self.removed_bytes} bytes), refcounts {status}"
+                + (f" ({len(self.mismatches)} mismatches"
+                   + (f", {self.repaired} repaired)" if self.repaired
+                      else ")")
+                   if self.mismatches else ""))
+
+
+@dataclass
+class RetentionReport:
+    """Runs dropped by a retention pass (before its GC sweep)."""
+
+    deleted_runs: list[str] = field(default_factory=list)
+    kept_runs: int = 0
+    gc: Optional[GCReport] = None
+
+    def as_dict(self) -> dict:
+        return {"deleted_runs": list(self.deleted_runs),
+                "kept_runs": self.kept_runs,
+                "gc": self.gc.as_dict() if self.gc else None}
+
+
+def compute_refcounts(store: TraceStore) -> dict[str, int]:
+    """Ground truth: every referenced digest's count, from the
+    manifests themselves."""
+    expected: dict[str, int] = {}
+    for run_id in store.index.all_runs():
+        for digest in store.read_record(run_id).digests():
+            expected[digest] = expected.get(digest, 0) + 1
+    return expected
+
+
+def gc(store: TraceStore, *, repair: bool = False) -> GCReport:
+    """Mark-sweep unreferenced blobs; audit refcount conservation."""
+    report = GCReport()
+    expected = compute_refcounts(store)
+    for digest in list(store.objects.iter_digests()):
+        report.objects_before += 1
+        stored = store.objects.refcount(digest)
+        computed = expected.get(digest, 0)
+        if stored != computed:
+            report.mismatches.append((digest, stored, computed))
+            if repair:
+                store.objects.set_refcount(digest, computed)
+                report.repaired += 1
+        if computed == 0:
+            report.removed_bytes += store.objects.delete(digest)
+            report.removed_objects += 1
+    report.pruned_entries = store.objects.prune()
+    if store.obs.enabled:
+        store.obs.counter("gc_runs").inc()
+        store.obs.counter("gc_removed_objects").inc(
+            report.removed_objects)
+        store.obs.counter("gc_removed_bytes").inc(report.removed_bytes)
+    return report
+
+
+def apply_retention(store: TraceStore, keep_last: int, *,
+                    workload: Optional[str] = None,
+                    sweep: bool = True) -> RetentionReport:
+    """Keep each workload's newest *keep_last* runs (golden always
+    kept), delete the rest, then GC unless ``sweep=False``."""
+    if keep_last < 1:
+        raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+    report = RetentionReport()
+    workloads = [workload] if workload else store.index.workloads()
+    for w in workloads:
+        runs = store.index.runs(w)
+        golden = store.index.golden(w)
+        keep = set(runs[-keep_last:])
+        if golden:
+            keep.add(golden)
+        for rid in runs:
+            if rid in keep:
+                report.kept_runs += 1
+            else:
+                store.delete_run(rid)
+                report.deleted_runs.append(rid)
+    if sweep:
+        report.gc = gc(store)
+    return report

@@ -1,0 +1,248 @@
+"""Content-addressed object store — layer 1 (the on-disk CAS).
+
+Every unique blob lives exactly once under its SHA-256 address::
+
+    <root>/objects/<aa>/<bb...64 hex...>        the blob
+    <root>/objects/<aa>/<bb...64 hex...>.refs   ascii refcount sidecar
+
+Guarantees:
+
+* **Atomic writes** — blobs land via ``write to tmp + os.replace``, so
+  a crashed ``put`` never leaves a half-written object under a valid
+  address (readers either see the whole blob or nothing).
+* **Idempotent put** — storing bytes already present is a metadata-only
+  operation (the dedup *hit* the obs counters track).
+* **Integrity re-verification on read** — ``get`` re-hashes the bytes
+  and raises :class:`~repro.core.errors.StoreIntegrityError` when the
+  disk no longer matches the address; a missing object raises
+  :class:`~repro.core.errors.MissingObjectError`, never a bare
+  ``FileNotFoundError``.
+* **Refcounts** — one count per manifest reference, kept in sidecar
+  files next to each blob so the GC can both trust and audit them
+  (mark-sweep over the manifests cross-checks the sidecars; see
+  :mod:`repro.store.maintenance`).
+
+Imports only :mod:`repro.core` — the bottom of the store's upward-only
+dependency chain (pinned by ``tests/test_store.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import (MissingObjectError, StoreFormatError,
+                           StoreIntegrityError)
+
+#: length of a hex SHA-256 digest (the only valid address form)
+DIGEST_HEX = 64
+
+
+def hash_blob(blob: bytes) -> str:
+    """The content address of *blob* (hex SHA-256)."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def validate_digest(digest: str) -> str:
+    """Reject anything that is not a full lowercase hex SHA-256 — a
+    corrupt manifest must fail structurally, not resolve to a bogus
+    path."""
+    if (not isinstance(digest, str) or len(digest) != DIGEST_HEX
+            or any(c not in "0123456789abcdef" for c in digest)):
+        raise StoreFormatError(
+            f"invalid object address {digest!r} (want {DIGEST_HEX} "
+            f"lowercase hex chars)")
+    return digest
+
+
+@dataclass
+class ObjectStats:
+    """What :meth:`ObjectStore.stats` reports."""
+
+    objects: int = 0
+    bytes: int = 0
+    refs: int = 0
+
+
+class ObjectStore:
+    """Sharded on-disk CAS with refcount sidecars."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.objects_dir = os.path.join(root, "objects")
+
+    # -- paths ---------------------------------------------------------------------
+
+    def path_for(self, digest: str) -> str:
+        """The on-disk path a digest's blob lives at (for tooling and
+        tests; the file may not exist)."""
+        return self._path(digest)
+
+    def _path(self, digest: str) -> str:
+        validate_digest(digest)
+        return os.path.join(self.objects_dir, digest[:2], digest[2:])
+
+    def _refs_path(self, digest: str) -> str:
+        return self._path(digest) + ".refs"
+
+    # -- blobs ---------------------------------------------------------------------
+
+    def put(self, blob: bytes) -> tuple[str, bool]:
+        """Store *blob* under its content address; returns
+        ``(digest, created)`` where *created* is False on a dedup hit.
+        The write is atomic and never observed half-done."""
+        digest = hash_blob(blob)
+        path = self._path(digest)
+        if os.path.exists(path):
+            return digest, False
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-put-",
+                                   dir=os.path.dirname(path))
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return digest, True
+
+    def get(self, digest: str, *, verify: bool = True) -> bytes:
+        """Read the blob at *digest*, re-verifying its integrity by
+        default (a store that lies about content addresses is worse
+        than no store)."""
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            raise MissingObjectError(digest) from None
+        if verify:
+            computed = hash_blob(blob)
+            if computed != digest:
+                raise StoreIntegrityError(digest, computed)
+        return blob
+
+    def contains(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest))
+
+    def size(self, digest: str) -> int:
+        try:
+            return os.path.getsize(self._path(digest))
+        except FileNotFoundError:
+            raise MissingObjectError(digest) from None
+
+    def delete(self, digest: str) -> int:
+        """Remove a blob and its refcount sidecar; returns the freed
+        byte count (0 when already absent — delete is idempotent so a
+        GC interrupted mid-sweep can simply run again)."""
+        path = self._path(digest)
+        try:
+            n = os.path.getsize(path)
+            os.unlink(path)
+        except FileNotFoundError:
+            n = 0
+        try:
+            os.unlink(path + ".refs")
+        except FileNotFoundError:
+            pass
+        return n
+
+    def iter_digests(self) -> Iterator[str]:
+        """Every stored content address (filesystem order is not
+        meaningful; callers sort when determinism matters)."""
+        if not os.path.isdir(self.objects_dir):
+            return
+        for shard in sorted(os.listdir(self.objects_dir)):
+            shard_dir = os.path.join(self.objects_dir, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".refs") or name.startswith(".tmp-"):
+                    continue
+                if len(shard + name) == DIGEST_HEX:
+                    yield shard + name
+
+    # -- refcounts -----------------------------------------------------------------
+
+    def refcount(self, digest: str) -> int:
+        """The sidecar refcount (0 when the sidecar is absent)."""
+        try:
+            with open(self._refs_path(digest)) as fh:
+                raw = fh.read().strip()
+        except FileNotFoundError:
+            return 0
+        try:
+            count = int(raw)
+        except ValueError:
+            raise StoreFormatError(
+                f"refcount sidecar for {digest[:12]}… holds {raw!r}, "
+                f"not an integer") from None
+        if count < 0:
+            raise StoreFormatError(
+                f"refcount sidecar for {digest[:12]}… is negative "
+                f"({count})")
+        return count
+
+    def _write_refcount(self, digest: str, count: int) -> None:
+        path = self._refs_path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-ref-",
+                                   dir=os.path.dirname(path))
+        with os.fdopen(fd, "w") as fh:
+            fh.write(f"{count}\n")
+        os.replace(tmp, path)
+
+    def incref(self, digest: str, by: int = 1) -> int:
+        if not self.contains(digest):
+            raise MissingObjectError(digest, "cannot reference")
+        count = self.refcount(digest) + by
+        self._write_refcount(digest, count)
+        return count
+
+    def decref(self, digest: str, by: int = 1) -> int:
+        count = max(0, self.refcount(digest) - by)
+        if self.contains(digest):
+            self._write_refcount(digest, count)
+        return count
+
+    def set_refcount(self, digest: str, count: int) -> None:
+        """Force a refcount (the GC's repair path after an audit)."""
+        if count < 0:
+            raise StoreFormatError(f"refcount {count} < 0")
+        self._write_refcount(digest, count)
+
+    # -- stats / hygiene -----------------------------------------------------------
+
+    def stats(self) -> ObjectStats:
+        out = ObjectStats()
+        for digest in self.iter_digests():
+            out.objects += 1
+            out.bytes += os.path.getsize(self._path(digest))
+            out.refs += self.refcount(digest)
+        return out
+
+    def prune(self) -> int:
+        """Remove stranded temp files and empty shard dirs (debris from
+        interrupted puts); returns how many entries were cleaned."""
+        cleaned = 0
+        if not os.path.isdir(self.objects_dir):
+            return 0
+        for shard in sorted(os.listdir(self.objects_dir)):
+            shard_dir = os.path.join(self.objects_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.startswith(".tmp-"):
+                    os.unlink(os.path.join(shard_dir, name))
+                    cleaned += 1
+            if not os.listdir(shard_dir):
+                os.rmdir(shard_dir)
+                cleaned += 1
+        return cleaned

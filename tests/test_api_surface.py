@@ -22,7 +22,7 @@ SNAPSHOT = Path(__file__).parent / "data" / "api_surface.json"
 
 #: the callables whose signatures form the contract
 PINNED_FUNCTIONS = ["trace", "decode", "verify", "compare", "bench",
-                    "serve", "push"]
+                    "serve", "push", "store"]
 
 
 def _describe_signature(fn) -> dict:
@@ -61,10 +61,10 @@ def test_api_surface_matches_snapshot():
 
 def test_facade_is_reexported_from_package_root():
     for name in PINNED_FUNCTIONS:
-        if name == "bench":
-            # the bench subpackage doubles as the facade verb (callable
-            # module), so the submodule import cannot shadow the API
-            assert callable(repro.bench)
+        if name in ("bench", "store"):
+            # these subpackages double as their facade verbs (callable
+            # modules), so the submodule import cannot shadow the API
+            assert callable(getattr(repro, name))
             continue
         assert getattr(repro, name) is getattr(api, name)
     assert "TracerOptions" in repro.__all__
