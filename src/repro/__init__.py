@@ -13,7 +13,9 @@ re-exported here::
 Packages:
 
 * :mod:`repro.api` — the stable facade (trace/decode/verify/compare/
-  bench); its signatures are snapshot-pinned in CI.
+  bench/replay); its signatures are snapshot-pinned in CI.
+* :mod:`repro.replay` — trace re-execution: the fixed-point replayer
+  and the what-if divergence engine (``repro.replay(...)``).
 * :mod:`repro.mpisim` — the simulated MPI runtime (substrate).
 * :mod:`repro.core` — the Pilgrim tracer: CST + Sequitur CFG compression,
   symbolic ids, timing grammars, inter-process merge, decoder.
@@ -30,8 +32,9 @@ Packages:
   phase profiler, and the runtime event log.
 """
 
-from .api import (TraceResult, TracerOptions, VerifyReport, compare,
-                  decode, push, serve, store, trace, verify)
+from .api import (ReplayOptions, ReplayResult, TraceResult, TracerOptions,
+                  VerifyReport, compare, decode, push, replay, serve,
+                  store, trace, verify)
 from .resilience import FaultPlan, RetryPolicy, SalvageReport
 
 # ``repro.bench`` is the benchmark subpackage, made callable so it also
@@ -41,7 +44,8 @@ from . import bench
 __version__ = "1.1.0"
 
 __all__ = [
-    "FaultPlan", "RetryPolicy", "SalvageReport", "TraceResult",
-    "TracerOptions", "VerifyReport", "bench", "compare", "decode",
-    "push", "serve", "store", "trace", "verify", "__version__",
+    "FaultPlan", "ReplayOptions", "ReplayResult", "RetryPolicy",
+    "SalvageReport", "TraceResult", "TracerOptions", "VerifyReport",
+    "bench", "compare", "decode", "push", "replay", "serve", "store",
+    "trace", "verify", "__version__",
 ]

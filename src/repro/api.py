@@ -22,6 +22,10 @@ a handful of verbs, re-exported from the ``repro`` top level:
 ``push``       run a workload while streaming partial shards to an
                ingest server; the folded trace comes back byte-identical
                to the in-process run
+``replay``     re-execute a trace — identical conditions (the fixed
+               point) or what-if perturbations (network, faults, rank
+               extrapolation) — and report first-divergence points;
+               returns a :class:`~repro.replay.ReplayResult`
 =============  ========================================================
 
 The CLI (:mod:`repro.cli`), the experiment runner
@@ -48,13 +52,15 @@ from typing import Any, Optional, Union
 from .core.backends import TracerOptions, make_tracer
 from .core.decoder import TraceDecoder
 from .core.verify import VerifyReport, verify_roundtrip
+from .replay.divergence import ReplayOptions, ReplayResult, run_divergence
 from .resilience.faults import FaultInjector, arm
 from .workloads import make as _make_workload
 
 __all__ = [
-    "TraceResult", "TracerOptions", "VerifyReport",
-    "bench", "compare", "decode", "push", "serve", "store", "trace",
-    "verify",
+    "ReplayOptions", "ReplayResult", "TraceResult", "TracerOptions",
+    "VerifyReport",
+    "bench", "compare", "decode", "push", "replay", "serve", "store",
+    "trace", "verify",
 ]
 
 #: TracerOptions fields that used to travel as loose keyword arguments;
@@ -401,3 +407,47 @@ def push(workload: str, nprocs: int = 8, *,
     return _push(workload, nprocs, host=host, port=port, tenant=tenant,
                  seed=seed, options=options, chunk_calls=chunk_calls,
                  params=params, noise=noise)
+
+
+#: ReplayOptions fields that used to travel as loose keyword arguments
+#: to the internal replay helpers; honored here for one release with a
+#: DeprecationWarning, then removed
+_LEGACY_REPLAY_KEYS = frozenset({
+    "seed", "noise", "net", "fault_plan", "fault_seed",
+    "extrapolate_ranks", "node_size", "spans",
+})
+
+
+def replay(trace: Union[bytes, str, os.PathLike], *,
+           options: Optional[ReplayOptions] = None,
+           **legacy) -> ReplayResult:
+    """Re-execute a trace blob (or file) and report divergences.
+
+    With default :class:`~repro.replay.ReplayOptions` the replay is
+    fully directed — the fixed-point check in report form, guaranteed
+    ``diverged == False``.  Setting ``net=``, ``fault_plan=``, or
+    ``extrapolate_ranks=`` on the options object runs the what-if
+    engine: relaxed replay under the modified conditions, with the
+    lockstep comparator reporting the first call per rank whose outcome
+    left the record.  See :func:`repro.replay.run_divergence`.
+
+    The historical loose keywords (``seed=``, ``net=``, ...) are still
+    accepted and folded into the options object with a
+    :class:`DeprecationWarning`; unknown keywords raise ``TypeError``.
+    """
+    if legacy:
+        unknown = sorted(set(legacy) - _LEGACY_REPLAY_KEYS)
+        if unknown:
+            raise TypeError(f"replay() got unexpected keyword "
+                            f"argument(s) {unknown}")
+        warnings.warn(
+            f"passing {sorted(legacy)} to repro.api.replay() as loose "
+            f"keywords is deprecated; set them on ReplayOptions(...) "
+            f"and pass options=",
+            DeprecationWarning, stacklevel=2)
+        base = options if options is not None else ReplayOptions()
+        options = replace(base, **legacy)
+    if isinstance(trace, (str, os.PathLike)):
+        with open(trace, "rb") as fh:
+            trace = fh.read()
+    return run_divergence(trace, options)

@@ -1,0 +1,54 @@
+"""Replay microbenchmark.
+
+Times the re-execution side: a directed replay with the lockstep
+comparator attached (exactly what ``repro replay`` / ``api.replay``
+runs on the identical-conditions path).  Trace blobs are captured once
+at setup; the headline metric is ``replay_ms_per_call`` — divergence
+checking cost per recorded MPI call, aggregated across families — so
+the number stays comparable as family call counts evolve.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..core.backends import TracerOptions, make_tracer
+from ..core.decoder import TraceDecoder
+from ..workloads import make
+from . import register
+from .hotpath import DEFAULT_FAMILIES
+
+
+@register("replay", "directed replay + lockstep divergence check time")
+def _replay(params: dict):
+    from ..replay.divergence import run_divergence
+    families = list(params.setdefault("families", list(DEFAULT_FAMILIES)))
+    nprocs = int(params.setdefault("nprocs", 8))
+    seed = int(params.setdefault("seed", 1))
+    blobs = []
+    total_calls = 0
+    for fam in families:
+        tracer = make_tracer("pilgrim", TracerOptions())
+        make(fam, nprocs).run(seed=seed, tracer=tracer)
+        blob = tracer.result.trace_bytes
+        calls = TraceDecoder.from_bytes(blob).call_count()
+        total_calls += calls
+        blobs.append((fam, blob))
+
+    def sample() -> dict:
+        out: dict = {}
+        total_ms = 0.0
+        for fam, blob in blobs:
+            start = perf_counter()
+            res = run_divergence(blob)
+            ms = (perf_counter() - start) * 1e3
+            if res.diverged:  # a diverged fixed point is a broken bench
+                raise RuntimeError(
+                    f"identical-conditions replay of {fam} diverged: "
+                    f"{res.summary()}")
+            out[f"{fam}.replay_ms"] = ms
+            total_ms += ms
+        out["replay_ms_per_call"] = total_ms / max(total_calls, 1)
+        return out
+
+    return sample

@@ -10,7 +10,9 @@ The workflows a downstream user actually runs:
 * ``fuzz``     — corruption-fuzz the decoder (structured errors only)
 * ``info``     — summarize a trace file (sizes, signatures, grammars)
 * ``dump``     — decode a trace to flat text (or OTF-style events)
-* ``replay``   — re-execute a trace on a fresh simulated world
+* ``replay``   — re-execute a trace, as recorded or under what-if
+  conditions (``--net``/``--fault-plan``/``--extrapolate-ranks``) with
+  a first-divergence report; exit 0 = matched, 1 = diverged, 2 = error
 * ``miniapp``  — generate a proxy mini-app from a trace
 * ``bench``    — run registered microbenchmarks, optionally gating a
   stored baseline (``--compare ... --max-regression PCT``)
@@ -241,6 +243,16 @@ def cmd_fuzz(args) -> int:
         args.workload, args.procs, seed=args.seed,
         params=_parse_params(args.param),
         options=TracerOptions(lossy_timing=args.lossy_timing)).trace_bytes
+    if args.replay:
+        from .replay import run_replay_fuzz
+        report = run_replay_fuzz(blob, seed=args.fuzz_seed,
+                                 n_random=args.mutations)
+        print(f"{args.workload} ({args.procs} ranks, {len(blob)} byte "
+              f"trace, replay mode)")
+        print(report.summary())
+        for failure in report.failures[:20]:
+            print(f"  {failure}")
+        return 0 if report.ok else 1
     report = run_fuzz(blob, seed=args.fuzz_seed, n_random=args.mutations,
                       salvage=args.salvage)
     print(f"{args.workload} ({args.procs} ranks, {len(blob)} byte trace"
@@ -473,16 +485,55 @@ def cmd_dump(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    blob = open(args.trace, "rb").read()
-    tracer = make_tracer("pilgrim") if args.check else None
-    result = replay_trace(blob, seed=args.seed, tracer=tracer)
-    print(f"replayed {result.nprocs} ranks, virtual makespan "
-          f"{result.app_time * 1e3:.3f} ms")
-    if args.check:
-        ok = structurally_equal(blob, tracer.result.trace_bytes)
-        print(f"structural fixed point: {'OK' if ok else 'FAILED'}")
-        return 0 if ok else 1
-    return 0
+    """Re-execute a trace, optionally under what-if conditions.
+
+    Exit status follows the GNU diff convention: 0 = replay matched the
+    record (no divergence), 1 = diverged, 2 = error (unreadable trace,
+    bad option spec, unreplayable stream).
+    """
+    from .replay import ReplayOptions, run_divergence
+    try:
+        blob = open(args.trace, "rb").read()
+    except OSError as e:
+        print(f"repro replay: cannot open {args.trace}: "
+              f"{e.strerror or e}", file=sys.stderr)
+        return 2
+    try:
+        if args.check:
+            # legacy fixed-point mode: re-trace the replay, compare blobs
+            tracer = make_tracer("pilgrim")
+            result = replay_trace(blob, seed=args.seed, tracer=tracer)
+            print(f"replayed {result.nprocs} ranks, virtual makespan "
+                  f"{result.app_time * 1e3:.3f} ms")
+            ok = structurally_equal(blob, tracer.result.trace_bytes)
+            print(f"structural fixed point: {'OK' if ok else 'FAILED'}")
+            return 0 if ok else 1
+        opts = ReplayOptions(
+            seed=args.seed, noise=args.noise, net=args.net,
+            fault_plan=args.fault_plan or None,
+            fault_seed=args.fault_seed,
+            extrapolate_ranks=args.extrapolate_ranks,
+            spans=bool(args.spans))
+        res = run_divergence(blob, opts)
+    except (TraceFormatError, ValueError) as e:
+        print(f"repro replay: {type(e).__name__}: {e}", file=sys.stderr)
+        return 2
+    if args.report:
+        res.write_report(args.report)
+    if args.spans:
+        res.write_spans(args.spans)
+    if args.json:
+        print(json.dumps(res.report_dict(), indent=2, sort_keys=True))
+    else:
+        mode = "what-if" if opts.what_if else "directed"
+        print(f"replayed {res.nprocs} ranks ({mode}), virtual makespan "
+              f"{res.run.app_time * 1e3:.3f} ms")
+        for fired in res.fired_faults:
+            print(f"  fault fired: {fired}")
+        print(res.summary())
+        for pt in res.report.points:
+            print(f"  {pt.describe()}")
+    return 1 if res.diverged else 0
 
 
 def cmd_miniapp(args) -> int:
@@ -803,6 +854,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "a live store; every failure must be a "
                         "structured StoreFormatError, never a bare "
                         "KeyError or FileNotFoundError")
+    p.add_argument("--replay", action="store_true",
+                   help="fuzz the replay engine instead: every mutated "
+                        "trace must either raise a structured "
+                        "TraceFormatError or replay cleanly, never "
+                        "crash the replayer")
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("serve",
@@ -934,11 +990,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="OTF-style ENTER/LEAVE events instead of calls")
     p.set_defaults(fn=cmd_dump)
 
-    p = sub.add_parser("replay", help="re-execute a trace")
+    p = sub.add_parser("replay",
+                       help="re-execute a trace, as recorded or under "
+                            "what-if conditions (exit 0 = matched, "
+                            "1 = diverged, 2 = error)")
     p.add_argument("trace")
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0,
+                   help="replay simulator seed (completion-order RNG)")
+    p.add_argument("--noise", type=float, default=0.0,
+                   help="compute-time noise std-dev during the replay")
+    p.add_argument("--net", metavar="SPEC", default=None,
+                   help="what-if network override, e.g. "
+                        "alpha=1.5e-6,beta=3e-10[,overhead=..]")
+    p.add_argument("--fault-plan", metavar="PLAN", default=None,
+                   help="what-if fault injection, e.g. "
+                        "'delay@sched*4:rank=2' (see 'repro faults')")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault plan (default 0)")
+    p.add_argument("--extrapolate-ranks", type=int, default=None,
+                   metavar="N",
+                   help="replay on N ranks instead of the recorded "
+                        "count (single-pattern SPMD traces only)")
+    p.add_argument("--json", action="store_true",
+                   help="print the divergence report as canonical JSON")
+    p.add_argument("--report", metavar="FILE",
+                   help="also write the JSON divergence report to FILE")
+    p.add_argument("--spans", metavar="FILE",
+                   help="record replay phase spans and write them as "
+                        "JSONL to FILE (render with 'repro stats "
+                        "--spans')")
     p.add_argument("--check", action="store_true",
-                   help="re-trace the replay and verify the fixed point")
+                   help="legacy fixed-point mode: re-trace the replay "
+                        "and compare trace bytes")
     p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser("miniapp", help="generate a proxy mini-app")

@@ -31,8 +31,8 @@ from .cst import CST, MergedCST, merge_csts
 from .decoder import TraceDecoder
 from .encoder import CommIdSpace, MemoryTable, PerRankEncoder
 from .errors import (ChecksumError, CorruptTraceError, FrameFormatError,
-                     MissingObjectError, MissingRankError, StoreFormatError,
-                     StoreIntegrityError, TraceFormatError,
+                     MissingObjectError, MissingRankError, ReplayFormatError,
+                     StoreFormatError, StoreIntegrityError, TraceFormatError,
                      TruncatedTraceError, UnsupportedVersionError)
 from .fuzz import (FuzzOutcome, FuzzReport, corpus_mutations,
                    iter_blob_mutations, iter_mutations, run_fuzz)
@@ -58,6 +58,7 @@ __all__ = [
     "FuzzReport",
     "Grammar", "GrammarSet", "IdPool", "IntervalTree", "MemoryTable",
     "MergedCST", "MissingObjectError", "MissingRankError", "NullTracer",
+    "ReplayFormatError",
     "ObjectIdTable", "PerRankEncoder",
     "PilgrimResult", "PilgrimTracer", "PipelineResult", "RankCompressor",
     "RankShard", "RawTracer", "RequestIdAllocator", "Sequitur", "ShardPartial",

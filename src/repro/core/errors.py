@@ -91,6 +91,16 @@ class StoreIntegrityError(StoreFormatError):
         self.computed = computed
 
 
+class ReplayFormatError(CorruptTraceError):
+    """A trace parsed cleanly but cannot be *re-executed*: its decoded
+    call stream is internally inconsistent (a request completed twice,
+    an unknown communicator id, a construction order that derives
+    different ids than were recorded, a call with no replay handler).
+    Lives in the trace-error hierarchy because the replay engine is a
+    read path like any other — fuzzed traces must produce structured
+    errors, never a bare ``MpiSimError``/``AssertionError``/crash."""
+
+
 class MissingRankError(CorruptTraceError):
     """A rank inside ``[0, nprocs)`` has no data in the trace — its
     entry is absent from the CFG rank map (typically a salvaged or

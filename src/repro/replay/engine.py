@@ -36,11 +36,12 @@ from typing import Any, Optional
 from ..mpisim import constants as C
 from ..mpisim.comm import Comm
 from ..mpisim.datatypes import BUILTINS, Datatype
-from ..mpisim.errors import MpiSimError
+from ..mpisim.errors import MpiSimError, RankProgramError
 from ..mpisim.group import Group
 from ..mpisim.ops import ALL_OPS
 from ..mpisim.runtime import RankAPI, SimMPI
 from ..core.decoder import TraceDecoder
+from ..core.errors import ReplayFormatError, TraceFormatError
 from ..core.encoder import (CommIdSpace, PTR_DEVICE, PTR_HEAP, PTR_NULL,
                             PTR_STACK, WinIdSpace)
 from ..core.relative import decode as rel_decode
@@ -80,7 +81,7 @@ class ReplayState:
         """Backwards-compatible shim (bindings are per rank now); still
         validates the derivation."""
         if comm is not None and self.comm_space.sym_for(comm) != sym:
-            raise MpiSimError(
+            raise ReplayFormatError(
                 f"replay diverged: recorded comm id {sym} does not match "
                 f"the replayed construction order")
 
@@ -93,12 +94,29 @@ class RankReplayer:
     prescan discovers the memory segments so they can be materialized in
     ascending symbolic-id order — preserving the tracer's id assignment
     and hence the fixed-point property — then the replay pass runs).
+
+    ``directed=True`` (the default) pins every nondeterministic choice —
+    Wait*/Test* completion picks and wildcard receive sources — to the
+    recorded outcome, which is what makes the fixed point hold.
+    ``directed=False`` relaxes exactly those choices to the live
+    simulator (the what-if mode of :mod:`repro.replay.divergence`):
+    wildcard receives match in live arrival order and Waitany/Waitsome
+    pick from the live completion set, while Test* flags stay recorded
+    so the call *count* is conserved and empty polls cannot livelock.
+
+    ``strict_ids=False`` drops the id-agreement validation (recorded
+    comm/win ids vs the replayed construction order) — required when
+    replaying onto a different world size, where the derivation
+    legitimately differs.
     """
 
-    def __init__(self, rank: int, state: ReplayState, calls) -> None:
+    def __init__(self, rank: int, state: ReplayState, calls, *,
+                 directed: bool = True, strict_ids: bool = True) -> None:
         self.rank = rank
         self.state = state
         self._calls = calls
+        self.directed = directed
+        self.strict_ids = strict_ids
         # per-rank symbolic bindings
         self.type_map: dict[int, Datatype] = {}
         self.group_map: dict[int, Group] = {}
@@ -120,11 +138,12 @@ class RankReplayer:
     def bind_comm(self, sym: int, comm: Optional[Comm]) -> None:
         if comm is None:
             return
-        derived = self.state.comm_space.sym_for(comm)
-        if derived != sym:
-            raise MpiSimError(
-                f"replay diverged: recorded comm id {sym} but the replayed "
-                f"construction order derives {derived}")
+        if self.strict_ids:
+            derived = self.state.comm_space.sym_for(comm)
+            if derived != sym:
+                raise ReplayFormatError(
+                    f"replay diverged: recorded comm id {sym} but the "
+                    f"replayed construction order derives {derived}")
         self.comm_map[sym] = comm
 
     def comm(self, sym: int) -> Optional[Comm]:
@@ -133,23 +152,26 @@ class RankReplayer:
         try:
             return self.comm_map[sym]
         except KeyError:
-            raise MpiSimError(f"replay references unknown comm id {sym}")
+            raise ReplayFormatError(
+                f"replay references unknown comm id {sym}")
 
     def bind_win(self, sym: int, win) -> None:
         if win is None:
             return
-        derived = self.state.win_space.sym_for(win)
-        if derived != sym:
-            raise MpiSimError(
-                f"replay diverged: recorded win id {sym} but the replayed "
-                f"construction order derives {derived}")
+        if self.strict_ids:
+            derived = self.state.win_space.sym_for(win)
+            if derived != sym:
+                raise ReplayFormatError(
+                    f"replay diverged: recorded win id {sym} but the "
+                    f"replayed construction order derives {derived}")
         self.win_map[sym] = win
 
     def win(self, sym: int):
         try:
             return self.win_map[sym]
         except KeyError:
-            raise MpiSimError(f"replay references unknown win id {sym}")
+            raise ReplayFormatError(
+                f"replay references unknown win id {sym}")
 
     def _call_stream(self):
         return self._calls() if callable(self._calls) else iter(self._calls)
@@ -262,11 +284,12 @@ class RankReplayer:
             try:
                 return BUILTINS[sym]
             except KeyError:
-                raise MpiSimError(f"unknown builtin datatype {sym}")
+                raise ReplayFormatError(f"unknown builtin datatype {sym}")
         try:
             return self.type_map[sym]
         except KeyError:
-            raise MpiSimError(f"replay references unknown datatype {sym}")
+            raise ReplayFormatError(
+                f"replay references unknown datatype {sym}")
 
     def _buffer(self, m: RankAPI, enc: tuple, nbytes: int) -> int:
         """Materialize a recorded pointer encoding as a live address."""
@@ -291,7 +314,7 @@ class RankReplayer:
         if kind == PTR_STACK:
             # a synthetic sub-heap address, stable per stack id
             return self.stack_base + enc[1] * 16
-        raise MpiSimError(f"unknown pointer encoding {enc!r}")
+        raise ReplayFormatError(f"unknown pointer encoding {enc!r}")
 
     def _status_source(self, st_enc, ctx: int) -> Optional[int]:
         """Recorded completion source (directed replay of ANY_SOURCE)."""
@@ -339,7 +362,7 @@ class RankReplayer:
             elif call.fname in _QUERY_CALLS:
                 yield from self._replay_query(m, call.fname, call.params)
             else:
-                raise MpiSimError(
+                raise ReplayFormatError(
                     f"replay has no handler for {call.fname}")
 
     def _replay_query(self, m: RankAPI, fname: str, p: dict):
@@ -421,7 +444,7 @@ def _h_recv(r, m, p):
     src = r._rankval(p["source"], ctx)
     tag = r._rankval(p["tag"], ctx)
     directed = None
-    if src == C.ANY_SOURCE:
+    if src == C.ANY_SOURCE and r.directed:
         # directed replay: receive from the recorded completion source
         directed = r._status_source(p.get("status"), ctx)
     status = True if p.get("status") is not None else None
@@ -437,7 +460,7 @@ def _h_irecv(r, m, p):
     src = r._rankval(p["source"], ctx)
     tag = r._rankval(p["tag"], ctx)
     directed = None
-    if p["source"] == r._ANY_SOURCE_ENC:
+    if p["source"] == r._ANY_SOURCE_ENC and r.directed:
         key = tuple(p["request"])
         occ = r._any_occ.get(key, 0)
         r._any_occ[key] = occ + 1
@@ -460,7 +483,7 @@ def _h_sendrecv(r, m, p):
     rbuf = r._buffer(m, p["recvbuf"], p["recvcount"] * rtype.size)
     src = r._rankval(p["source"], ctx)
     directed = None
-    if src == C.ANY_SOURCE:
+    if src == C.ANY_SOURCE and r.directed:
         directed = r._status_source(p.get("status"), ctx)
     status = True if p.get("status") is not None else None
     yield from m.sendrecv(
@@ -475,7 +498,7 @@ def _h_probe(r, m, p):
     ctx = r._ctx_rank(comm)
     src = r._rankval(p["source"], ctx)
     directed = None
-    if src == C.ANY_SOURCE:
+    if src == C.ANY_SOURCE and r.directed:
         directed = r._status_source(p.get("status"), ctx)
     yield from m.probe(src, r._rankval(p["tag"], ctx), comm,
                        directed_source=directed)
@@ -501,11 +524,21 @@ def _h_waitall(r, m, p):
 
 
 def _h_waitany(r, m, p):
-    """Directed: complete the *recorded* entry, via a real MPI_Waitany."""
+    """Directed: complete the *recorded* entry, via a real MPI_Waitany.
+    Relaxed: let the live runtime pick, then release what it picked."""
     idx = p["index"]
     syms = p["array_of_requests"] or ()
     reqs = [r._take_req(sym) for sym in syms]
     status = True if p.get("status") is not None else None
+    if not r.directed:
+        got = yield from m.waitany(reqs if reqs else [None], status=status)
+        live_idx = got[0] if isinstance(got, tuple) else got
+        if isinstance(live_idx, int) and 0 <= live_idx < len(reqs):
+            req = reqs[live_idx]
+            r._after_complete(req)
+            if req is not None and not req.persistent:
+                r._release_req(syms[live_idx])
+        return
     if idx == C.UNDEFINED or idx is None or idx < 0:
         yield from m.waitany(reqs if reqs else [None], status=status)
         return
@@ -521,6 +554,18 @@ def _h_waitsome(r, m, p):
     syms = p["array_of_requests"] or ()
     reqs = [r._take_req(sym) for sym in syms]
     statuses = True if p.get("array_of_statuses") is not None else None
+    if not r.directed:
+        got = yield from m.waitsome(reqs if reqs else [None],
+                                    statuses=statuses)
+        live_idxs = got[0] if isinstance(got, tuple) else got
+        for idx in live_idxs or ():
+            if not (isinstance(idx, int) and 0 <= idx < len(reqs)):
+                continue
+            req = reqs[idx]
+            r._after_complete(req)
+            if req is not None and not req.persistent:
+                r._release_req(syms[idx])
+        return
     if idxs is None:
         # recorded outcount == MPI_UNDEFINED: every entry was null
         yield from m.waitsome(reqs if reqs else [None], statuses=statuses)
@@ -1184,6 +1229,77 @@ def structurally_equal(a_bytes: bytes, b_bytes: bytes) -> bool:
     return True
 
 
+def build_rank_programs(decoder: TraceDecoder, *,
+                        nprocs: Optional[int] = None,
+                        directed: bool = True,
+                        strict_ids: bool = True,
+                        rank_sources: Optional[list[int]] = None):
+    """Construct the replay machinery for one decoded trace.
+
+    Returns ``(state, replayers, program)`` where *program* is the rank
+    program to hand :meth:`~repro.mpisim.SimMPI.run`.  This is the one
+    entry point both :func:`replay_trace` (directed, fixed-point) and
+    :mod:`repro.replay.divergence` (relaxed, what-if) build on.
+
+    ``nprocs`` overrides the replayed world size (rank extrapolation);
+    ``rank_sources[r]`` names the recorded rank whose call stream replay
+    rank *r* re-issues (default: itself — only meaningful with a
+    ``nprocs`` override, where new ranks must borrow a recorded
+    stream).
+    """
+    n = decoder.nprocs if nprocs is None else nprocs
+    if n <= 0:
+        raise ReplayFormatError(f"cannot replay on {n} ranks")
+    if rank_sources is None:
+        if n > decoder.nprocs:
+            raise ReplayFormatError(
+                f"replay on {n} ranks needs rank_sources: the trace only "
+                f"records {decoder.nprocs}")
+        rank_sources = list(range(n))
+    elif len(rank_sources) != n:
+        raise ReplayFormatError(
+            f"rank_sources covers {len(rank_sources)} ranks, world is {n}")
+    state = ReplayState(n)
+    replayers = [
+        RankReplayer(r, state,
+                     (lambda rr=rank_sources[r]: decoder.rank_calls(rr)),
+                     directed=directed, strict_ids=strict_ids)
+        for r in range(n)
+    ]
+
+    def program(m):
+        yield from replayers[m.rank].program(m)
+
+    return state, replayers, program
+
+
+def run_replay(sim: SimMPI, program):
+    """Drive a replay program, routing malformed-trace failures into the
+    :class:`~repro.core.errors.ReplayFormatError` hierarchy.
+
+    A fuzzed-but-parseable trace can make the replay interpreter raise a
+    bare simulator error (unknown handle, mismatched collective, a
+    deadlock from a half-recorded exchange) or trip an internal
+    assertion; the replayer's contract is the decoder's — structured
+    errors only, never a crash.
+    """
+    try:
+        return sim.run(program)
+    except TraceFormatError:
+        raise
+    except RankProgramError as e:
+        if isinstance(e.original, TraceFormatError):
+            raise ReplayFormatError(
+                f"rank {e.rank}: {e.original}") from e
+        raise ReplayFormatError(
+            f"trace is not replayable: rank {e.rank} raised "
+            f"{type(e.original).__name__}: {e.original}") from e
+    except (MpiSimError, AssertionError, KeyError, IndexError,
+            TypeError, AttributeError) as e:
+        raise ReplayFormatError(
+            f"trace is not replayable: {type(e).__name__}: {e}") from e
+
+
 def replay_trace(trace_bytes: bytes, *, seed: int = 0,
                  tracer=None, noise: float = 0.0):
     """Replay a Pilgrim trace on a fresh simulated world.
@@ -1192,16 +1308,6 @@ def replay_trace(trace_bytes: bytes, *, seed: int = 0,
     re-trace the replay (the fixed-point check).
     """
     decoder = TraceDecoder.from_bytes(trace_bytes)
-    nprocs = decoder.nprocs
-    state = ReplayState(nprocs)
-    sim = SimMPI(nprocs, seed=seed, tracer=tracer, noise=noise)
-    replayers = [
-        RankReplayer(r, state,
-                     (lambda rr=r: decoder.rank_calls(rr)))
-        for r in range(nprocs)
-    ]
-
-    def program(m):
-        yield from replayers[m.rank].program(m)
-
-    return sim.run(program)
+    _state, _replayers, program = build_rank_programs(decoder)
+    sim = SimMPI(decoder.nprocs, seed=seed, tracer=tracer, noise=noise)
+    return run_replay(sim, program)

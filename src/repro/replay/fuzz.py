@@ -1,0 +1,78 @@
+"""Corruption fuzzing for the *replay* entry point.
+
+The decoder fuzzer (:mod:`repro.core.fuzz`) proves parsing never
+crashes; this module extends the same contract one layer up: a mutated
+trace fed to :func:`~repro.replay.engine.replay_trace` must either
+
+* raise a structured :class:`~repro.core.errors.TraceFormatError`
+  (usually at decode, sometimes mid-replay as a
+  :class:`~repro.core.errors.ReplayFormatError` — e.g. a
+  checksum-surviving ``nprocs`` edit that leaves the call stream
+  re-executable-looking but inconsistent), or
+* replay cleanly (the mutation landed somewhere replay never reads —
+  fine: the *decode* fuzzer separately polices silent decodes).
+
+Anything else — a bare simulator error, an assertion, a deadlock
+leaking out raw — is a replayer bug, reported as a CRASH failure.
+Same mutation corpus as the decoder fuzzer, so coverage composes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain
+
+from ..core.errors import TraceFormatError
+from ..core.fuzz import (CRASH, FuzzOutcome, FuzzReport, corpus_mutations,
+                         iter_mutations)
+from .engine import replay_trace
+
+#: outcome kind: the mutation did not affect replayability
+CLEAN = "clean"
+
+
+@dataclass
+class ReplayFuzzReport(FuzzReport):
+    """Decoder-fuzz report plus a counter for clean replays (mutations
+    the replay path legitimately never observes)."""
+
+    clean: int = 0
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        errs = ", ".join(f"{k}×{v}"
+                         for k, v in sorted(self.by_error.items()))
+        return (f"replay fuzz: {status} ({self.total} mutations, "
+                f"{self.structured} structured errors, "
+                f"{self.clean} replayed clean, "
+                f"{len(self.failures)} failures; {errs})")
+
+
+def run_replay_fuzz(blob: bytes, seed: int = 0,
+                    n_random: int = 200) -> ReplayFuzzReport:
+    """Replay every mutation of *blob*; classify the outcomes.
+
+    ``report.ok`` iff no mutation crashed the replayer with anything
+    outside the :class:`TraceFormatError` hierarchy.
+    """
+    report = ReplayFuzzReport()
+    for desc, mut in chain(iter_mutations(blob, seed=seed,
+                                          n_random=n_random),
+                           corpus_mutations(blob)):
+        if mut == blob:
+            continue
+        report.total += 1
+        try:
+            replay_trace(mut)
+        except TraceFormatError as e:
+            report.structured += 1
+            name = type(e).__name__
+            report.by_error[name] = report.by_error.get(name, 0) + 1
+        except Exception as e:  # noqa: BLE001 — the whole point
+            report.failures.append(FuzzOutcome(
+                desc, CRASH, f"{type(e).__name__}: {e}"))
+            name = type(e).__name__
+            report.by_error[name] = report.by_error.get(name, 0) + 1
+        else:
+            report.clean += 1
+    return report

@@ -14,7 +14,7 @@ Use :func:`repro.workloads.make` to instantiate by name::
     wl.run(seed=1, tracer=PilgrimTracer())
 """
 
-from . import flash, milc, npb, osu, stencil  # noqa: F401  (register all)
+from . import flash, milc, npb, osu, stencil, sweep  # noqa: F401  (register all)
 from .amr import Block, MortonTree
 from .base import REGISTRY, Workload, grid_partition, make
 

@@ -1,0 +1,80 @@
+"""Master-worker parameter sweep (``mw_sweep``).
+
+A self-scheduling task farm: rank 0 hands tasks to whichever worker
+reports back first (``MPI_Recv`` from ``MPI_ANY_SOURCE``), workers loop
+on task/stop messages distinguished by tag.  This is the one stock
+workload whose *communication structure* depends on message arrival
+order — exactly the nondeterminism the what-if replay engine
+(:mod:`repro.replay.divergence`) exists to expose: delay one worker with
+a scheduler fault and the master's wildcard matches re-order, which a
+relaxed replay reports as a ``status.source`` divergence at the first
+affected receive.
+"""
+
+from __future__ import annotations
+
+from ..mpisim import constants as C
+from ..mpisim import datatypes as dt
+from ..mpisim import ops
+from ..mpisim.errors import InvalidArgumentError
+from .base import Workload, register
+
+#: message tags: task handout, result return, shutdown
+TAG_TASK = 31001
+TAG_RESULT = 31002
+TAG_STOP = 31003
+
+
+@register("mw_sweep")
+def mw_sweep(nprocs: int, *, tasks: int = 0, work: float = 2e-6) -> Workload:
+    """Self-scheduling farm: ``tasks`` work items (default: three waves
+    per worker) dealt first-come-first-served; per-task compute cost
+    scales with worker rank so finish order is interleaved."""
+    if nprocs < 2:
+        raise InvalidArgumentError("mw_sweep needs a master and at least "
+                                   "one worker (nprocs >= 2)")
+    ntasks = tasks if tasks > 0 else 3 * (nprocs - 1)
+
+    def program(m):
+        me = m.comm_rank()
+        nw = m.comm_size() - 1
+        buf = m.malloc(64)
+        stats = m.malloc(16)
+        yield from m.barrier()
+        if me == 0:
+            handed = 0
+            for w in range(1, nw + 1):      # seed one task per worker
+                if handed < ntasks:
+                    yield from m.send(buf, 8, dt.BYTE, dest=w, tag=TAG_TASK)
+                    handed += 1
+                else:
+                    yield from m.send(buf, 1, dt.BYTE, dest=w, tag=TAG_STOP)
+            outstanding = min(ntasks, nw)
+            while outstanding:
+                _, st = yield from m.recv(buf, 8, dt.BYTE,
+                                          source=C.ANY_SOURCE,
+                                          tag=TAG_RESULT)
+                outstanding -= 1
+                if handed < ntasks:         # next task to whoever finished
+                    yield from m.send(buf, 8, dt.BYTE,
+                                      dest=st.MPI_SOURCE, tag=TAG_TASK)
+                    handed += 1
+                    outstanding += 1
+                else:
+                    yield from m.send(buf, 1, dt.BYTE,
+                                      dest=st.MPI_SOURCE, tag=TAG_STOP)
+        else:
+            while True:
+                _, st = yield from m.recv(buf, 8, dt.BYTE, source=0,
+                                          tag=C.ANY_TAG)
+                if st.MPI_TAG == TAG_STOP:
+                    break
+                m.compute(work * (1 + me))
+                yield from m.send(buf, 8, dt.BYTE, dest=0, tag=TAG_RESULT)
+        yield from m.allreduce(buf, stats, 2, dt.DOUBLE, ops.SUM)
+        m.free(stats)
+        m.free(buf)
+        yield from m.barrier()
+
+    return Workload("mw_sweep", nprocs, program,
+                    dict(tasks=ntasks, work=work))

@@ -22,7 +22,11 @@ SNAPSHOT = Path(__file__).parent / "data" / "api_surface.json"
 
 #: the callables whose signatures form the contract
 PINNED_FUNCTIONS = ["trace", "decode", "verify", "compare", "bench",
-                    "serve", "push", "store"]
+                    "serve", "push", "store", "replay"]
+
+#: facade verb -> CLI subcommand, where the names differ.  ``decode``
+#: is surfaced as the read-side verbs; everything else matches 1:1.
+VERB_TO_CLI = {"decode": "info"}
 
 
 def _describe_signature(fn) -> dict:
@@ -41,6 +45,10 @@ def current_surface() -> dict:
                       for name in PINNED_FUNCTIONS},
         "TraceResult": sorted(
             n for n in dir(api.TraceResult) if not n.startswith("_")),
+        "ReplayOptions": sorted(
+            n for n in dir(api.ReplayOptions) if not n.startswith("_")),
+        "ReplayResult": sorted(
+            n for n in dir(api.ReplayResult) if not n.startswith("_")),
         "api.__all__": sorted(api.__all__),
         "repro.__all__": sorted(repro.__all__),
     }
@@ -84,6 +92,47 @@ def test_unknown_loose_kwarg_is_rejected():
     import pytest
     with pytest.raises(TypeError):
         repro.trace("stencil2d", 2, params={"iters": 2}, bogus_option=1)
+
+
+def test_every_api_verb_has_a_cli_subcommand():
+    """The facade and the CLI must not drift apart: every ``repro.api``
+    verb is reachable as a CLI subcommand (modulo the documented
+    renames) — the structural fix for replay having shipped without a
+    verb."""
+    from repro.cli import build_parser
+    sub_actions = [a for a in build_parser()._actions
+                   if isinstance(a, __import__("argparse")
+                                 ._SubParsersAction)]
+    assert sub_actions, "CLI has no subcommands?"
+    subcommands = set(sub_actions[0].choices)
+    verbs = [n for n in api.__all__ if callable(getattr(api, n))
+             and not isinstance(getattr(api, n), type)]
+    missing = [v for v in verbs
+               if VERB_TO_CLI.get(v, v) not in subcommands]
+    assert not missing, (
+        f"api verbs without a CLI subcommand: {missing} "
+        f"(CLI has {sorted(subcommands)})")
+
+
+def test_replay_legacy_kwargs_warn_but_work(tmp_path):
+    import warnings
+    blob = repro.trace("stencil2d", 2, params={"iters": 2}).trace_bytes
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        res = repro.replay(blob, seed=3)
+    assert not res.diverged
+    assert res.options.seed == 3
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    # path form reads the file
+    path = tmp_path / "t.pilgrim"
+    path.write_bytes(blob)
+    assert not repro.replay(path).diverged
+
+
+def test_replay_unknown_loose_kwarg_is_rejected():
+    import pytest
+    with pytest.raises(TypeError):
+        repro.replay(b"", bogus_option=1)
 
 
 if __name__ == "__main__":

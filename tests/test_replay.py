@@ -223,7 +223,9 @@ class TestReplayValidation:
 
     def test_replay_detects_unknown_comm(self):
         """A trace whose first comm use predates its creation record is
-        rejected (would indicate corruption)."""
+        rejected with a *structured* trace error (it indicates
+        corruption), never a bare simulator error."""
+        from repro.core import ReplayFormatError
         from repro.core.cst import MergedCST
         from repro.core.grammar import Grammar
         from repro.core.interproc import merge_grammars
@@ -236,5 +238,5 @@ class TestReplayValidation:
         s.append(0)
         cfg = merge_grammars([Grammar.freeze(s)])
         blob = TraceFile(nprocs=1, cst=cst, cfg=cfg).to_bytes()
-        with pytest.raises(MpiSimError):
+        with pytest.raises(ReplayFormatError):
             replay_trace(blob)
